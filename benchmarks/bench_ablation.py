@@ -1,0 +1,84 @@
+"""Experiment A1 (paper future work): ranking criteria ablation.
+
+The paper's §4 sketches two refinements beyond raw length: counting
+transitive-N:M joints, and weighing joints by the *actual number of
+participating tuples*.  This ablation runs all four rankers over the same
+answer set and reports (a) scoring cost and (b) how each strategy orders
+the paper's seven connections.
+"""
+
+import pytest
+
+from repro.core.ranking import (
+    ClosenessRanker,
+    ErLengthRanker,
+    InstanceAmbiguityRanker,
+    RdbLengthRanker,
+    rank_connections,
+)
+from repro.experiments.tables import paper_connections
+
+_RANKERS = [
+    RdbLengthRanker(),
+    ErLengthRanker(),
+    ClosenessRanker(),
+    InstanceAmbiguityRanker(),
+]
+
+_printed = set()
+
+
+@pytest.fixture(scope="module")
+def seven_connections(company_engine):
+    connections = paper_connections(company_engine)
+    return {number: connections[number] for number in range(1, 8)}
+
+
+def test_statistical_ranker_ablation(benchmark, company_engine,
+                                     seven_connections):
+    """The aggregate-statistics approximation of instance ambiguity."""
+    from repro.core.ranking_stats import StatisticalAmbiguityRanker
+    from repro.relational.statistics import DatabaseStatistics
+
+    ranker = StatisticalAmbiguityRanker(
+        DatabaseStatistics(company_engine.database)
+    )
+    benchmark.group = "A1 ranker cost"
+    benchmark.name = ranker.name
+
+    ranked = benchmark(
+        lambda: rank_connections(list(seven_connections.values()), ranker)
+    )
+    reverse = {c: n for n, c in seven_connections.items()}
+    order = [reverse[answer] for answer, __ in ranked]
+    # Same group structure as the exact ranker; 3-vs-6 tie is expected.
+    assert set(order[:3]) == {1, 2, 5}
+    assert set(order[3:5]) == {4, 7}
+    assert set(order[5:]) == {3, 6}
+
+
+@pytest.mark.parametrize("ranker", _RANKERS, ids=lambda r: r.name)
+def test_ranker_ablation(benchmark, ranker, seven_connections):
+    benchmark.group = "A1 ranker cost"
+    benchmark.name = ranker.name
+
+    ranked = benchmark(
+        lambda: rank_connections(list(seven_connections.values()), ranker)
+    )
+
+    reverse = {c: n for n, c in seven_connections.items()}
+    order = [reverse[answer] for answer, __ in ranked]
+
+    if ranker.name not in _printed:
+        _printed.add(ranker.name)
+        print(f"\nA1 {ranker.name:>18}: order {order}")
+
+    # Sanity per strategy.
+    if ranker.name == "rdb-length":
+        assert set(order[:2]) == {1, 5}
+    if ranker.name == "closeness":
+        assert set(order[:3]) == {1, 2, 5}
+        assert set(order[-2:]) == {3, 6}
+    if ranker.name == "instance-ambiguity":
+        # The refinement separates 3 (factor 2) from 6 (factor 4).
+        assert order.index(3) < order.index(6)

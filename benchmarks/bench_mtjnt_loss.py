@@ -1,0 +1,27 @@
+"""Experiment C1: MTJNT semantics loses connections 3, 4, 6 and 7 (§3).
+
+Benchmarks full MTJNT enumeration for ``Smith XML`` (assignment expansion,
+joining-tree growth, exact minimality filtering) and asserts the paper's
+loss claim.
+"""
+
+from repro.experiments.claims import mtjnt_loss
+
+_printed = False
+
+
+def test_mtjnt_loss_claim(benchmark):
+    result = benchmark(mtjnt_loss)
+
+    assert result.mtjnt_rows == (1, 2, 5)
+    assert result.lost_rows == (3, 4, 6, 7)
+    assert result.mtjnt_count == 3
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print("Claim C1 - MTJNT loses connections (query 'Smith XML'):")
+        print(f"  MTJNTs found:         connections {result.mtjnt_rows}")
+        print(f"  lost under MTJNT:     connections {result.lost_rows}")
+        print("  paper: 'connections 3, 4, 6 and 7 are lost' -> REPRODUCED")

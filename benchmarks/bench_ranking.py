@@ -1,0 +1,31 @@
+"""Experiment C2: ranking comparison — RDB length vs the paper's closeness.
+
+Benchmarks both rankings over the paper's seven searched connections and
+asserts the groupings the paper derives: RDB-length puts {1,5} best and
+{4,7} worst; closeness-first puts {1,2,5} best and {3,6} worst, promoting
+4 and 7.
+"""
+
+from repro.experiments.claims import ranking_comparison
+
+_printed = False
+
+
+def test_ranking_comparison_claim(benchmark):
+    result = benchmark(ranking_comparison)
+
+    assert result.rdb_best == (1, 5)
+    assert result.rdb_worst == (4, 7)
+    assert result.closeness_best == (1, 2, 5)
+    assert result.closeness_worst == (3, 6)
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print("Claim C2 - ranking comparison (query 'Smith XML'):")
+        print(f"  RDB-length order:  {result.rdb_order}"
+              f"  (best {result.rdb_best}, worst {result.rdb_worst})")
+        print(f"  closeness order:   {result.closeness_order}"
+              f"  (best {result.closeness_best}, worst {result.closeness_worst})")
+        print("  paper: best 1,2,5 / worst 3,6; 4 and 7 promoted -> REPRODUCED")

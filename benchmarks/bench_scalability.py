@@ -1,0 +1,57 @@
+"""Experiment S1 (extension): engine scalability over database size.
+
+The paper has no performance study; its future work calls for ranking
+experiments at scale.  This sweep measures end-to-end query latency of the
+close/loose-aware engine on synthetic company-shaped databases of growing
+size (roughly 10^2 to 10^3.5 tuples - pure-Python substrate, shapes matter,
+absolute numbers do not).
+"""
+
+import pytest
+
+from repro.core.search import SearchLimits
+
+from conftest import sized_engine
+
+_SCALES = [100, 300, 1000, 3000]
+
+
+@pytest.fixture(scope="module", params=_SCALES)
+def scaled_engine(request):
+    return request.param, sized_engine(request.param)
+
+
+def test_search_latency_by_scale(benchmark, scaled_engine):
+    scale, engine = scaled_engine
+    benchmark.group = "S1 search latency"
+    benchmark.name = f"tuples~{scale}"
+
+    results = benchmark(
+        lambda: engine.search(
+            "kwalpha kwbeta", limits=SearchLimits(max_rdb_length=3)
+        )
+    )
+    # Planted keywords always have a direct or two-hop association.
+    assert results is not None
+
+
+def test_index_build_by_scale(benchmark, scaled_engine):
+    scale, engine = scaled_engine
+    benchmark.group = "S1 index build"
+    benchmark.name = f"tuples~{scale}"
+
+    from repro.relational.index import InvertedIndex
+
+    index = benchmark(lambda: InvertedIndex(engine.database))
+    assert index.document_frequency("kwalpha") >= 1
+
+
+def test_data_graph_build_by_scale(benchmark, scaled_engine):
+    scale, engine = scaled_engine
+    benchmark.group = "S1 graph build"
+    benchmark.name = f"tuples~{scale}"
+
+    from repro.graph.data_graph import DataGraph
+
+    graph = benchmark(lambda: DataGraph(engine.database))
+    assert graph.number_of_nodes() == engine.database.count()

@@ -1,0 +1,25 @@
+"""Experiment T3: regenerate Table 3 (cardinality-annotated connections)."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table3
+
+_printed = False
+
+
+def test_table3_regeneration(benchmark, company_engine):
+    rows = benchmark(lambda: table3(company_engine))
+
+    assert rows[1].rendered == "p1(XML) 1:N w_f1 N:1 e1(Smith)"
+    assert rows[8].rendered == "d2 1:N p2 1:N w_f3 N:1 e3 1:N t1(Alice)"
+
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(
+            render_table(
+                "Table 3 - connections with relationship cardinalities",
+                ["#", "connection with relationships"],
+                [[row.number, row.rendered] for row in rows],
+            )
+        )

@@ -1,0 +1,62 @@
+"""Experiment A2 (extension): lazy top-k vs full enumeration.
+
+The lazy searcher enumerates paths in increasing RDB length and stops when
+no unseen path can break into the current top-k.  This bench sweeps k on a
+planted synthetic database and compares against enumerate-everything-then-
+sort; both must return identical answers (asserted), the lazy variant
+should win for small k.
+"""
+
+import pytest
+
+from repro.core.connections import Connection
+from repro.core.matching import match_keywords
+from repro.core.ranking import ClosenessRanker, rank_connections
+from repro.core.search import SearchLimits, find_connections
+from repro.core.topk import top_k_connections
+
+from conftest import sized_engine
+
+_LIMITS = SearchLimits(max_rdb_length=4)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    engine = sized_engine(300)
+    matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+    return engine, matches
+
+
+def _full(engine, matches, k):
+    answers = [
+        answer
+        for answer in find_connections(
+            engine.data_graph, matches, _LIMITS, include_single_tuples=False
+        )
+        if isinstance(answer, Connection)
+    ]
+    return rank_connections(answers, ClosenessRanker())[:k]
+
+
+@pytest.mark.parametrize("k", [1, 5, 20])
+def test_lazy_topk(benchmark, workload, k):
+    engine, matches = workload
+    benchmark.group = "A2 top-k"
+    benchmark.name = f"lazy k={k}"
+    results = benchmark(
+        lambda: top_k_connections(
+            engine.data_graph, matches, ClosenessRanker(), k, _LIMITS
+        )
+    )
+    expected = _full(engine, matches, k)
+    assert [(c.render(), s) for c, s in results] == [
+        (a.render(), s) for a, s in expected
+    ]
+
+
+def test_full_enumeration_reference(benchmark, workload):
+    engine, matches = workload
+    benchmark.group = "A2 top-k"
+    benchmark.name = "full enumeration"
+    results = benchmark(lambda: _full(engine, matches, 20))
+    assert results is not None

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates a paper artefact (Tables 1-3, Figures 1-2, the
+two §3 claims) or sweeps an extension experiment (scalability, baseline
+comparison, ranking ablation).  Benchmarks print the regenerated artefact
+once per session so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction report; EXPERIMENTS.md records the same content.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.company import build_company_database
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like, plant
+
+
+@pytest.fixture(scope="session")
+def company_engine():
+    return KeywordSearchEngine(build_company_database())
+
+
+def sized_engine(scale: int, seed: int = 17) -> KeywordSearchEngine:
+    """A planted synthetic engine with roughly ``scale`` tuples."""
+    departments = max(1, scale // 20)
+    config = SyntheticConfig(
+        departments=departments,
+        projects_per_department=3,
+        employees_per_department=10,
+        works_on_per_employee=2,
+        dependents_per_employee=0.4,
+        seed=seed,
+    )
+    database = generate_company_like(config)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION",
+          min(2, database.count("DEPARTMENT")), seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME",
+          min(3, database.count("EMPLOYEE")), seed=2)
+    return KeywordSearchEngine(database)

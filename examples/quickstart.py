@@ -1,0 +1,30 @@
+"""Quickstart: keyword search with close/loose-aware ranking.
+
+Runs the paper's query ``Smith XML`` on its running example database and
+prints the ranked, explained answers.
+
+    python examples/quickstart.py
+"""
+
+from repro import KeywordSearchEngine, SearchLimits, build_company_database
+
+
+def main() -> None:
+    database = build_company_database()
+    engine = KeywordSearchEngine(database)
+
+    print("Database:", ", ".join(
+        f"{relation.name}({database.count(relation.name)})"
+        for relation in database.schema.relations
+    ))
+
+    query = "Smith XML"
+    print(f"\nQuery: {query!r}\n")
+    results = engine.search(query, limits=SearchLimits(max_rdb_length=3))
+    for result in results:
+        print(engine.explain(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

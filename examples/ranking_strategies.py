@@ -1,0 +1,78 @@
+"""Compare all ranking strategies side by side on the paper's example.
+
+Shows how the same seven connections reorder under the four strategies the
+library implements: the traditional RDB length, the conceptual ER length,
+the paper's closeness-first proposal, and the instance-ambiguity
+refinement from the paper's future work.
+
+    python examples/ranking_strategies.py
+"""
+
+from repro import (
+    ClosenessRanker,
+    ErLengthRanker,
+    InstanceAmbiguityRanker,
+    KeywordSearchEngine,
+    RdbLengthRanker,
+    SearchLimits,
+    build_company_database,
+)
+from repro.core.ranking import rank_connections
+from repro.experiments.report import render_table
+from repro.experiments.tables import paper_connections
+
+
+def main() -> None:
+    engine = KeywordSearchEngine(build_company_database())
+    connections = paper_connections(engine)
+    searched = {number: connections[number] for number in range(1, 8)}
+    reverse = {connection: number for number, connection in searched.items()}
+
+    rankers = [
+        RdbLengthRanker(),
+        ErLengthRanker(),
+        ClosenessRanker(),
+        InstanceAmbiguityRanker(),
+    ]
+
+    rows = []
+    for number in range(1, 8):
+        connection = searched[number]
+        rows.append(
+            [
+                number,
+                connection.render(),
+                connection.rdb_length,
+                connection.er_length,
+                connection.verdict().loose_joint_count,
+            ]
+        )
+    print(render_table(
+        "The seven searched connections of 'Smith XML'",
+        ["#", "connection", "rdb", "er", "joints"],
+        rows,
+    ))
+
+    print()
+    order_rows = []
+    for ranker in rankers:
+        ranked = rank_connections(list(searched.values()), ranker)
+        order = [reverse[answer] for answer, __ in ranked]
+        order_rows.append([ranker.name, " > ".join(str(n) for n in order)])
+    print(render_table(
+        "Connection order per strategy (best first)",
+        ["strategy", "order"],
+        order_rows,
+    ))
+
+    print()
+    print("Reading the orders:")
+    print(" * rdb-length ranks the informative connections 4 and 7 last;")
+    print(" * closeness promotes them over the loose 3 and 6 (the paper's")
+    print("   proposal), keeping 1, 2, 5 on top;")
+    print(" * instance-ambiguity additionally separates 3 (joint touches")
+    print("   1x2 tuples) from 6 (joint touches 2x2 tuples).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Result presentation: the paper's §4 "user could select longer paths".
+
+Runs the paper's query, then shows the three presentation tools the
+library derives from §4: closeness grouping, the larger-context selector,
+instance-level filtering — plus OR semantics and role-qualified keywords.
+
+    python examples/result_presentation.py
+"""
+
+from repro import (
+    KeywordSearchEngine,
+    SearchLimits,
+    build_company_database,
+    group_results,
+    larger_context,
+)
+from repro.core.presentation import filter_instance_close
+
+
+def main() -> None:
+    engine = KeywordSearchEngine(build_company_database())
+    limits = SearchLimits(max_rdb_length=3)
+
+    print("Query: 'XML Smith' (paper running example)\n")
+    results = engine.search("XML Smith", limits=limits)
+
+    print("--- grouped presentation (paper §4) ---")
+    for group in group_results(results):
+        print(group.describe())
+        print()
+
+    print("--- 'larger context' selector ---")
+    print("Longer answers that do not lose the close association:")
+    for result in larger_context(results):
+        answer = result.answer
+        print(f"  {answer.render()}   (er length {answer.er_length})")
+    print()
+
+    print("--- instance-level filter ---")
+    print("Answers whose association is corroborated by the data:")
+    for result in filter_instance_close(results):
+        print(f"  {result.answer.render()}")
+    print()
+
+    print("--- OR semantics ---")
+    print("Query 'XML Scandinavian' under OR (Scandinavian only matches d3,")
+    print("which joins nothing — AND semantics would return nothing at all):")
+    for result in engine.search("XML Scandinavian", semantics="or", limits=limits):
+        covered = int(-result.score[0])
+        print(f"  covers {covered} keyword(s): {result.answer.render()}")
+    print()
+
+    print("--- role-qualified keywords (MeanKS-style) ---")
+    print("Query 'Smith XML@PROJECT' pins XML to project tuples:")
+    for result in engine.search("Smith XML@PROJECT", limits=limits):
+        print(f"  {result.answer.render()}")
+
+
+if __name__ == "__main__":
+    main()

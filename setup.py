@@ -1,0 +1,11 @@
+"""Thin setup.py enabling legacy editable installs offline.
+
+The environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail; ``pip install -e .
+--no-build-isolation`` falls back to this file.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,199 @@
+"""BANKS-style backward expanding search (Aditya et al., VLDB 2002).
+
+BANKS models the database as a directed graph over tuples: each foreign
+key reference contributes a *forward* edge from the referencing tuple to
+the referenced tuple (weight 1) and a *backward* edge in the opposite
+direction whose weight grows with the referenced tuple's in-degree
+(``1 + log2(1 + indegree)``), so hubs are expensive to route through.
+
+An answer is a rooted tree: a root tuple with a directed path to one
+matching tuple per keyword.  The **backward expanding search** runs one
+multi-source shortest-path iterator per keyword over *reversed* edges,
+always expanding the globally smallest tentative distance; every node
+reached by all iterators is an answer root.  Tree score is the sum of the
+root-to-keyword path weights, optionally combined with node prestige
+(in-degree based), lower is better; answers are emitted best-first.
+
+This implementation is exact within an edge-weight budget rather than
+heuristic: it enumerates all answer roots reachable under
+``max_distance`` and returns the top-k by score, which makes baseline
+comparisons deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.core.matching import KeywordMatch
+from repro.errors import QueryError
+from repro.graph.data_graph import DataGraph
+from repro.relational.database import TupleId
+
+__all__ = ["BanksAnswer", "BanksSearch"]
+
+
+@dataclass(frozen=True)
+class BanksAnswer:
+    """One BANKS answer tree.
+
+    ``paths`` maps each keyword to the root-to-match tuple path (list of
+    tuple ids, root first).  ``score`` is lower-is-better.
+    """
+
+    root: TupleId
+    paths: tuple[tuple[str, tuple[TupleId, ...]], ...]
+    score: float
+
+    def tuple_ids(self) -> tuple[TupleId, ...]:
+        members: dict[TupleId, None] = {self.root: None}
+        for __, path in self.paths:
+            for tid in path:
+                members.setdefault(tid, None)
+        return tuple(members)
+
+    @property
+    def covered_keywords(self) -> frozenset[str]:
+        return frozenset(keyword for keyword, __ in self.paths)
+
+    @property
+    def rdb_length(self) -> int:
+        """Number of distinct edges in the answer tree."""
+        edges = set()
+        for __, path in self.paths:
+            for source, target in zip(path, path[1:]):
+                edges.add((source, target))
+        return len(edges)
+
+    def render(self) -> str:
+        leaves = ", ".join(
+            f"{keyword}:{path[-1]}" for keyword, path in self.paths
+        )
+        return f"root {self.root} -> {leaves}"
+
+
+class BanksSearch:
+    """Backward expanding keyword search over a data graph."""
+
+    def __init__(
+        self,
+        data_graph: DataGraph,
+        backward_weight_base: float = 1.0,
+        prestige_weight: float = 0.0,
+    ) -> None:
+        self.data_graph = data_graph
+        self.backward_weight_base = backward_weight_base
+        self.prestige_weight = prestige_weight
+        self._directed = self._build_directed()
+
+    def _build_directed(self) -> nx.DiGraph:
+        directed = nx.DiGraph()
+        graph = self.data_graph.graph
+        directed.add_nodes_from(graph.nodes)
+        indegree: dict[TupleId, int] = {node: 0 for node in graph.nodes}
+        references: list[tuple[TupleId, TupleId]] = []
+        for left, right, data in graph.edges(data=True):
+            referencing = data["referencing"]
+            referenced = right if referencing == left else left
+            references.append((referencing, referenced))
+            indegree[referenced] += 1
+        for referencing, referenced in references:
+            backward = self.backward_weight_base + math.log2(
+                1 + indegree[referenced]
+            )
+            forward_weight = 1.0
+            if not directed.has_edge(referencing, referenced):
+                directed.add_edge(referencing, referenced, weight=forward_weight)
+            if not directed.has_edge(referenced, referencing):
+                directed.add_edge(referenced, referencing, weight=backward)
+        return directed
+
+    @property
+    def directed_graph(self) -> nx.DiGraph:
+        return self._directed
+
+    def node_prestige(self, tid: TupleId) -> float:
+        """In-degree based prestige (higher in-degree, higher prestige)."""
+        return math.log2(1 + self._directed.in_degree(tid))
+
+    def search(
+        self,
+        matches: Sequence[KeywordMatch],
+        top_k: int = 10,
+        max_distance: float = 10.0,
+    ) -> list[BanksAnswer]:
+        """Top-k answer trees for the query, best (lowest score) first.
+
+        ``max_distance`` bounds each keyword iterator's expansion; roots
+        farther than that from some keyword are not considered (BANKS'
+        practical cut-off).
+        """
+        if not matches:
+            raise QueryError("no keywords to search")
+        if any(match.is_empty for match in matches):
+            return []
+
+        # One multi-source Dijkstra per keyword over reversed edges: the
+        # distance to a node v is the weight of the best directed path
+        # v -> (some match tuple of the keyword).
+        reversed_graph = self._directed.reverse(copy=False)
+        distances: list[dict[TupleId, float]] = []
+        predecessors: list[dict[TupleId, TupleId]] = []
+        for match in matches:
+            dist: dict[TupleId, float] = {}
+            pred: dict[TupleId, TupleId] = {}
+            heap: list[tuple[float, str, TupleId]] = []
+            for tid in match.tuple_ids:
+                dist[tid] = 0.0
+                heapq.heappush(heap, (0.0, str(tid), tid))
+            while heap:
+                d, __, node = heapq.heappop(heap)
+                if d > dist.get(node, math.inf):
+                    continue
+                if d > max_distance:
+                    continue
+                for __, neighbour, data in reversed_graph.edges(node, data=True):
+                    candidate = d + data["weight"]
+                    if candidate < dist.get(neighbour, math.inf) and \
+                            candidate <= max_distance:
+                        dist[neighbour] = candidate
+                        pred[neighbour] = node
+                        heapq.heappush(
+                            heap, (candidate, str(neighbour), neighbour)
+                        )
+            distances.append(dist)
+            predecessors.append(pred)
+
+        answers = []
+        for node in self._directed.nodes:
+            if not all(node in dist for dist in distances):
+                continue
+            total = sum(dist[node] for dist in distances)
+            if self.prestige_weight:
+                total -= self.prestige_weight * self.node_prestige(node)
+            paths = []
+            for match, dist, pred in zip(matches, distances, predecessors):
+                path = [node]
+                while path[-1] in pred:
+                    path.append(pred[path[-1]])
+                paths.append((match.keyword, tuple(path)))
+            answers.append(
+                BanksAnswer(root=node, paths=tuple(paths), score=total)
+            )
+
+        answers.sort(key=lambda a: (a.score, str(a.root)))
+        deduped: list[BanksAnswer] = []
+        seen: set[frozenset[TupleId]] = set()
+        for answer in answers:
+            members = frozenset(answer.tuple_ids())
+            if members in seen:
+                continue
+            seen.add(members)
+            deduped.append(answer)
+            if len(deduped) >= top_k:
+                break
+        return deduped

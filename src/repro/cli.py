@@ -1,0 +1,243 @@
+"""Command-line interface: search, reproduce, analyze, generate.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro search "Smith XML" --explain
+    python -m repro search "Smith XML" --ranker rdb
+    python -m repro reproduce                       # all tables/figures/claims
+    python -m repro analyze                         # schema closeness report
+    python -m repro mtjnt "Smith XML"
+    python -m repro generate --departments 10 --out /tmp/db.json
+    python -m repro search "kwalpha kwbeta" --db /tmp/db.json
+
+Every command accepts ``--db FILE.json`` (a database written by
+``repro.relational.io.dump_json``); without it the paper's running example
+is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.discover import find_mtjnts
+from repro.core.engine import KeywordSearchEngine
+from repro.core.ranking import (
+    ClosenessRanker,
+    ErLengthRanker,
+    InstanceAmbiguityRanker,
+    RdbLengthRanker,
+)
+from repro.core.schema_analysis import analyze_relational_schema
+from repro.core.search import SearchLimits
+from repro.datasets.company import build_company_database
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like
+from repro.relational.database import Database
+from repro.relational.io import dump_json, load_json
+
+__all__ = ["main", "build_parser"]
+
+_RANKERS = {
+    "closeness": ClosenessRanker,
+    "rdb": RdbLengthRanker,
+    "er": ErLengthRanker,
+    "ambiguity": InstanceAmbiguityRanker,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Close/loose-association keyword search (EDBT 2017 repro)",
+    )
+    parser.add_argument(
+        "--db",
+        metavar="FILE",
+        help="database JSON (default: the paper's company example)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser("search", help="run a keyword query")
+    search.add_argument("query", help="whitespace-separated keywords")
+    search.add_argument(
+        "--ranker", choices=sorted(_RANKERS), default="closeness"
+    )
+    search.add_argument("--max-rdb", type=int, default=3,
+                        help="max FK edges per connection (default 3)")
+    search.add_argument("--top", type=int, default=None, help="top-k cut")
+    search.add_argument("--explain", action="store_true",
+                        help="print full per-answer explanations")
+    search.add_argument("--semantics", choices=("and", "or"), default="and",
+                        help="AND (cover every keyword) or OR semantics")
+    search.add_argument("--group", action="store_true",
+                        help="group results: close / larger context / loose")
+
+    commands.add_parser(
+        "reproduce", help="regenerate every table, figure and claim"
+    )
+
+    analyze = commands.add_parser(
+        "analyze", help="schema-level closeness analysis"
+    )
+    analyze.add_argument("--max-length", type=int, default=3,
+                         help="max conceptual path length (default 3)")
+
+    mtjnt = commands.add_parser("mtjnt", help="enumerate MTJNTs for a query")
+    mtjnt.add_argument("query")
+    mtjnt.add_argument("--max-tuples", type=int, default=5)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic company-shaped database"
+    )
+    generate.add_argument("--departments", type=int, default=5)
+    generate.add_argument("--projects", type=int, default=3,
+                          help="projects per department")
+    generate.add_argument("--employees", type=int, default=10,
+                          help="employees per department")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, metavar="FILE")
+
+    return parser
+
+
+def _load_database(path: Optional[str]) -> Database:
+    if path is None:
+        return build_company_database()
+    return load_json(path)
+
+
+def _cmd_search(args: argparse.Namespace, out) -> int:
+    engine = KeywordSearchEngine(_load_database(args.db))
+    ranker = _RANKERS[args.ranker]()
+    results = engine.search(
+        args.query,
+        ranker=ranker,
+        limits=SearchLimits(max_rdb_length=args.max_rdb),
+        top_k=args.top,
+        semantics=args.semantics,
+    )
+    if not results:
+        print("no answers", file=out)
+        return 1
+    if args.group:
+        from repro.core.presentation import group_results
+
+        for group in group_results(results):
+            print(group.describe(), file=out)
+        return 0
+    for result in results:
+        if args.explain:
+            print(engine.explain(result), file=out)
+            print(file=out)
+        else:
+            rendered_score = ", ".join(f"{part:g}" for part in result.score)
+            print(f"{result.rank:3}  ({rendered_score})  "
+                  f"{result.answer.render()}", file=out)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace, out) -> int:
+    from repro.experiments import (
+        figure1,
+        figure2,
+        mtjnt_loss,
+        ranking_comparison,
+        render_table,
+        table1,
+        table2,
+        table3,
+    )
+
+    figure1()
+    print("Figure 1: ER mapping reproduces Figure 2's schema  OK", file=out)
+    instance = figure2()
+    print("Figure 2: instance verified "
+          f"({sum(instance.tuple_counts.values())} tuples)  OK", file=out)
+    print(file=out)
+    print(render_table(
+        "Table 1",
+        ["#", "relationship", "cardinality", "verdict"],
+        [
+            [r.number, r.entities, r.cardinalities,
+             "close" if r.is_close else "loose"]
+            for r in table1()
+        ],
+    ), file=out)
+    print(file=out)
+    print(render_table(
+        "Table 2",
+        ["#", "connection", "len RDB", "len ER"],
+        [[r.number, r.rendered, r.rdb_length, r.er_length] for r in table2()],
+    ), file=out)
+    print(file=out)
+    print(render_table(
+        "Table 3",
+        ["#", "connection with relationships"],
+        [[r.number, r.rendered] for r in table3()],
+    ), file=out)
+    print(file=out)
+    loss = mtjnt_loss()
+    print(f"Claim C1: MTJNTs {loss.mtjnt_rows}, lost {loss.lost_rows}  OK",
+          file=out)
+    ranking = ranking_comparison()
+    print(f"Claim C2: closeness best {ranking.closeness_best}, "
+          f"worst {ranking.closeness_worst}  OK", file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    database = _load_database(args.db)
+    analyzer = analyze_relational_schema(
+        database.schema, max_length=args.max_length
+    )
+    print(analyzer.report(), file=out)
+    return 0
+
+
+def _cmd_mtjnt(args: argparse.Namespace, out) -> int:
+    engine = KeywordSearchEngine(_load_database(args.db))
+    matches = engine.match(args.query)
+    networks = find_mtjnts(
+        engine.data_graph, matches, SearchLimits(max_tuples=args.max_tuples)
+    )
+    if not networks:
+        print("no MTJNTs", file=out)
+        return 1
+    for members in networks:
+        labels = sorted(
+            engine.database.tuple(tid).label for tid in members
+        )
+        print("{" + ", ".join(labels) + "}", file=out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    database = generate_company_like(
+        SyntheticConfig(
+            departments=args.departments,
+            projects_per_department=args.projects,
+            employees_per_department=args.employees,
+            seed=args.seed,
+        )
+    )
+    dump_json(database, args.out)
+    print(f"wrote {database.count()} tuples to {args.out}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "search": _cmd_search,
+    "reproduce": _cmd_reproduce,
+    "analyze": _cmd_analyze,
+    "mtjnt": _cmd_mtjnt,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)

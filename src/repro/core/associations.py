@@ -1,0 +1,182 @@
+"""Close and loose associations from cardinality constraints (paper §2).
+
+Given the cardinality sequence ``X1:Y1, …, Xn:Yn`` of a (transitive)
+relationship, the paper classifies it as:
+
+* **immediate** (``n == 1``) — always a close association: the relationship
+  itself asserts a direct semantic link, whatever its cardinality;
+* **transitive functional** (``∀i Xi = 1`` or ``∀i Yi = 1``) — close: the
+  connection is (inverse) functional, so entities are associated
+  unambiguously;
+* anything else — **loose**: the composed end-to-end cardinality is ``N:M``
+  and entities may be associated "through a more general entity".
+
+Loose paths are further distinguished by *why* they are loose:
+
+* a **transitive N:M joint** — a middle entity with fan-in on one side and
+  fan-out on the other (``… N:1 E 1:N …`` after composition of the
+  surrounding steps; paper's relationship 5).  Connections through such a
+  joint associate entities that may never interact at all, which is the
+  paper's reason to rank connections 3 and 6 *below* 4 and 7;
+* an **immediate N:M step** inside the path (paper's relationship 4): every
+  adjacent pair on the connection is directly related, only the endpoint
+  association is ambiguous.
+
+:func:`loose_joints` finds the joints; :func:`classify_cardinalities`
+produces the full verdict.  Both are pure functions over cardinality
+sequences so they apply equally to schema-level ER paths and to
+instance-level tuple connections (via their conceptual step sequences).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.er.cardinality import Cardinality, compose_path
+from repro.er.paths import ERPath
+from repro.errors import PathError
+
+__all__ = [
+    "AssociationKind",
+    "AssociationVerdict",
+    "classify_cardinalities",
+    "classify_er_path",
+    "loose_joints",
+]
+
+
+class AssociationKind(enum.Enum):
+    """The paper's taxonomy of (transitive) relationships."""
+
+    #: A single relationship — close regardless of cardinality.
+    IMMEDIATE = "immediate"
+    #: A transitive path, functional in at least one direction — close.
+    TRANSITIVE_FUNCTIONAL = "transitive functional"
+    #: A transitive path whose composition is ``N:M`` — loose.
+    TRANSITIVE_NM = "transitive N:M"
+
+
+@dataclass(frozen=True)
+class AssociationVerdict:
+    """The complete classification of one cardinality sequence.
+
+    Attributes
+    ----------
+    kind:
+        The taxonomy bucket (see :class:`AssociationKind`).
+    is_close:
+        The paper's binary verdict: immediate and transitive functional
+        paths are close, transitive ``N:M`` paths are loose.
+    composed:
+        End-to-end cardinality of the path.
+    loose_joint_positions:
+        Indices ``j`` such that the middle entity between steps ``j`` and
+        ``j + 1`` is a transitive-N:M joint (fan-in then fan-out).
+    nm_step_positions:
+        Indices of immediate ``N:M`` steps inside the path.
+    """
+
+    kind: AssociationKind
+    is_close: bool
+    composed: Cardinality
+    loose_joint_positions: tuple[int, ...]
+    nm_step_positions: tuple[int, ...]
+
+    @property
+    def loose_joint_count(self) -> int:
+        """The paper's suggested ranking criterion (§4)."""
+        return len(self.loose_joint_positions)
+
+    @property
+    def is_loose(self) -> bool:
+        return not self.is_close
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        closeness = "close" if self.is_close else "loose"
+        parts = [f"{self.kind.value} ({closeness}, composes to {self.composed})"]
+        if self.loose_joint_positions:
+            joints = ", ".join(str(i) for i in self.loose_joint_positions)
+            parts.append(f"transitive N:M joints at {joints}")
+        if self.nm_step_positions:
+            steps = ", ".join(str(i) for i in self.nm_step_positions)
+            parts.append(f"N:M steps at {steps}")
+        return "; ".join(parts)
+
+
+def loose_joints(cardinalities: Sequence[Cardinality]) -> tuple[int, ...]:
+    """Positions of transitive-N:M joints in a cardinality sequence.
+
+    The joint between steps ``j`` and ``j + 1`` sits at the middle entity
+    ``E`` of ``… Xj:Yj E X(j+1):Y(j+1) …``.  It is loose exactly when many
+    left entities map to ``E`` (``Xj ≠ 1``) *and* ``E`` maps to many right
+    entities (``Y(j+1) ≠ 1``): the connection then relates entities whose
+    only commonality is the shared middle entity (paper's relationship 5,
+    ``project N:1 department 1:N employee``).
+
+    >>> from repro.er.cardinality import Cardinality
+    >>> loose_joints([Cardinality.parse("N:1"), Cardinality.parse("1:N")])
+    (0,)
+    >>> loose_joints([Cardinality.parse("1:N"), Cardinality.parse("N:M")])
+    ()
+    """
+    joints = []
+    for position in range(len(cardinalities) - 1):
+        fan_in = cardinalities[position].left.is_many
+        fan_out = cardinalities[position + 1].right.is_many
+        if fan_in and fan_out:
+            joints.append(position)
+    return tuple(joints)
+
+
+def classify_cardinalities(
+    cardinalities: Sequence[Cardinality],
+) -> AssociationVerdict:
+    """Classify a cardinality sequence per the paper's taxonomy.
+
+    Raises :class:`~repro.errors.PathError` for an empty sequence.
+
+    >>> from repro.er.cardinality import Cardinality
+    >>> verdict = classify_cardinalities(
+    ...     [Cardinality.parse("1:N"), Cardinality.parse("1:N")])
+    >>> verdict.kind
+    <AssociationKind.TRANSITIVE_FUNCTIONAL: 'transitive functional'>
+    >>> verdict.is_close
+    True
+    """
+    cardinalities = list(cardinalities)
+    if not cardinalities:
+        raise PathError("cannot classify an empty cardinality sequence")
+
+    composed = compose_path(cardinalities)
+    joints = loose_joints(cardinalities)
+    nm_steps = tuple(
+        index
+        for index, cardinality in enumerate(cardinalities)
+        if cardinality.is_many_to_many
+    )
+
+    if len(cardinalities) == 1:
+        kind = AssociationKind.IMMEDIATE
+        close = True
+    elif composed.is_functional:
+        kind = AssociationKind.TRANSITIVE_FUNCTIONAL
+        close = True
+    else:
+        kind = AssociationKind.TRANSITIVE_NM
+        close = False
+
+    return AssociationVerdict(
+        kind=kind,
+        is_close=close,
+        composed=composed,
+        loose_joint_positions=joints,
+        nm_step_positions=nm_steps,
+    )
+
+
+def classify_er_path(path: ERPath) -> AssociationVerdict:
+    """Classify a schema-level ER path (paper Table 1)."""
+    return classify_cardinalities(path.cardinalities())

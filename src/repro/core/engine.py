@@ -1,0 +1,226 @@
+"""The :class:`KeywordSearchEngine` facade — the library's main entry point.
+
+The engine owns the derived structures (data graph, inverted index) of one
+database instance and answers keyword queries ranked by a configurable
+strategy:
+
+>>> from repro.datasets.company import build_company_database   # doctest: +SKIP
+>>> engine = KeywordSearchEngine(build_company_database())      # doctest: +SKIP
+>>> results = engine.search("Smith XML")                        # doctest: +SKIP
+>>> results[0].answer.render()                                  # doctest: +SKIP
+'d1(xml) – e1(smith)'
+
+Queries with two keywords produce path answers (the paper's connections);
+queries with one keyword produce the matching tuples; queries with three or
+more keywords produce joining networks.  All enumeration bounds live in
+:class:`~repro.core.search.SearchLimits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.core.ambiguity import is_instance_close
+from repro.core.connections import Connection
+from repro.core.matching import KeywordMatch, match_keywords, parse_query
+from repro.core.ranking import ClosenessRanker, Ranker, rank_connections
+from repro.core.search import (
+    JoiningNetwork,
+    SearchLimits,
+    SingleTupleAnswer,
+    find_connections,
+    find_joining_networks,
+)
+from repro.errors import QueryError
+from repro.graph.data_graph import DataGraph
+from repro.relational.database import Database, TupleId
+from repro.relational.index import InvertedIndex
+
+__all__ = ["SearchResult", "KeywordSearchEngine"]
+
+AnswerType = Union[Connection, JoiningNetwork, SingleTupleAnswer]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked answer: the answer object, its score and its rank."""
+
+    answer: AnswerType
+    score: tuple[float, ...]
+    rank: int
+
+    def render(self) -> str:
+        return self.answer.render()
+
+
+class KeywordSearchEngine:
+    """Keyword search over one database with close/loose-aware ranking."""
+
+    def __init__(
+        self,
+        database: Database,
+        ranker: Optional[Ranker] = None,
+        limits: SearchLimits = SearchLimits(),
+    ) -> None:
+        self.database = database
+        self.data_graph = DataGraph(database)
+        self.index = InvertedIndex(database)
+        self.ranker = ranker or ClosenessRanker()
+        self.limits = limits
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def match(self, query: str) -> tuple[KeywordMatch, ...]:
+        """Resolve a query's keywords without searching for connections."""
+        return match_keywords(self.index, parse_query(query))
+
+    def search(
+        self,
+        query: str,
+        ranker: Optional[Ranker] = None,
+        limits: Optional[SearchLimits] = None,
+        top_k: Optional[int] = None,
+        semantics: str = "and",
+    ) -> list[SearchResult]:
+        """Answer a keyword query, best answers first.
+
+        AND semantics (default): every keyword must be covered by every
+        answer; a keyword with no matches yields an empty result list.
+
+        OR semantics (``semantics="or"``): answers may cover any non-empty
+        keyword subset — single matching tuples always qualify, connections
+        and networks add multi-keyword coverage.  Results are ordered by
+        keyword coverage first (more covered keywords rank higher), the
+        ranker's score second.
+        """
+        if semantics not in ("and", "or"):
+            raise QueryError("semantics must be 'and' or 'or'", got=semantics)
+        ranker = ranker or self.ranker
+        limits = limits or self.limits
+        matches = self.match(query)
+
+        if semantics == "or":
+            return self._search_or(matches, ranker, limits, top_k)
+        if any(match.is_empty for match in matches):
+            return []
+
+        answers: list[AnswerType]
+        if len(matches) == 1:
+            answers = [
+                SingleTupleAnswer(
+                    self.data_graph, tid, frozenset((matches[0].keyword,))
+                )
+                for tid in matches[0].tuple_ids
+            ]
+        elif len(matches) == 2:
+            answers = list(find_connections(self.data_graph, matches, limits))
+        else:
+            answers = list(find_joining_networks(self.data_graph, matches, limits))
+
+        ranked = rank_connections(answers, ranker)
+        if top_k is not None:
+            ranked = ranked[:top_k]
+        return [
+            SearchResult(answer=answer, score=score, rank=position + 1)
+            for position, (answer, score) in enumerate(ranked)
+        ]
+
+    def _search_or(
+        self,
+        matches: Sequence[KeywordMatch],
+        ranker: Ranker,
+        limits: SearchLimits,
+        top_k: Optional[int],
+    ) -> list[SearchResult]:
+        """OR semantics: cover any keyword subset, coverage-major ranking."""
+        from itertools import combinations
+
+        populated = [match for match in matches if not match.is_empty]
+        if not populated:
+            return []
+
+        answers: list[AnswerType] = []
+        seen_singles: dict[object, set[str]] = {}
+        for match in populated:
+            for tid in match.tuple_ids:
+                seen_singles.setdefault(tid, set()).add(match.keyword)
+        for tid, keywords in seen_singles.items():
+            answers.append(
+                SingleTupleAnswer(self.data_graph, tid, frozenset(keywords))
+            )
+        if len(populated) >= 2:
+            for first, second in combinations(populated, 2):
+                answers.extend(
+                    answer
+                    for answer in find_connections(
+                        self.data_graph,
+                        (first, second),
+                        limits,
+                        include_single_tuples=False,
+                    )
+                )
+        if len(populated) >= 3:
+            answers.extend(
+                find_joining_networks(self.data_graph, populated, limits)
+            )
+
+        def coverage(answer: AnswerType) -> int:
+            if isinstance(answer, SingleTupleAnswer):
+                return len(answer.covered_keywords)
+            if isinstance(answer, JoiningNetwork):
+                return len(answer.covered_keywords)
+            covered: set[str] = set()
+            for keywords in answer.keyword_matches.values():
+                covered |= keywords
+            return len(covered)
+
+        scored = [
+            (answer, (-coverage(answer),) + ranker.score(answer))
+            for answer in answers
+        ]
+        scored.sort(key=lambda pair: (pair[1], pair[0].render()))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return [
+            SearchResult(answer=answer, score=score, rank=position + 1)
+            for position, (answer, score) in enumerate(scored)
+        ]
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def explain(self, result: SearchResult) -> str:
+        """A human-readable explanation of one ranked answer."""
+        answer = result.answer
+        lines = [f"#{result.rank}  {answer.render()}  score={result.score}"]
+        if isinstance(answer, Connection):
+            verdict = answer.verdict()
+            lines.append(f"  cardinalities: {answer.render_with_cardinalities()}")
+            lines.append(f"  conceptual:    {answer.render_conceptual()}")
+            lines.append(
+                f"  rdb length {answer.rdb_length}, er length {answer.er_length}"
+            )
+            lines.append(f"  verdict: {verdict.describe()}")
+            if verdict.is_loose:
+                level = "close" if is_instance_close(answer) else "loose"
+                lines.append(f"  instance level: {level}")
+        elif isinstance(answer, JoiningNetwork):
+            lines.append(
+                f"  tuples {len(answer.tuples)}, rdb length {answer.rdb_length}, "
+                f"er length {answer.er_length}, "
+                f"loose joints {answer.loose_joint_count()}"
+            )
+        return "\n".join(lines)
+
+    def rebuild(self) -> None:
+        """Refresh derived structures after database mutations."""
+        self.data_graph = DataGraph(self.database)
+        self.index.build()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeywordSearchEngine(db={self.database.schema.name!r}, "
+            f"ranker={self.ranker.name!r})"
+        )

@@ -1,0 +1,135 @@
+"""Result presentation: grouping by closeness and context size (paper §4).
+
+The paper closes with: "there should be an alternative where the user could
+select longer paths, if s/he is interested in larger context of matched
+values or documents."  This module provides that alternative as a
+presentation layer over ranked results:
+
+* :func:`group_results` — partition ranked answers into labelled groups
+  (close–short first, then close–long "larger context", then loose), each
+  group keeping the ranker's internal order;
+* :func:`larger_context` — the §4 selector: answers whose conceptual
+  length exceeds a threshold but that do **not** lose the close
+  association (schema-close, or loose-but-instance-close);
+* :func:`filter_instance_close` — drop answers whose implied association
+  has no corroboration in the instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ambiguity import is_instance_close
+from repro.core.connections import Connection
+from repro.core.engine import SearchResult
+
+__all__ = ["AnswerGroup", "group_results", "larger_context",
+           "filter_instance_close"]
+
+
+@dataclass(frozen=True)
+class AnswerGroup:
+    """A labelled slice of ranked results (internal order preserved)."""
+
+    label: str
+    results: tuple[SearchResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def describe(self) -> str:
+        lines = [f"{self.label} ({len(self.results)})"]
+        for result in self.results:
+            lines.append(f"  #{result.rank}  {result.answer.render()}")
+        return "\n".join(lines)
+
+
+def _is_close(result: SearchResult) -> bool:
+    answer = result.answer
+    if isinstance(answer, Connection):
+        return answer.verdict().is_close
+    # Single tuples are trivially close; networks use their joint count.
+    return answer.loose_joint_count() == 0
+
+
+def group_results(
+    results: Sequence[SearchResult], short_er_length: int = 1
+) -> tuple[AnswerGroup, ...]:
+    """Partition ranked results into the paper's three presentation groups.
+
+    * ``close`` — schema-close answers at conceptual length <=
+      ``short_er_length``;
+    * ``close, larger context`` — answers that "do not lose the close
+      association" but carry more context: schema-close answers that are
+      conceptually longer, plus schema-loose answers corroborated at the
+      instance level (the paper's connections 4 and 7);
+    * ``loose`` — uncorroborated loose answers (the paper's 3 and 6).
+
+    Empty groups are omitted; each group preserves the incoming order.
+    """
+    close_short: list[SearchResult] = []
+    close_long: list[SearchResult] = []
+    loose: list[SearchResult] = []
+    for result in results:
+        answer = result.answer
+        if _is_close(result):
+            if answer.er_length <= short_er_length:
+                close_short.append(result)
+            else:
+                close_long.append(result)
+        elif isinstance(answer, Connection) and is_instance_close(answer):
+            close_long.append(result)
+        else:
+            loose.append(result)
+    groups = [
+        AnswerGroup("close", tuple(close_short)),
+        AnswerGroup("close, larger context", tuple(close_long)),
+        AnswerGroup("loose", tuple(loose)),
+    ]
+    return tuple(group for group in groups if group.results)
+
+
+def larger_context(
+    results: Sequence[SearchResult],
+    min_er_length: int = 2,
+    require_instance_close: bool = True,
+) -> tuple[SearchResult, ...]:
+    """The §4 selector: longer answers that keep the close association.
+
+    Returns answers with conceptual length >= ``min_er_length`` that are
+    schema-close, or — when ``require_instance_close`` — schema-loose but
+    corroborated at the instance level (the paper's connections 4 and 7,
+    not 3 and 6).
+    """
+    selected = []
+    for result in results:
+        answer = result.answer
+        if answer.er_length < min_er_length:
+            continue
+        if _is_close(result):
+            selected.append(result)
+            continue
+        if (
+            require_instance_close
+            and isinstance(answer, Connection)
+            and is_instance_close(answer)
+        ):
+            selected.append(result)
+    return tuple(selected)
+
+
+def filter_instance_close(
+    results: Sequence[SearchResult],
+) -> tuple[SearchResult, ...]:
+    """Keep only answers whose association holds at the instance level."""
+    kept = []
+    for result in results:
+        answer = result.answer
+        if not isinstance(answer, Connection):
+            if _is_close(result):
+                kept.append(result)
+            continue
+        if is_instance_close(answer):
+            kept.append(result)
+    return tuple(kept)

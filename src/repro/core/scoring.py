@@ -1,0 +1,146 @@
+"""Content (IR) scoring and its combination with structural closeness.
+
+The paper's introduction: "the text attributes and connections must be
+scored and combined".  The closeness machinery scores *connections*; this
+module adds the *text* side and the combination:
+
+* :class:`TfIdfScorer` — attribute-value relevance of a keyword in a tuple
+  using TF–IDF over the inverted index (whole-value matches get a
+  configurable boost, matching systems like DISCOVER's IR mode);
+* :func:`content_score` — aggregate text relevance of an answer: the sum
+  over query keywords of the best matching tuple's TF-IDF inside the
+  answer;
+* :class:`CombinedRanker` — ranks by a weighted combination of content
+  relevance (higher better) and structural looseness/length (lower
+  better), normalised so the weights are comparable.
+
+Content scores are *higher-is-better*; the ranker negates them internally
+so it still fits the library's lower-is-better score-tuple convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core import ambiguity as ambiguity_module
+from repro.core.connections import Connection
+from repro.core.matching import KeywordMatch
+from repro.relational.database import TupleId
+from repro.relational.index import InvertedIndex, tokenize
+
+__all__ = ["TfIdfScorer", "content_score", "CombinedRanker"]
+
+
+class TfIdfScorer:
+    """TF–IDF relevance of keywords in tuples, over an inverted index.
+
+    The "document" is a tuple (all attribute values concatenated), the
+    collection is the whole database.  ``whole_value_boost`` multiplies the
+    score when the keyword equals an entire attribute value — an exact
+    identifier match is worth more than a word buried in a description.
+    """
+
+    def __init__(self, index: InvertedIndex, whole_value_boost: float = 2.0) -> None:
+        self._index = index
+        self.whole_value_boost = whole_value_boost
+        self._document_count = max(1, index.indexed_count())
+
+    def idf(self, keyword: str) -> float:
+        """Smoothed inverse document frequency of a keyword."""
+        frequency = self._index.document_frequency(keyword)
+        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+
+    def term_frequency(self, keyword: str, tid: TupleId) -> float:
+        """Occurrences of the keyword in the tuple (per matched attribute)."""
+        return float(
+            sum(1 for posting in self._index.postings(keyword) if posting.tid == tid)
+        )
+
+    def score(self, keyword: str, tid: TupleId) -> float:
+        """TF–IDF of one keyword in one tuple (0.0 when absent)."""
+        postings = [
+            posting
+            for posting in self._index.postings(keyword)
+            if posting.tid == tid
+        ]
+        if not postings:
+            return 0.0
+        tf = float(len(postings))
+        boost = (
+            self.whole_value_boost
+            if any(posting.whole_value for posting in postings)
+            else 1.0
+        )
+        return (1.0 + math.log(tf)) * self.idf(keyword) * boost
+
+
+def content_score(
+    scorer: TfIdfScorer,
+    tuple_ids: Iterable[TupleId],
+    matches: Sequence[KeywordMatch],
+) -> float:
+    """Aggregate text relevance of an answer (higher is better).
+
+    For each query keyword, the best TF-IDF over the answer's tuples; the
+    answer score is the sum.  Keywords not present in any answer tuple
+    contribute zero (happens under OR semantics only).
+    """
+    members = list(tuple_ids)
+    total = 0.0
+    for match in matches:
+        best = 0.0
+        for tid in members:
+            best = max(best, scorer.score(match.keyword, tid))
+        total += best
+    return total
+
+
+@dataclass(frozen=True)
+class CombinedRanker:
+    """Weighted combination of content relevance and structural closeness.
+
+    ``score = w_structure * (joints + 0.1 * er_length) - w_content *
+    content``.  Lower is better, so high content relevance *reduces* the
+    score.  With ``w_content = 0`` this degrades to the paper's closeness
+    ranking (up to scaling).
+
+    The ranker needs the query's matches to compute content scores, so it
+    is built per query: ``CombinedRanker.for_query(scorer, matches)``.
+    """
+
+    scorer: TfIdfScorer
+    matches: tuple[KeywordMatch, ...]
+    w_structure: float = 1.0
+    w_content: float = 0.25
+    name: str = "combined"
+
+    @classmethod
+    def for_query(
+        cls,
+        scorer: TfIdfScorer,
+        matches: Sequence[KeywordMatch],
+        w_structure: float = 1.0,
+        w_content: float = 0.25,
+    ) -> "CombinedRanker":
+        return cls(
+            scorer=scorer,
+            matches=tuple(matches),
+            w_structure=w_structure,
+            w_content=w_content,
+        )
+
+    def _structure(self, answer) -> float:
+        if isinstance(answer, Connection):
+            joints = answer.verdict().loose_joint_count
+        else:
+            joints = answer.loose_joint_count()
+        return joints + 0.1 * answer.er_length
+
+    def score(self, answer) -> tuple[float, ...]:
+        content = content_score(self.scorer, answer.tuple_ids(), self.matches)
+        return (
+            self.w_structure * self._structure(answer)
+            - self.w_content * content,
+        )

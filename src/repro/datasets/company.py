@@ -1,0 +1,305 @@
+"""The paper's running example: Figure 1 (ER) and Figure 2 (instance).
+
+The ER schema is the Elmasri–Navathe COMPANY fragment of Figure 1:
+``DEPARTMENT``, ``EMPLOYEE``, ``DEPENDENT`` and ``PROJECT`` with
+
+* ``WORKS_FOR``   — department 1:N employee,
+* ``DEPENDENTS``  — employee 1:N dependent,
+* ``WORKS_ON``    — project N:M employee (with ``HOURS``),
+* ``CONTROLS``    — department 1:N project.
+
+The relational schema and instance follow Figure 2 *verbatim* — including
+the paper's naming quirk: the printed middle relation implementing the
+``WORKS_ON`` relationship is called ``WORKS_FOR`` (the same name its ER
+diagram uses for the employee–department relationship).  We reproduce the
+printed name so every table renders exactly as published; see DESIGN.md.
+
+Tuple labels follow the paper: ``d1..d3``, ``p1..p3``, ``e1..e4``,
+``t1..t2`` and ``w_f1..w_f4`` for the middle relation rows in print order.
+"""
+
+from __future__ import annotations
+
+from repro.er.cardinality import Cardinality
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.relational.database import Database
+from repro.relational.schema import (
+    AttributeDef,
+    DatabaseSchema,
+    ForeignKey,
+    Relation,
+)
+
+__all__ = [
+    "build_company_er_schema",
+    "build_company_schema",
+    "build_company_database",
+    "TABLE1_ENTITY_SEQUENCES",
+]
+
+#: The entity sequences of the paper's Table 1, in row order.
+TABLE1_ENTITY_SEQUENCES: tuple[tuple[str, ...], ...] = (
+    ("DEPARTMENT", "EMPLOYEE"),
+    ("PROJECT", "EMPLOYEE"),
+    ("DEPARTMENT", "EMPLOYEE", "DEPENDENT"),
+    ("DEPARTMENT", "PROJECT", "EMPLOYEE"),
+    ("PROJECT", "DEPARTMENT", "EMPLOYEE"),
+    ("DEPARTMENT", "PROJECT", "EMPLOYEE", "DEPENDENT"),
+)
+
+
+def build_company_er_schema() -> ERSchema:
+    """Figure 1's ER schema, with the attributes Figure 2 reveals."""
+    schema = ERSchema(name="company")
+    schema.add_entity_type(
+        EntityType(
+            "DEPARTMENT",
+            [
+                Attribute("ID", is_key=True),
+                Attribute("D_NAME"),
+                Attribute("D_DESCRIPTION", is_text=True),
+            ],
+        )
+    )
+    schema.add_entity_type(
+        EntityType(
+            "EMPLOYEE",
+            [
+                Attribute("SSN", is_key=True),
+                Attribute("L_NAME"),
+                Attribute("S_NAME"),
+            ],
+        )
+    )
+    schema.add_entity_type(
+        EntityType(
+            "PROJECT",
+            [
+                Attribute("ID", is_key=True),
+                Attribute("P_NAME"),
+                Attribute("P_DESCRIPTION", is_text=True),
+            ],
+        )
+    )
+    schema.add_entity_type(
+        EntityType(
+            "DEPENDENT",
+            [
+                Attribute("ID", is_key=True),
+                Attribute("DEPENDENT_NAME"),
+            ],
+        )
+    )
+    schema.add_relationship(
+        RelationshipType(
+            "WORKS_FOR", "DEPARTMENT", "EMPLOYEE", Cardinality.parse("1:N")
+        )
+    )
+    schema.add_relationship(
+        RelationshipType(
+            "DEPENDENTS", "EMPLOYEE", "DEPENDENT", Cardinality.parse("1:N")
+        )
+    )
+    schema.add_relationship(
+        RelationshipType(
+            "WORKS_ON",
+            "PROJECT",
+            "EMPLOYEE",
+            Cardinality.parse("N:M"),
+            attributes=(Attribute("HOURS", data_type="int"),),
+        )
+    )
+    schema.add_relationship(
+        RelationshipType(
+            "CONTROLS", "DEPARTMENT", "PROJECT", Cardinality.parse("1:N")
+        )
+    )
+    schema.validate()
+    return schema
+
+
+def build_company_schema() -> DatabaseSchema:
+    """Figure 2's relational schema, exactly as printed.
+
+    The middle relation is named ``WORKS_FOR`` (the paper's printed name
+    for the relation implementing the ``WORKS_ON`` relationship).
+    """
+    schema = DatabaseSchema(name="company")
+    schema.add_relation(
+        Relation(
+            "DEPARTMENT",
+            [
+                AttributeDef("ID"),
+                AttributeDef("D_NAME"),
+                AttributeDef("D_DESCRIPTION", data_type="text"),
+            ],
+            primary_key=["ID"],
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "PROJECT",
+            [
+                AttributeDef("ID"),
+                AttributeDef("D_ID"),
+                AttributeDef("P_NAME"),
+                AttributeDef("P_DESCRIPTION", data_type="text"),
+            ],
+            primary_key=["ID"],
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "EMPLOYEE",
+            [
+                AttributeDef("SSN"),
+                AttributeDef("L_NAME"),
+                AttributeDef("S_NAME"),
+                AttributeDef("D_ID"),
+            ],
+            primary_key=["SSN"],
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "WORKS_FOR",
+            [
+                AttributeDef("ESSN", nullable=False),
+                AttributeDef("P_ID", nullable=False),
+                AttributeDef("HOURS", data_type="int"),
+            ],
+            primary_key=["ESSN", "P_ID"],
+            is_middle=True,
+            implements_relationship="WORKS_ON",
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "DEPENDENT",
+            [
+                AttributeDef("ID"),
+                AttributeDef("ESSN"),
+                AttributeDef("DEPENDENT_NAME"),
+            ],
+            primary_key=["ID"],
+        )
+    )
+    schema.add_foreign_key(
+        ForeignKey("fk_project_department", "PROJECT", ("D_ID",), "DEPARTMENT", ("ID",))
+    )
+    schema.add_foreign_key(
+        ForeignKey("fk_employee_department", "EMPLOYEE", ("D_ID",), "DEPARTMENT", ("ID",))
+    )
+    schema.add_foreign_key(
+        ForeignKey("fk_works_for_employee", "WORKS_FOR", ("ESSN",), "EMPLOYEE", ("SSN",))
+    )
+    schema.add_foreign_key(
+        ForeignKey("fk_works_for_project", "WORKS_FOR", ("P_ID",), "PROJECT", ("ID",))
+    )
+    schema.add_foreign_key(
+        ForeignKey("fk_dependent_employee", "DEPENDENT", ("ESSN",), "EMPLOYEE", ("SSN",))
+    )
+    schema.validate()
+    return schema
+
+
+def build_company_database() -> Database:
+    """Figure 2's instance, verbatim, with the paper's tuple labels."""
+    database = Database(build_company_schema(), enforce_foreign_keys=False)
+
+    database.insert(
+        "DEPARTMENT",
+        {
+            "ID": "d1",
+            "D_NAME": "Cs",
+            "D_DESCRIPTION": (
+                "The main topics of teaching are programming, databases and XML."
+            ),
+        },
+    )
+    database.insert(
+        "DEPARTMENT",
+        {
+            "ID": "d2",
+            "D_NAME": "inf",
+            "D_DESCRIPTION": (
+                "The main topics of teaching are information retrieval and XML."
+            ),
+        },
+    )
+    database.insert(
+        "DEPARTMENT",
+        {
+            "ID": "d3",
+            "D_NAME": "history",
+            "D_DESCRIPTION": "The main topics of teaching are history of Scandinavian.",
+        },
+    )
+
+    database.insert(
+        "PROJECT",
+        {
+            "ID": "p1",
+            "D_ID": "d1",
+            "P_NAME": "DB-project",
+            "P_DESCRIPTION": (
+                "Different data models are integrated, such as relational, "
+                "object and XML"
+            ),
+        },
+    )
+    database.insert(
+        "PROJECT",
+        {
+            "ID": "p2",
+            "D_ID": "d2",
+            "P_NAME": "XML and IR",
+            "P_DESCRIPTION": "XML offers a notation for structured documents.",
+        },
+    )
+    database.insert(
+        "PROJECT",
+        {
+            "ID": "p3",
+            "D_ID": "d2",
+            "P_NAME": "IR task",
+            "P_DESCRIPTION": "Task based information retrieval",
+        },
+    )
+
+    database.insert(
+        "EMPLOYEE", {"SSN": "e1", "L_NAME": "Smith", "S_NAME": "John", "D_ID": "d1"}
+    )
+    database.insert(
+        "EMPLOYEE", {"SSN": "e2", "L_NAME": "Smith", "S_NAME": "Barbara", "D_ID": "d2"}
+    )
+    database.insert(
+        "EMPLOYEE", {"SSN": "e3", "L_NAME": "Miller", "S_NAME": "Melina", "D_ID": "d1"}
+    )
+    database.insert(
+        "EMPLOYEE", {"SSN": "e4", "L_NAME": "Walker", "S_NAME": "John", "D_ID": "d2"}
+    )
+
+    database.insert(
+        "WORKS_FOR", {"ESSN": "e1", "P_ID": "p1", "HOURS": 40}, label="w_f1"
+    )
+    database.insert(
+        "WORKS_FOR", {"ESSN": "e2", "P_ID": "p3", "HOURS": 56}, label="w_f2"
+    )
+    database.insert(
+        "WORKS_FOR", {"ESSN": "e3", "P_ID": "p2", "HOURS": 70}, label="w_f3"
+    )
+    database.insert(
+        "WORKS_FOR", {"ESSN": "e4", "P_ID": "p3", "HOURS": 60}, label="w_f4"
+    )
+
+    database.insert(
+        "DEPENDENT", {"ID": "t1", "ESSN": "e3", "DEPENDENT_NAME": "Alice"}
+    )
+    database.insert(
+        "DEPENDENT", {"ID": "t2", "ESSN": "e3", "DEPENDENT_NAME": "Theodore"}
+    )
+
+    database.check_integrity()
+    database.enforce_foreign_keys = True
+    return database

@@ -1,0 +1,49 @@
+"""Deterministic text synthesis for synthetic instances.
+
+Descriptions are built from a fixed topic vocabulary with a seeded RNG so
+that every generated database is reproducible.  Keywords can be *planted*
+into a controlled fraction of values, giving workloads a known selectivity
+— the property benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = ["TOPIC_WORDS", "FILLER_WORDS", "make_description", "plant_keyword"]
+
+#: Topic words descriptions draw from (paper-flavoured vocabulary).
+TOPIC_WORDS: tuple[str, ...] = (
+    "databases", "retrieval", "xml", "programming", "information",
+    "indexing", "ranking", "keyword", "search", "semantics", "modeling",
+    "integration", "documents", "structured", "relational", "query",
+    "optimization", "graphs", "entities", "associations",
+)
+
+#: Connective filler so descriptions look like prose, not word soup.
+FILLER_WORDS: tuple[str, ...] = (
+    "the", "main", "topics", "of", "this", "unit", "are", "and", "with",
+    "for", "about", "toward", "advanced", "applied",
+)
+
+
+def make_description(rng: random.Random, words: int = 8,
+                     vocabulary: Sequence[str] = TOPIC_WORDS) -> str:
+    """A pseudo-sentence of ``words`` tokens from the vocabulary."""
+    if words < 1:
+        return ""
+    tokens = []
+    for position in range(words):
+        pool = FILLER_WORDS if position % 3 == 2 else vocabulary
+        tokens.append(rng.choice(pool))
+    sentence = " ".join(tokens)
+    return sentence[0].upper() + sentence[1:] + "."
+
+
+def plant_keyword(description: str, keyword: str, rng: random.Random) -> str:
+    """Insert ``keyword`` at a random word boundary of a description."""
+    words = description.rstrip(".").split()
+    position = rng.randrange(len(words) + 1) if words else 0
+    words.insert(position, keyword)
+    return " ".join(words) + "."

@@ -1,0 +1,88 @@
+"""Keyword query workload generation with selectivity control.
+
+A workload is a list of queries whose keywords are *planted* into the
+database with known match counts, so benchmark sweeps can vary exactly one
+variable at a time (number of keywords, selectivity, relation distance).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.synthetic import plant
+from repro.relational.database import Database
+
+__all__ = ["WorkloadConfig", "WorkloadQuery", "generate_workload"]
+
+#: Relations and text attributes that keywords may be planted into.
+_PLANT_SITES = (
+    ("DEPARTMENT", "D_DESCRIPTION"),
+    ("PROJECT", "P_DESCRIPTION"),
+    ("EMPLOYEE", "L_NAME"),
+    ("DEPENDENT", "DEPENDENT_NAME"),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a generated workload."""
+
+    queries: int = 10
+    keywords_per_query: int = 2
+    matches_per_keyword: int = 3
+    seed: int = 13
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One planted query: the text plus ground-truth match labels."""
+
+    text: str
+    keywords: tuple[str, ...]
+    planted_labels: dict[str, tuple[str, ...]]
+
+
+def generate_workload(
+    database: Database, config: WorkloadConfig = WorkloadConfig()
+) -> list[WorkloadQuery]:
+    """Plant keywords into a database and return the induced queries.
+
+    Every keyword is a fresh unique token (``qk<i>``), planted into a
+    round-robin choice of relation with exactly
+    ``config.matches_per_keyword`` matches.  The database's derived
+    structures (index, data graph) must be rebuilt afterwards — the engine
+    does this when constructed after planting.
+    """
+    rng = random.Random(config.seed)
+    queries = []
+    token_counter = 0
+    for query_index in range(config.queries):
+        keywords = []
+        planted: dict[str, tuple[str, ...]] = {}
+        for position in range(config.keywords_per_query):
+            token_counter += 1
+            keyword = f"qk{token_counter}"
+            relation, attribute = _PLANT_SITES[
+                (query_index + position) % len(_PLANT_SITES)
+            ]
+            available = database.count(relation)
+            count = min(config.matches_per_keyword, available)
+            labels = plant(
+                database,
+                keyword,
+                relation,
+                attribute,
+                count,
+                seed=rng.randrange(1 << 30),
+            )
+            keywords.append(keyword)
+            planted[keyword] = tuple(labels)
+        queries.append(
+            WorkloadQuery(
+                text=" ".join(keywords),
+                keywords=tuple(keywords),
+                planted_labels=planted,
+            )
+        )
+    return queries

@@ -1,0 +1,29 @@
+"""Entity-Relationship substrate.
+
+This package provides the conceptual layer of the reproduction: cardinality
+constraints and their algebra (:mod:`repro.er.cardinality`), the ER model
+itself (:mod:`repro.er.model`), schema-level paths and their transitive
+composition (:mod:`repro.er.paths`), the standard ER-to-relational mapping
+(:mod:`repro.er.mapping`) and its reverse engineering
+(:mod:`repro.er.reverse`).
+"""
+
+from repro.er.cardinality import Cardinality, Multiplicity
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.er.paths import ERPath, ERStep
+from repro.er.mapping import MappingResult, map_er_to_relational
+from repro.er.reverse import reverse_engineer
+
+__all__ = [
+    "Attribute",
+    "Cardinality",
+    "EntityType",
+    "ERPath",
+    "ERSchema",
+    "ERStep",
+    "MappingResult",
+    "Multiplicity",
+    "RelationshipType",
+    "map_er_to_relational",
+    "reverse_engineer",
+]

@@ -1,0 +1,188 @@
+"""Cardinality constraints and their composition algebra.
+
+The paper's central observation is that the *combination* of cardinality
+constraints along a connection determines how close the association between
+its endpoints is.  This module provides the algebra that the rest of the
+library builds on:
+
+* :class:`Multiplicity` — the ``1`` / ``N`` sides of a constraint;
+* :class:`Cardinality` — a constraint ``X:Y`` between a left and a right
+  participant, e.g. ``1:N`` for ``DEPARTMENT 1:N EMPLOYEE``;
+* composition of constraints along a path (:meth:`Cardinality.compose`),
+  which yields the end-to-end cardinality of a transitive relationship.
+
+Reading convention (paper section 2): in ``A X:Y B`` one ``A`` entity may be
+related to up to ``Y`` ``B`` entities and one ``B`` entity to up to ``X``
+``A`` entities.  Hence the mapping ``A -> B`` is *functional* (single valued)
+iff ``Y == 1`` and ``B -> A`` is functional iff ``X == 1``.
+
+The paper writes ``N:M`` for a many-to-many constraint; ``N`` and ``M`` are
+both "many" and this module does not distinguish them — both parse to
+:attr:`Multiplicity.MANY` and render back as ``N:M`` when both sides are
+many.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import PathError
+
+__all__ = ["Multiplicity", "Cardinality", "compose_path"]
+
+
+class Multiplicity(enum.Enum):
+    """One side of a cardinality constraint: exactly-one or many."""
+
+    ONE = "1"
+    MANY = "N"
+
+    @classmethod
+    def parse(cls, text: str) -> "Multiplicity":
+        """Parse ``"1"``, ``"N"`` or ``"M"`` (case insensitive).
+
+        ``M`` is accepted as a synonym for ``N`` so that the paper's ``N:M``
+        notation round-trips.
+        """
+        token = str(text).strip().upper()
+        if token == "1":
+            return cls.ONE
+        if token in ("N", "M", "*"):
+            return cls.MANY
+        raise ValueError(f"not a multiplicity: {text!r}")
+
+    @property
+    def is_one(self) -> bool:
+        """True for the ``1`` side."""
+        return self is Multiplicity.ONE
+
+    @property
+    def is_many(self) -> bool:
+        """True for the ``N``/``M`` side."""
+        return self is Multiplicity.MANY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Cardinality:
+    """A cardinality constraint ``left:right`` between two participants.
+
+    ``Cardinality.parse("1:N")`` is the idiomatic constructor.  Instances are
+    immutable and hashable so they can key dictionaries and appear in sets.
+    """
+
+    left: Multiplicity
+    right: Multiplicity
+
+    @classmethod
+    def parse(cls, text: str) -> "Cardinality":
+        """Parse ``"1:1"``, ``"1:N"``, ``"N:1"`` or ``"N:M"``."""
+        parts = str(text).split(":")
+        if len(parts) != 2:
+            raise ValueError(f"not a cardinality: {text!r}")
+        return cls(Multiplicity.parse(parts[0]), Multiplicity.parse(parts[1]))
+
+    @classmethod
+    def one_to_one(cls) -> "Cardinality":
+        return cls(Multiplicity.ONE, Multiplicity.ONE)
+
+    @classmethod
+    def one_to_many(cls) -> "Cardinality":
+        return cls(Multiplicity.ONE, Multiplicity.MANY)
+
+    @classmethod
+    def many_to_one(cls) -> "Cardinality":
+        return cls(Multiplicity.MANY, Multiplicity.ONE)
+
+    @classmethod
+    def many_to_many(cls) -> "Cardinality":
+        return cls(Multiplicity.MANY, Multiplicity.MANY)
+
+    # ------------------------------------------------------------------
+    # direction-level predicates
+    # ------------------------------------------------------------------
+    @property
+    def forward_functional(self) -> bool:
+        """True when the left->right mapping is single valued (``Y == 1``)."""
+        return self.right.is_one
+
+    @property
+    def backward_functional(self) -> bool:
+        """True when the right->left mapping is single valued (``X == 1``)."""
+        return self.left.is_one
+
+    @property
+    def is_functional(self) -> bool:
+        """True when the constraint is functional in at least one direction.
+
+        The paper treats ``1:N``-only and ``N:1``-only paths uniformly as
+        functional because a connection can be read in either direction.
+        """
+        return self.forward_functional or self.backward_functional
+
+    @property
+    def is_many_to_many(self) -> bool:
+        """True for ``N:M`` — many on both sides."""
+        return self.left.is_many and self.right.is_many
+
+    @property
+    def is_one_to_one(self) -> bool:
+        return self.left.is_one and self.right.is_one
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def reversed(self) -> "Cardinality":
+        """The same constraint read right-to-left (``1:N`` -> ``N:1``)."""
+        return Cardinality(self.right, self.left)
+
+    def compose(self, other: "Cardinality") -> "Cardinality":
+        """End-to-end cardinality of ``A -self- M -other- B``.
+
+        The composed ``A -> B`` mapping is single valued iff both hops are
+        single valued left-to-right; symmetrically for ``B -> A``.  This is
+        exactly the paper's definition of a functional transitive
+        relationship specialised to two steps, and :func:`compose_path`
+        folds it over longer paths.
+        """
+        forward_one = self.forward_functional and other.forward_functional
+        backward_one = self.backward_functional and other.backward_functional
+        return Cardinality(
+            Multiplicity.ONE if backward_one else Multiplicity.MANY,
+            Multiplicity.ONE if forward_one else Multiplicity.MANY,
+        )
+
+    def __str__(self) -> str:
+        if self.is_many_to_many:
+            return "N:M"
+        return f"{self.left}:{self.right}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cardinality({str(self)!r})"
+
+
+def compose_path(cardinalities: Iterable[Cardinality]) -> Cardinality:
+    """Compose the cardinalities of a transitive relationship, in order.
+
+    Raises :class:`~repro.errors.PathError` for an empty path: a transitive
+    relationship has at least one step.
+
+    >>> steps = [Cardinality.parse("1:N"), Cardinality.parse("1:N")]
+    >>> str(compose_path(steps))
+    '1:N'
+    >>> steps = [Cardinality.parse("N:1"), Cardinality.parse("1:N")]
+    >>> str(compose_path(steps))
+    'N:M'
+    """
+    iterator: Iterator[Cardinality] = iter(cardinalities)
+    try:
+        composed = next(iterator)
+    except StopIteration:
+        raise PathError("cannot compose an empty cardinality path") from None
+    for cardinality in iterator:
+        composed = composed.compose(cardinality)
+    return composed

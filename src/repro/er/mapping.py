@@ -1,0 +1,299 @@
+"""The standard ER-to-relational mapping (paper section 3).
+
+"Roughly speaking, an ER-schema is implemented in relational databases such
+that for each entity type a relation is implemented.  For each 1:N relation
+a foreign key is inserted to the N-site.  For each N:M relationship a middle
+relation is formed."  This module implements exactly that, with the usual
+extra rules:
+
+* ``1:1`` relationships become a *unique* foreign key on one side (the
+  right participant by convention);
+* ``N:M`` middle relations take the two participants' keys as a composite
+  primary key, prefixed with configurable column names, and inherit the
+  relationship's attributes (e.g. ``HOURS``);
+* foreign-key columns are named ``<entity key>`` prefixed by the referenced
+  entity's name unless an explicit name is supplied via ``column_names``.
+
+The result records which relation implements which relationship so that the
+conceptual length of connections can be computed later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.errors import MappingError
+from repro.relational.schema import (
+    AttributeDef,
+    DatabaseSchema,
+    ForeignKey,
+    Relation,
+)
+
+__all__ = ["MappingResult", "map_er_to_relational"]
+
+
+@dataclass
+class MappingResult:
+    """Outcome of :func:`map_er_to_relational`.
+
+    ``relation_of_entity`` maps entity type name to relation name;
+    ``relation_of_relationship`` maps every ``N:M`` relationship to its
+    middle relation; ``fk_of_relationship`` maps every ``1:1``/``1:N``
+    relationship to the foreign key implementing it, and middle relations'
+    legs appear in ``middle_fks``.
+    """
+
+    schema: DatabaseSchema
+    relation_of_entity: dict[str, str] = field(default_factory=dict)
+    relation_of_relationship: dict[str, str] = field(default_factory=dict)
+    fk_of_relationship: dict[str, str] = field(default_factory=dict)
+    middle_fks: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+def _attribute_def(attribute: Attribute) -> AttributeDef:
+    data_type = "text" if attribute.is_text else attribute.data_type
+    return AttributeDef(
+        name=attribute.name,
+        data_type=data_type,
+        nullable=not attribute.is_key,
+    )
+
+
+def _entity_relation(entity: EntityType) -> Relation:
+    if not entity.key_attributes:
+        raise MappingError("entity type has no key attribute", entity=entity.name)
+    if len(entity.key_attributes) != 1:
+        raise MappingError(
+            "composite entity keys are not supported by the mapper",
+            entity=entity.name,
+        )
+    return Relation(
+        name=entity.name,
+        attributes=[_attribute_def(a) for a in entity.attributes],
+        primary_key=[entity.key_attributes[0].name],
+    )
+
+
+def _weak_entity_relation(
+    entity: EntityType, owner_key_column: str
+) -> Relation:
+    """Relation of a weak entity: owner FK column + partial key as the PK."""
+    if not entity.key_attributes:
+        raise MappingError(
+            "weak entity type has no partial key", entity=entity.name
+        )
+    attributes = [AttributeDef(name=owner_key_column, data_type="str",
+                               nullable=False)]
+    attributes.extend(_attribute_def(a) for a in entity.attributes)
+    primary_key = [owner_key_column] + [a.name for a in entity.key_attributes]
+    return Relation(
+        name=entity.name,
+        attributes=attributes,
+        primary_key=primary_key,
+    )
+
+
+def map_er_to_relational(
+    er_schema: ERSchema,
+    column_names: Optional[Mapping[str, str]] = None,
+    middle_relation_names: Optional[Mapping[str, str]] = None,
+) -> MappingResult:
+    """Map an ER schema to a relational schema.
+
+    Parameters
+    ----------
+    er_schema:
+        The conceptual schema; every entity type needs a single key
+        attribute (composite conceptual keys are out of scope).
+    column_names:
+        Optional overrides for generated foreign-key column names, keyed by
+        relationship name for 1:1/1:N relationships and by
+        ``"<relationship>.<entity>"`` for middle-relation legs.
+    middle_relation_names:
+        Optional overrides for middle relation names (default: the
+        relationship name).
+    """
+    column_names = dict(column_names or {})
+    middle_relation_names = dict(middle_relation_names or {})
+
+    result_schema = DatabaseSchema(name=er_schema.name)
+    result = MappingResult(schema=result_schema)
+
+    def key_column(entity_name: str) -> str:
+        entity = er_schema.entity_type(entity_name)
+        return entity.key_attributes[0].name
+
+    def fk_column_name(relationship: RelationshipType, referenced: str) -> str:
+        if relationship.name in column_names:
+            return column_names[relationship.name]
+        return f"{referenced}_{key_column(referenced)}"
+
+    # Strong entities first (weak relations reference their owners' keys).
+    for entity in er_schema.entity_types:
+        if entity.weak:
+            continue
+        relation = _entity_relation(entity)
+        result_schema.add_relation(relation)
+        result.relation_of_entity[entity.name] = relation.name
+
+    for entity in er_schema.entity_types:
+        if not entity.weak:
+            continue
+        identifying = er_schema.identifying_relationship(entity.name)
+        owner_column = fk_column_name(identifying, identifying.left)
+        relation = _weak_entity_relation(entity, owner_column)
+        result_schema.add_relation(relation)
+        result.relation_of_entity[entity.name] = relation.name
+        fk = ForeignKey(
+            name=f"fk_{identifying.name}",
+            source=relation.name,
+            source_columns=(owner_column,),
+            target=result.relation_of_entity[identifying.left],
+            target_columns=(key_column(identifying.left),),
+        )
+        result_schema.add_foreign_key(fk)
+        result.fk_of_relationship[identifying.name] = fk.name
+
+    for relationship in er_schema.relationships:
+        if relationship.identifying:
+            continue  # handled with its weak entity above
+        cardinality = relationship.cardinality
+        if cardinality.is_many_to_many:
+            _map_many_to_many(
+                er_schema,
+                relationship,
+                result,
+                column_names,
+                middle_relation_names,
+            )
+            continue
+
+        # Functional relationship: FK on the many side (or the right side
+        # for 1:1).  ``holder`` receives the column; ``referenced`` is the
+        # "one" side it points at.
+        if cardinality.is_one_to_one:
+            holder, referenced = relationship.right, relationship.left
+        elif cardinality.forward_functional:  # N:1 — left holds the FK
+            holder, referenced = relationship.left, relationship.right
+        else:  # 1:N — right holds the FK
+            holder, referenced = relationship.right, relationship.left
+        if holder == referenced:
+            raise MappingError(
+                "reflexive functional relationships need explicit column names",
+                relationship=relationship.name,
+            )
+
+        column = fk_column_name(relationship, referenced)
+        holder_relation = result_schema.relation(result.relation_of_entity[holder])
+        if not holder_relation.has_attribute(column):
+            result_schema.replace_relation(
+                Relation(
+                    name=holder_relation.name,
+                    attributes=list(holder_relation.attributes)
+                    + [AttributeDef(name=column, data_type="str")],
+                    primary_key=holder_relation.primary_key,
+                    is_middle=holder_relation.is_middle,
+                    implements_relationship=holder_relation.implements_relationship,
+                )
+            )
+
+        fk = ForeignKey(
+            name=f"fk_{relationship.name}",
+            source=result.relation_of_entity[holder],
+            source_columns=(column,),
+            target=result.relation_of_entity[referenced],
+            target_columns=(key_column(referenced),),
+            unique=cardinality.is_one_to_one,
+        )
+        result_schema.add_foreign_key(fk)
+        result.fk_of_relationship[relationship.name] = fk.name
+
+        # Relationship attributes on a functional relationship land on the
+        # holder side.
+        for attribute in relationship.attributes:
+            holder_relation = result_schema.relation(
+                result.relation_of_entity[holder]
+            )
+            if not holder_relation.has_attribute(attribute.name):
+                result_schema.replace_relation(
+                    Relation(
+                        name=holder_relation.name,
+                        attributes=list(holder_relation.attributes)
+                        + [_attribute_def(attribute)],
+                        primary_key=holder_relation.primary_key,
+                        is_middle=holder_relation.is_middle,
+                        implements_relationship=holder_relation.implements_relationship,
+                    )
+                )
+
+    result_schema.validate()
+    return result
+
+
+def _map_many_to_many(
+    er_schema: ERSchema,
+    relationship: RelationshipType,
+    result: MappingResult,
+    column_names: Mapping[str, str],
+    middle_relation_names: Mapping[str, str],
+) -> None:
+    """Create the middle relation for one ``N:M`` relationship."""
+    schema = result.schema
+
+    def key_column(entity_name: str) -> str:
+        return er_schema.entity_type(entity_name).key_attributes[0].name
+
+    def leg_column(entity_name: str, default_suffix: str) -> str:
+        override = column_names.get(f"{relationship.name}.{entity_name}")
+        if override:
+            return override
+        if relationship.is_reflexive:
+            return f"{entity_name}_{key_column(entity_name)}_{default_suffix}"
+        return f"{entity_name}_{key_column(entity_name)}"
+
+    left_column = leg_column(relationship.left, "left")
+    right_column = leg_column(relationship.right, "right")
+    if left_column == right_column:
+        raise MappingError(
+            "middle relation leg columns collide",
+            relationship=relationship.name,
+            column=left_column,
+        )
+
+    name = middle_relation_names.get(relationship.name, relationship.name)
+    middle = Relation(
+        name=name,
+        attributes=[
+            AttributeDef(name=left_column, data_type="str", nullable=False),
+            AttributeDef(name=right_column, data_type="str", nullable=False),
+        ]
+        + [_attribute_def(a) for a in relationship.attributes],
+        primary_key=[left_column, right_column],
+        is_middle=True,
+        implements_relationship=relationship.name,
+    )
+    schema.add_relation(middle)
+    result.relation_of_relationship[relationship.name] = name
+
+    # Leg columns are unique even for reflexive relationships, so they make
+    # collision-free FK names.
+    left_fk = ForeignKey(
+        name=f"fk_{relationship.name}_{left_column}",
+        source=name,
+        source_columns=(left_column,),
+        target=result.relation_of_entity[relationship.left],
+        target_columns=(key_column(relationship.left),),
+    )
+    right_fk = ForeignKey(
+        name=f"fk_{relationship.name}_{right_column}",
+        source=name,
+        source_columns=(right_column,),
+        target=result.relation_of_entity[relationship.right],
+        target_columns=(key_column(relationship.right),),
+    )
+    schema.add_foreign_key(left_fk)
+    schema.add_foreign_key(right_fk)
+    result.middle_fks[relationship.name] = (left_fk.name, right_fk.name)

@@ -1,0 +1,350 @@
+"""The ER model: entity types, attributes, relationship types, schemas.
+
+Only binary relationships are modelled — the paper (and the classic COMPANY
+example it builds on) uses binary relationships exclusively, and the
+cardinality algebra in :mod:`repro.er.cardinality` is defined for binary
+constraints.  Relationship types are *directed* in the sense that their
+cardinality is stated from a left participant to a right participant
+(``DEPARTMENT 1:N EMPLOYEE``); traversal helpers expose both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.er.cardinality import Cardinality
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownEntityTypeError,
+    UnknownRelationshipError,
+)
+
+__all__ = ["Attribute", "EntityType", "RelationshipType", "ERSchema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An attribute of an entity or relationship type.
+
+    ``data_type`` is a free-form label (``"str"``, ``"int"``, ``"text"``);
+    the relational layer maps it onto concrete domains.  ``is_key`` marks the
+    identifying attribute(s) of an entity type; ``is_text`` marks attributes
+    whose values participate in word-level keyword matching.
+    """
+
+    name: str
+    data_type: str = "str"
+    is_key: bool = False
+    is_text: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+
+class EntityType:
+    """An ER entity type with a name and a list of attributes.
+
+    ``weak=True`` marks a weak entity type: its key attributes form only a
+    *partial key*, completed by the key of the owner entity through an
+    identifying relationship (``RelationshipType(identifying=True)``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute] = (),
+        weak: bool = False,
+    ) -> None:
+        if not name:
+            raise SchemaError("entity type name must be non-empty")
+        self.name = name
+        self.weak = weak
+        self._attributes: dict[str, Attribute] = {}
+        for attribute in attributes:
+            self.add_attribute(attribute)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """Attributes in declaration order."""
+        return tuple(self._attributes.values())
+
+    @property
+    def key_attributes(self) -> tuple[Attribute, ...]:
+        """The identifying attributes (the partial key for weak entities)."""
+        return tuple(a for a in self._attributes.values() if a.is_key)
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        """Add an attribute; duplicate names are schema errors."""
+        if attribute.name in self._attributes:
+            raise SchemaError(
+                "duplicate attribute", entity=self.name, attribute=attribute.name
+            )
+        self._attributes[attribute.name] = attribute
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                "no such attribute", entity=self.name, attribute=name
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EntityType({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EntityType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("EntityType", self.name))
+
+
+@dataclass(frozen=True)
+class RelationshipType:
+    """A binary relationship type ``left  cardinality  right``.
+
+    ``RelationshipType("WORKS_FOR", "DEPARTMENT", "EMPLOYEE",
+    Cardinality.parse("1:N"))`` reads as the paper's
+    ``department 1:N employee``: one department employs many employees and
+    each employee works for exactly one department.
+
+    ``attributes`` hold relationship attributes (e.g. ``HOURS`` on the
+    paper's works-on relationship); they surface on the middle relation when
+    an ``N:M`` relationship is mapped to the relational model.
+
+    ``identifying=True`` marks the identifying relationship of a weak
+    entity: it must be ``1:N`` with the owner on the left and the weak
+    entity on the right.
+    """
+
+    name: str
+    left: str
+    right: str
+    cardinality: Cardinality
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+    identifying: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relationship name must be non-empty")
+        if not self.left or not self.right:
+            raise SchemaError("relationship endpoints must be non-empty", name=self.name)
+        if self.identifying and not (
+            self.cardinality.backward_functional
+        ):
+            raise SchemaError(
+                "identifying relationships must be 1:1 or 1:N "
+                "(owner on the left)",
+                name=self.name,
+            )
+
+    @property
+    def is_reflexive(self) -> bool:
+        """True when both endpoints are the same entity type."""
+        return self.left == self.right
+
+    def other_end(self, entity_name: str) -> str:
+        """The opposite endpoint of ``entity_name`` in this relationship."""
+        if entity_name == self.left:
+            return self.right
+        if entity_name == self.right:
+            return self.left
+        raise UnknownEntityTypeError(
+            "entity does not participate in relationship",
+            relationship=self.name,
+            entity=entity_name,
+        )
+
+    def cardinality_from(self, entity_name: str) -> Cardinality:
+        """The constraint read with ``entity_name`` on the left.
+
+        A reflexive relationship is returned as declared.
+        """
+        if entity_name == self.left:
+            return self.cardinality
+        if entity_name == self.right:
+            return self.cardinality.reversed()
+        raise UnknownEntityTypeError(
+            "entity does not participate in relationship",
+            relationship=self.name,
+            entity=entity_name,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.cardinality} {self.right} [{self.name}]"
+
+
+class ERSchema:
+    """A complete ER schema: entity types plus relationship types.
+
+    The schema validates referential consistency on construction and on each
+    mutation: every relationship endpoint must name a registered entity type
+    and names must be unique within their namespace.
+    """
+
+    def __init__(
+        self,
+        name: str = "schema",
+        entity_types: Iterable[EntityType] = (),
+        relationships: Iterable[RelationshipType] = (),
+    ) -> None:
+        self.name = name
+        self._entity_types: dict[str, EntityType] = {}
+        self._relationships: dict[str, RelationshipType] = {}
+        for entity_type in entity_types:
+            self.add_entity_type(entity_type)
+        for relationship in relationships:
+            self.add_relationship(relationship)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_entity_type(self, entity_type: EntityType) -> EntityType:
+        if entity_type.name in self._entity_types:
+            raise SchemaError("duplicate entity type", entity=entity_type.name)
+        self._entity_types[entity_type.name] = entity_type
+        return entity_type
+
+    def add_relationship(self, relationship: RelationshipType) -> RelationshipType:
+        if relationship.name in self._relationships:
+            raise SchemaError("duplicate relationship", relationship=relationship.name)
+        for endpoint in (relationship.left, relationship.right):
+            if endpoint not in self._entity_types:
+                raise UnknownEntityTypeError(
+                    "relationship endpoint is not a registered entity type",
+                    relationship=relationship.name,
+                    entity=endpoint,
+                )
+        self._relationships[relationship.name] = relationship
+        return relationship
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def entity_types(self) -> tuple[EntityType, ...]:
+        return tuple(self._entity_types.values())
+
+    @property
+    def relationships(self) -> tuple[RelationshipType, ...]:
+        return tuple(self._relationships.values())
+
+    def entity_type(self, name: str) -> EntityType:
+        try:
+            return self._entity_types[name]
+        except KeyError:
+            raise UnknownEntityTypeError("no such entity type", entity=name) from None
+
+    def relationship(self, name: str) -> RelationshipType:
+        try:
+            return self._relationships[name]
+        except KeyError:
+            raise UnknownRelationshipError(
+                "no such relationship", relationship=name
+            ) from None
+
+    def has_entity_type(self, name: str) -> bool:
+        return name in self._entity_types
+
+    def has_relationship(self, name: str) -> bool:
+        return name in self._relationships
+
+    def relationships_of(self, entity_name: str) -> tuple[RelationshipType, ...]:
+        """All relationships in which ``entity_name`` participates."""
+        self.entity_type(entity_name)
+        return tuple(
+            r
+            for r in self._relationships.values()
+            if entity_name in (r.left, r.right)
+        )
+
+    def relationships_between(
+        self, left: str, right: str
+    ) -> tuple[RelationshipType, ...]:
+        """All relationships connecting the two entity types, either way."""
+        self.entity_type(left)
+        self.entity_type(right)
+        return tuple(
+            r
+            for r in self._relationships.values()
+            if {r.left, r.right} == {left, right}
+            or (r.is_reflexive and left == right == r.left)
+        )
+
+    def neighbours(self, entity_name: str) -> Iterator[tuple[RelationshipType, str]]:
+        """Yield ``(relationship, other_entity)`` pairs around an entity.
+
+        Reflexive relationships yield the entity itself once.
+        """
+        for relationship in self.relationships_of(entity_name):
+            yield relationship, relationship.other_end(entity_name)
+
+    # ------------------------------------------------------------------
+    # validation / description
+    # ------------------------------------------------------------------
+    def identifying_relationship(self, entity_name: str) -> RelationshipType:
+        """The identifying relationship of a weak entity type."""
+        entity = self.entity_type(entity_name)
+        if not entity.weak:
+            raise SchemaError("entity type is not weak", entity=entity_name)
+        owners = [
+            r
+            for r in self._relationships.values()
+            if r.identifying and r.right == entity_name
+        ]
+        if len(owners) != 1:
+            raise SchemaError(
+                "weak entity needs exactly one identifying relationship",
+                entity=entity_name,
+                found=len(owners),
+            )
+        return owners[0]
+
+    def validate(self) -> None:
+        """Check global consistency beyond per-mutation checks.
+
+        Every strong entity type needs key attributes; every weak entity
+        type needs a partial key plus exactly one identifying relationship
+        whose owner side is strong.
+        """
+        if not self._entity_types:
+            raise SchemaError("schema has no entity types", schema=self.name)
+        for name, entity in self._entity_types.items():
+            if not entity.key_attributes:
+                raise SchemaError(
+                    "entity type has no (partial) key attributes", entity=name
+                )
+            if not entity.weak:
+                continue
+            owner = self.identifying_relationship(name)
+            if self.entity_type(owner.left).weak:
+                raise SchemaError(
+                    "weak entity owned by another weak entity is unsupported",
+                    entity=name,
+                    owner=owner.left,
+                )
+
+    def describe(self) -> str:
+        """A printable, deterministic description of the schema."""
+        lines = [f"ER schema {self.name}"]
+        for entity in self._entity_types.values():
+            attrs = ", ".join(
+                f"{a.name}{'*' if a.is_key else ''}" for a in entity.attributes
+            )
+            lines.append(f"  entity {entity.name}({attrs})")
+        for relationship in self._relationships.values():
+            lines.append(f"  relationship {relationship}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ERSchema({self.name!r}, entities={len(self._entity_types)}, "
+            f"relationships={len(self._relationships)})"
+        )

@@ -1,0 +1,164 @@
+"""Reverse engineering: recover a conceptual (ER) view from a relational schema.
+
+The paper's analysis needs conceptual information — which relations are
+*middle relations* and which cardinality each foreign key implements — even
+when only a relational schema is given.  This module recovers it:
+
+* **middle relation detection**: a relation is classified as a middle
+  relation when its primary key is exactly the union of the columns of two
+  (or more) outgoing foreign keys, i.e. its identity is nothing but the
+  combination of the entities it links (plus it adds only non-key payload
+  attributes such as ``HOURS``);
+* **cardinality recovery**: a plain foreign key implements ``N:1`` from its
+  source to its target, ``1:1`` when declared unique, and a detected middle
+  relation implements one ``N:M`` relationship.
+
+The output is a full :class:`~repro.er.model.ERSchema` plus the bindings
+between its relationships and the relational artefacts, so that a database
+created from raw SQL-ish definitions can flow through the same conceptual
+analysis as one mapped from an ER design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.er.cardinality import Cardinality
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.errors import MappingError
+from repro.relational.schema import DatabaseSchema, ForeignKey, Relation
+
+__all__ = ["ReverseResult", "detect_middle_relations", "reverse_engineer"]
+
+
+@dataclass
+class ReverseResult:
+    """Outcome of :func:`reverse_engineer`.
+
+    ``entity_of_relation`` maps entity-relation names to entity type names
+    (identity map unless renamed); ``relationship_of_fk`` maps each FK that
+    implements a 1:1/1:N relationship to the relationship name;
+    ``relationship_of_middle`` maps middle relation names to the ``N:M``
+    relationship they implement.
+    """
+
+    er_schema: ERSchema
+    entity_of_relation: dict[str, str] = field(default_factory=dict)
+    relationship_of_fk: dict[str, str] = field(default_factory=dict)
+    relationship_of_middle: dict[str, str] = field(default_factory=dict)
+
+
+def detect_middle_relations(schema: DatabaseSchema) -> tuple[str, ...]:
+    """Names of relations that structurally look like middle relations.
+
+    A relation qualifies when it has at least two outgoing foreign keys and
+    its primary key columns are exactly the union of those FKs' source
+    columns.  Relations already flagged ``is_middle`` are always included.
+    """
+    detected = []
+    for relation in schema.relations:
+        if relation.is_middle:
+            detected.append(relation.name)
+            continue
+        outgoing = schema.foreign_keys_from(relation.name)
+        if len(outgoing) < 2:
+            continue
+        fk_columns: set[str] = set()
+        for fk in outgoing:
+            fk_columns.update(fk.source_columns)
+        if set(relation.primary_key) == fk_columns:
+            detected.append(relation.name)
+    return tuple(detected)
+
+
+def _entity_type_for(relation: Relation) -> EntityType:
+    attributes = []
+    key_columns = set(relation.primary_key)
+    for column in relation.attributes:
+        attributes.append(
+            Attribute(
+                name=column.name,
+                data_type=column.data_type,
+                is_key=column.name in key_columns,
+                is_text=column.is_text,
+            )
+        )
+    return EntityType(relation.name, attributes)
+
+
+def reverse_engineer(
+    schema: DatabaseSchema,
+    middle_relations: Optional[tuple[str, ...]] = None,
+) -> ReverseResult:
+    """Build the conceptual view of a relational schema.
+
+    ``middle_relations`` overrides detection when the caller knows better
+    (e.g. a denormalised schema where detection misfires).  Middle relations
+    with more than two outgoing foreign keys model n-ary relationships and
+    are rejected — the paper and this library treat binary relationships
+    only.
+    """
+    if middle_relations is None:
+        middle_relations = detect_middle_relations(schema)
+    middle_set = set(middle_relations)
+    for name in middle_set:
+        schema.relation(name)  # raises for unknown names
+
+    er_schema = ERSchema(name=schema.name)
+    result = ReverseResult(er_schema=er_schema)
+
+    for relation in schema.relations:
+        if relation.name in middle_set:
+            continue
+        er_schema.add_entity_type(_entity_type_for(relation))
+        result.entity_of_relation[relation.name] = relation.name
+
+    # Plain foreign keys between entity relations -> 1:N / 1:1 relationships.
+    for fk in schema.foreign_keys:
+        if fk.source in middle_set:
+            continue
+        if fk.target in middle_set:
+            raise MappingError(
+                "foreign key points into a middle relation",
+                foreign_key=fk.name,
+            )
+        cardinality = (
+            Cardinality.one_to_one() if fk.unique else Cardinality.one_to_many()
+        )
+        relationship = RelationshipType(
+            name=f"rel_{fk.name}",
+            left=fk.target,   # the "one" side reads first: target 1:N source
+            right=fk.source,
+            cardinality=cardinality,
+        )
+        er_schema.add_relationship(relationship)
+        result.relationship_of_fk[fk.name] = relationship.name
+
+    # Middle relations -> N:M relationships.
+    for name in middle_relations:
+        relation = schema.relation(name)
+        outgoing = schema.foreign_keys_from(name)
+        if len(outgoing) != 2:
+            raise MappingError(
+                "only binary N:M relationships are supported",
+                relation=name,
+                legs=len(outgoing),
+            )
+        left_fk, right_fk = outgoing
+        payload = [
+            Attribute(column.name, column.data_type, is_text=column.is_text)
+            for column in relation.attributes
+            if column.name not in set(relation.primary_key)
+        ]
+        relationship = RelationshipType(
+            name=f"rel_{name}",
+            left=left_fk.target,
+            right=right_fk.target,
+            cardinality=Cardinality.many_to_many(),
+            attributes=tuple(payload),
+        )
+        er_schema.add_relationship(relationship)
+        result.relationship_of_middle[name] = relationship.name
+
+    return result

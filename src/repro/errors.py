@@ -1,0 +1,72 @@
+"""Exception hierarchy shared by every subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Each subsystem raises the most specific subclass that applies;
+constructors accept a plain message plus optional structured context that is
+appended to the rendered message (useful in logs and test assertions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+    def __init__(self, message: str, **context: object) -> None:
+        self.context = dict(context)
+        if context:
+            details = ", ".join(f"{key}={value!r}" for key, value in context.items())
+            message = f"{message} ({details})"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (ER or relational)."""
+
+
+class UnknownEntityTypeError(SchemaError):
+    """An ER schema was asked about an entity type it does not contain."""
+
+
+class UnknownRelationshipError(SchemaError):
+    """An ER schema was asked about a relationship it does not contain."""
+
+
+class UnknownRelationError(SchemaError):
+    """A database schema was asked about a relation it does not contain."""
+
+
+class UnknownAttributeError(SchemaError):
+    """A relation or entity type was asked about a missing attribute."""
+
+
+class IntegrityError(ReproError):
+    """A database mutation violates a key or foreign-key constraint."""
+
+
+class PrimaryKeyError(IntegrityError):
+    """Duplicate or missing primary key value."""
+
+
+class ForeignKeyError(IntegrityError):
+    """A foreign key references a non-existent tuple."""
+
+
+class TypeCoercionError(ReproError):
+    """An attribute value cannot be coerced to its declared type."""
+
+
+class PathError(ReproError):
+    """An ER or tuple path is malformed (disconnected steps, empty, ...)."""
+
+
+class MappingError(ReproError):
+    """ER <-> relational mapping failed or is ambiguous."""
+
+
+class QueryError(ReproError):
+    """A keyword query is malformed or uses unsupported options."""
+
+
+class SearchLimitError(ReproError):
+    """A search exceeded a configured enumeration budget."""

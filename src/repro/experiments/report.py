@@ -1,0 +1,30 @@
+"""Plain-text rendering and the reproduction mismatch error."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["ReproductionMismatch", "render_table"]
+
+
+class ReproductionMismatch(ReproError):
+    """A regenerated artefact deviates from the published one."""
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Regenerate Tables 1, 2 and 3 of the paper and verify them.
+
+Each ``tableN`` function recomputes the table from the library (never from
+hard-coded answers), compares it against the published values and returns
+the rows.  On any deviation it raises
+:class:`~repro.experiments.report.ReproductionMismatch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.associations import AssociationKind, classify_er_path
+from repro.core.connections import Connection
+from repro.core.engine import KeywordSearchEngine
+from repro.core.search import SearchLimits
+from repro.datasets.company import (
+    TABLE1_ENTITY_SEQUENCES,
+    build_company_database,
+    build_company_er_schema,
+)
+from repro.er.paths import ERPath
+from repro.experiments.report import ReproductionMismatch
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "table1",
+    "table2",
+    "table3",
+    "paper_connections",
+]
+
+#: Published Table 1: (entities, cardinality rendering, close?).
+_PAPER_TABLE1: tuple[tuple[str, str, bool], ...] = (
+    ("department – employee", "department 1:N employee", True),
+    ("project – employee", "project N:M employee", True),
+    (
+        "department – employee – dependent",
+        "department 1:N employee 1:N dependent",
+        True,
+    ),
+    (
+        "department – project – employee",
+        "department 1:N project N:M employee",
+        False,
+    ),
+    (
+        "project – department – employee",
+        "project N:1 department 1:N employee",
+        False,
+    ),
+    (
+        "department – project – employee – dependent",
+        "department 1:N project N:M employee 1:N dependent",
+        False,
+    ),
+)
+
+#: Published Table 2: (connection, RDB length, ER length).
+_PAPER_TABLE2: tuple[tuple[str, int, int], ...] = (
+    ("d1(XML) – e1(Smith)", 1, 1),
+    ("p1(XML) – w_f1 – e1(Smith)", 2, 1),
+    ("p1(XML) – d1(XML) – e1(Smith)", 2, 2),
+    ("d1(XML) – p1(XML) – w_f1 – e1(Smith)", 3, 2),
+    ("d2(XML) – e2(Smith)", 1, 1),
+    ("p2(XML) – d2(XML) – e2(Smith)", 2, 2),
+    ("d2(XML) – p3 – w_f2 – e2(Smith)", 3, 2),
+    ("d1 – e3 – t1(Alice)", 2, 2),
+    ("d2 – p2 – w_f3 – e3 – t1(Alice)", 4, 3),
+)
+
+#: Published Table 3: connection with per-edge cardinalities.
+_PAPER_TABLE3: tuple[str, ...] = (
+    "d1(XML) 1:N e1(Smith)",
+    "p1(XML) 1:N w_f1 N:1 e1(Smith)",
+    "p1(XML) N:1 d1(XML) 1:N e1(Smith)",
+    "d1(XML) 1:N p1(XML) 1:N w_f1 N:1 e1(Smith)",
+    "d2(XML) 1:N e2(Smith)",
+    "p2(XML) N:1 d2(XML) 1:N e2(Smith)",
+    "d2(XML) 1:N p3 1:N w_f2 N:1 e2(Smith)",
+    "d1 1:N e3 1:N t1(Alice)",
+    "d2 1:N p2 1:N w_f3 N:1 e3 1:N t1(Alice)",
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One classified relationship of Table 1."""
+
+    number: int
+    entities: str
+    cardinalities: str
+    kind: AssociationKind
+    is_close: bool
+    loose_joints: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One connection of Table 2 with both lengths."""
+
+    number: int
+    connection: Connection
+    rendered: str
+    rdb_length: int
+    er_length: int
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One connection of Table 3 with per-edge cardinalities."""
+
+    number: int
+    connection: Connection
+    rendered: str
+
+
+def table1() -> list[Table1Row]:
+    """Classify the six relationships of Table 1 and verify closeness.
+
+    The paper marks relationships 1–3 as close (immediate / transitive
+    functional) and 4–6 as potentially loose.
+    """
+    schema = build_company_er_schema()
+    rows = []
+    for index, entities in enumerate(TABLE1_ENTITY_SEQUENCES):
+        path = ERPath.from_relationships(schema, entities)
+        verdict = classify_er_path(path)
+        rendered_entities = " – ".join(name.lower() for name in entities)
+        rendered_cardinalities = _lower_entities(path)
+        rows.append(
+            Table1Row(
+                number=index + 1,
+                entities=rendered_entities,
+                cardinalities=rendered_cardinalities,
+                kind=verdict.kind,
+                is_close=verdict.is_close,
+                loose_joints=verdict.loose_joint_positions,
+            )
+        )
+
+    for row, (entities, cardinalities, close) in zip(rows, _PAPER_TABLE1):
+        if row.entities != entities:
+            raise ReproductionMismatch(
+                "Table 1 entity sequence deviates",
+                row=row.number, expected=entities, got=row.entities,
+            )
+        if row.cardinalities != cardinalities:
+            raise ReproductionMismatch(
+                "Table 1 cardinalities deviate",
+                row=row.number, expected=cardinalities, got=row.cardinalities,
+            )
+        if row.is_close != close:
+            raise ReproductionMismatch(
+                "Table 1 closeness deviates",
+                row=row.number, expected=close, got=row.is_close,
+            )
+    return rows
+
+
+def _lower_entities(path: ERPath) -> str:
+    parts = [path.steps[0].source.lower()]
+    for step in path.steps:
+        parts.append(str(step.cardinality))
+        parts.append(step.target.lower())
+    return " ".join(parts)
+
+
+def paper_connections(
+    engine: Optional[KeywordSearchEngine] = None,
+) -> dict[int, Connection]:
+    """The nine connections of Tables 2/3, keyed by their paper row number.
+
+    Rows 1–7 are *searched* (query ``Smith XML``, enumeration bound of
+    three FK edges — the searched set is exactly the published set, which
+    is itself part of the reproduction).  Rows 8 and 9 are the paper's
+    illustrative department–dependent connections, built by tuple labels
+    and annotated with the keyword ``Alice`` as printed.
+    """
+    if engine is None:
+        engine = KeywordSearchEngine(build_company_database())
+    limits = SearchLimits(max_rdb_length=3)
+    # Query order "XML Smith" orients every path from the XML end, which is
+    # how the paper prints them; the query itself is symmetric.
+    results = engine.search("XML Smith", limits=limits)
+    found = {
+        result.answer.render(): result.answer
+        for result in results
+        if isinstance(result.answer, Connection)
+    }
+    expected_searched = [rendered for rendered, __, __ in _PAPER_TABLE2[:7]]
+    if set(found) != set(expected_searched):
+        raise ReproductionMismatch(
+            "searched connections deviate from Table 2 rows 1-7",
+            expected=sorted(expected_searched),
+            got=sorted(found),
+        )
+
+    connections = {
+        number + 1: found[rendered]
+        for number, (rendered, __, __) in enumerate(_PAPER_TABLE2[:7])
+    }
+    connections[8] = Connection.from_labels(
+        engine.data_graph, ["d1", "e3", "t1"], {"t1": ["Alice"]}
+    )
+    connections[9] = Connection.from_labels(
+        engine.data_graph,
+        ["d2", "p2", "w_f3", "e3", "t1"],
+        {"t1": ["Alice"]},
+    )
+    return connections
+
+
+def table2(engine: Optional[KeywordSearchEngine] = None) -> list[Table2Row]:
+    """Regenerate Table 2 (connections with RDB and ER lengths)."""
+    connections = paper_connections(engine)
+    rows = []
+    for number in sorted(connections):
+        connection = connections[number]
+        rows.append(
+            Table2Row(
+                number=number,
+                connection=connection,
+                rendered=connection.render(),
+                rdb_length=connection.rdb_length,
+                er_length=connection.er_length,
+            )
+        )
+    for row, (rendered, rdb_length, er_length) in zip(rows, _PAPER_TABLE2):
+        if (row.rendered, row.rdb_length, row.er_length) != (
+            rendered,
+            rdb_length,
+            er_length,
+        ):
+            raise ReproductionMismatch(
+                "Table 2 row deviates",
+                row=row.number,
+                expected=(rendered, rdb_length, er_length),
+                got=(row.rendered, row.rdb_length, row.er_length),
+            )
+    return rows
+
+
+def table3(engine: Optional[KeywordSearchEngine] = None) -> list[Table3Row]:
+    """Regenerate Table 3 (connections with per-edge cardinalities)."""
+    connections = paper_connections(engine)
+    rows = []
+    for number in sorted(connections):
+        connection = connections[number]
+        rows.append(
+            Table3Row(
+                number=number,
+                connection=connection,
+                rendered=connection.render_with_cardinalities(),
+            )
+        )
+    for row, rendered in zip(rows, _PAPER_TABLE3):
+        if row.rendered != rendered:
+            raise ReproductionMismatch(
+                "Table 3 row deviates",
+                row=row.number,
+                expected=rendered,
+                got=row.rendered,
+            )
+    return rows

@@ -1,0 +1,15 @@
+"""Graph views over schemas and database instances.
+
+* :mod:`repro.graph.schema_graph` — relations as nodes, foreign keys as
+  edges annotated with the cardinality they implement;
+* :mod:`repro.graph.data_graph` — tuples as nodes (the BANKS view of a
+  database) plus the *conceptual* collapse that removes middle-relation
+  tuples;
+* :mod:`repro.graph.traversal` — bounded enumeration of paths and joining
+  trees used by the search engines.
+"""
+
+from repro.graph.schema_graph import SchemaGraph
+from repro.graph.data_graph import DataGraph
+
+__all__ = ["DataGraph", "SchemaGraph"]

@@ -1,0 +1,187 @@
+"""Data graph: tuples as nodes, foreign-key references as edges.
+
+This is the graph BANKS-style systems search over.  Nodes are
+:class:`~repro.relational.database.TupleId`; each stored foreign-key
+reference contributes one undirected edge carrying:
+
+``foreign_key``
+    the :class:`~repro.relational.schema.ForeignKey` behind the edge;
+``referencing``
+    the :class:`TupleId` on the FK's source side — this orients the edge
+    semantically and determines its cardinality when read in a direction.
+
+The *conceptual* view (:meth:`DataGraph.conceptual_graph`) removes tuples of
+middle relations and reconnects their neighbours directly with an ``N:M``
+edge that remembers the middle tuple.  The paper's ER connection length is
+the number of edges of a connection in this view.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.er.cardinality import Cardinality
+from repro.errors import PathError
+from repro.relational.database import Database, Tuple, TupleId
+from repro.relational.schema import ForeignKey
+
+__all__ = ["DataGraph"]
+
+
+class DataGraph:
+    """Tuple-level graph of a database instance."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        graph = nx.MultiGraph()
+        for record in database.all_tuples():
+            graph.add_node(record.tid, relation=record.relation)
+        for fk in database.schema.foreign_keys:
+            for record in database.tuples(fk.source):
+                target = database.referenced_tuple(record, fk)
+                if target is None:
+                    continue
+                graph.add_edge(
+                    record.tid,
+                    target.tid,
+                    key=fk.name,
+                    foreign_key=fk,
+                    referencing=record.tid,
+                )
+        self._graph = graph
+        self._conceptual: Optional[nx.MultiGraph] = None
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.MultiGraph:
+        """The underlying networkx multigraph (treat as read-only)."""
+        return self._graph
+
+    def number_of_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def number_of_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def has_node(self, tid: TupleId) -> bool:
+        return tid in self._graph
+
+    def neighbours(self, tid: TupleId) -> Iterator[tuple[TupleId, str, dict]]:
+        """Yield ``(other, edge_key, edge_data)`` for incident edges."""
+        if tid not in self._graph:
+            raise PathError("tuple is not in the data graph", tid=str(tid))
+        for __, other, key, data in self._graph.edges(tid, keys=True, data=True):
+            yield other, key, data
+
+    def degree(self, tid: TupleId) -> int:
+        if tid not in self._graph:
+            raise PathError("tuple is not in the data graph", tid=str(tid))
+        return self._graph.degree(tid)
+
+    def edges_between(self, left: TupleId, right: TupleId) -> list[dict]:
+        """Edge data dicts of every edge joining two tuples (may be empty)."""
+        if not self._graph.has_edge(left, right):
+            return []
+        return list(self._graph[left][right].values())
+
+    def edge_cardinality(self, edge_data: dict, read_from: TupleId) -> Cardinality:
+        """Cardinality of an edge read from one of its endpoints.
+
+        Read from the referenced (target) tuple the edge is ``1:N``; from
+        the referencing tuple ``N:1``; unique FKs give ``1:1``.
+        """
+        fk: ForeignKey = edge_data["foreign_key"]
+        if fk.unique:
+            return Cardinality.one_to_one()
+        if edge_data["referencing"] == read_from:
+            return Cardinality.many_to_one()
+        return Cardinality.one_to_many()
+
+    def is_middle(self, tid: TupleId) -> bool:
+        """True when the tuple belongs to a middle relation."""
+        return self.database.schema.relation(tid.relation).is_middle
+
+    # ------------------------------------------------------------------
+    # induced subgraphs (MTJNT evaluation needs these)
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, tids: Iterable[TupleId]) -> nx.MultiGraph:
+        """Subgraph induced on a tuple set, *including* all stored edges.
+
+        This is the structure MTJNT minimality is defined over: a tuple set
+        may be connected through edges that are not on the path that
+        produced it.
+        """
+        return self._graph.subgraph(list(tids))
+
+    def is_connected_set(self, tids: Iterable[TupleId]) -> bool:
+        """True when the induced subgraph on ``tids`` is connected."""
+        tids = list(tids)
+        if not tids:
+            return False
+        subgraph = self.induced_subgraph(tids)
+        if subgraph.number_of_nodes() != len(set(tids)):
+            return False
+        return nx.is_connected(nx.Graph(subgraph))
+
+    # ------------------------------------------------------------------
+    # conceptual view
+    # ------------------------------------------------------------------
+    def conceptual_graph(self) -> nx.MultiGraph:
+        """The data graph with middle-relation tuples collapsed away.
+
+        Every middle tuple ``m`` referencing tuples ``a`` and ``b`` (via two
+        different foreign keys) becomes a direct ``a -- b`` edge with
+        ``middle=m`` and many-to-many semantics.  Non-middle edges are kept
+        as-is.  The result is cached; rebuild the :class:`DataGraph` after
+        database mutations.
+        """
+        if self._conceptual is not None:
+            return self._conceptual
+        collapsed = nx.MultiGraph()
+        for node, data in self._graph.nodes(data=True):
+            if not self.is_middle(node):
+                collapsed.add_node(node, **data)
+        for left, right, key, data in self._graph.edges(keys=True, data=True):
+            if self.is_middle(left) or self.is_middle(right):
+                continue
+            collapsed.add_edge(left, right, key=key, **data)
+        for node in self._graph.nodes:
+            if not self.is_middle(node):
+                continue
+            anchors = []
+            for __, other, key, data in self._graph.edges(node, keys=True, data=True):
+                if self.is_middle(other):
+                    continue
+                anchors.append((other, data["foreign_key"]))
+            for (a, fk_a), (b, fk_b) in combinations(anchors, 2):
+                if a == b:
+                    continue
+                collapsed.add_edge(
+                    a,
+                    b,
+                    key=f"{node}:{fk_a.name}:{fk_b.name}",
+                    middle=node,
+                    foreign_keys=(fk_a, fk_b),
+                )
+        self._conceptual = collapsed
+        return collapsed
+
+    def conceptual_edge_cardinality(self, edge_data: dict) -> Cardinality:
+        """Cardinality of a conceptual edge (collapsed middles are ``N:M``)."""
+        if "middle" in edge_data:
+            return Cardinality.many_to_many()
+        # Plain FK edge retained in the conceptual view; direction-dependent
+        # reading is the caller's business via :meth:`edge_cardinality`.
+        fk: ForeignKey = edge_data["foreign_key"]
+        return Cardinality.one_to_one() if fk.unique else Cardinality.one_to_many()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataGraph(nodes={self._graph.number_of_nodes()}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

@@ -1,0 +1,280 @@
+"""Database instances: tuples, integrity enforcement, navigation.
+
+A :class:`Database` stores tuples per relation, keyed by primary key, and
+enforces primary-key uniqueness on insert.  Foreign-key integrity can be
+checked immediately (default) or deferred to :meth:`Database.check_integrity`
+for bulk loads with forward references.
+
+Tuples are identified by :class:`TupleId` — ``(relation, primary key
+values)`` — and may additionally carry a human-readable *label* (``d1``,
+``w_f1``) so that reproduced tables render exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import (
+    ForeignKeyError,
+    IntegrityError,
+    PrimaryKeyError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.schema import DatabaseSchema, ForeignKey, Relation
+from repro.relational.types import coerce_value
+
+__all__ = ["TupleId", "Tuple", "Database"]
+
+
+@dataclass(frozen=True)
+class TupleId:
+    """Stable identity of a tuple: relation name plus primary key values."""
+
+    relation: str
+    key: tuple[object, ...]
+
+    def __str__(self) -> str:
+        rendered = ",".join(str(part) for part in self.key)
+        return f"{self.relation}({rendered})"
+
+
+class Tuple:
+    """One stored tuple.
+
+    ``values`` maps attribute name to (coerced) value.  ``label`` is a short
+    display name; it defaults to the primary key rendered as a string, which
+    for the paper's data (single ``ID`` columns holding ``d1``, ``e1``, ...)
+    already matches the notation used in its tables.
+    """
+
+    __slots__ = ("tid", "values", "label")
+
+    def __init__(
+        self,
+        tid: TupleId,
+        values: Mapping[str, object],
+        label: Optional[str] = None,
+    ) -> None:
+        self.tid = tid
+        self.values = dict(values)
+        if label is None:
+            label = ",".join(str(part) for part in tid.key)
+        self.label = label
+
+    @property
+    def relation(self) -> str:
+        return self.tid.relation
+
+    def __getitem__(self, attribute: str) -> object:
+        return self.values[attribute]
+
+    def get(self, attribute: str, default: object = None) -> object:
+        return self.values.get(attribute, default)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Tuple) and other.tid == self.tid
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tuple({self.label!r} in {self.relation})"
+
+
+class Database:
+    """An in-memory relational database instance.
+
+    Parameters
+    ----------
+    schema:
+        The relational schema the instance must conform to.
+    enforce_foreign_keys:
+        When True (default) every insert validates its outgoing foreign
+        keys immediately; deletes reject when referencing tuples remain.
+        When False, integrity is only checked by :meth:`check_integrity`.
+    """
+
+    def __init__(self, schema: DatabaseSchema, enforce_foreign_keys: bool = True) -> None:
+        self.schema = schema
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self._tuples: dict[str, dict[tuple[object, ...], Tuple]] = {
+            relation.name: {} for relation in schema.relations
+        }
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        relation_name: str,
+        values: Mapping[str, object],
+        label: Optional[str] = None,
+    ) -> Tuple:
+        """Insert one tuple and return it.
+
+        Values are coerced to their declared types; unknown attributes
+        raise; missing attributes become NULL (rejected for key columns).
+        """
+        relation = self.schema.relation(relation_name)
+        store = self._tuples[relation_name]
+
+        coerced: dict[str, object] = {}
+        for name in values:
+            if not relation.has_attribute(name):
+                raise UnknownAttributeError(
+                    "insert uses unknown attribute",
+                    relation=relation_name,
+                    attribute=name,
+                )
+        for attribute in relation.attributes:
+            value = coerce_value(values.get(attribute.name), attribute.data_type)
+            coerced[attribute.name] = value
+
+        key = tuple(coerced[column] for column in relation.primary_key)
+        if any(part is None for part in key):
+            raise PrimaryKeyError(
+                "primary key may not be NULL", relation=relation_name, key=key
+            )
+        if key in store:
+            raise PrimaryKeyError(
+                "duplicate primary key", relation=relation_name, key=key
+            )
+
+        record = Tuple(TupleId(relation_name, key), coerced, label=label)
+        if self.enforce_foreign_keys:
+            for foreign_key in self.schema.foreign_keys_from(relation_name):
+                self._check_reference(record, foreign_key)
+        store[key] = record
+        return record
+
+    def insert_many(
+        self, relation_name: str, rows: Iterable[Mapping[str, object]]
+    ) -> list[Tuple]:
+        """Insert several tuples; convenience for loaders and generators."""
+        return [self.insert(relation_name, row) for row in rows]
+
+    def delete(self, tid: TupleId) -> None:
+        """Delete a tuple; rejects when other tuples still reference it."""
+        record = self.tuple(tid)
+        if self.enforce_foreign_keys:
+            referencing = list(self.referencing_tuples(record))
+            if referencing:
+                raise IntegrityError(
+                    "tuple is still referenced",
+                    tid=str(tid),
+                    referencing=[str(t.tid) for t in referencing[:5]],
+                )
+        del self._tuples[tid.relation][tid.key]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def tuple(self, tid: TupleId) -> Tuple:
+        try:
+            return self._tuples[tid.relation][tid.key]
+        except KeyError:
+            if tid.relation not in self._tuples:
+                raise UnknownRelationError(
+                    "no such relation", relation=tid.relation
+                ) from None
+            raise IntegrityError("no such tuple", tid=str(tid)) from None
+
+    def get(self, relation_name: str, *key: object) -> Optional[Tuple]:
+        """Fetch by primary key values; None when absent."""
+        store = self._tuples.get(relation_name)
+        if store is None:
+            raise UnknownRelationError("no such relation", relation=relation_name)
+        return store.get(tuple(key))
+
+    def tuples(self, relation_name: str) -> tuple[Tuple, ...]:
+        """All tuples of a relation, in insertion order."""
+        store = self._tuples.get(relation_name)
+        if store is None:
+            raise UnknownRelationError("no such relation", relation=relation_name)
+        return tuple(store.values())
+
+    def all_tuples(self) -> Iterator[Tuple]:
+        """Every tuple in the database, relation by relation."""
+        for store in self._tuples.values():
+            yield from store.values()
+
+    def count(self, relation_name: Optional[str] = None) -> int:
+        """Number of tuples in one relation, or in the whole database."""
+        if relation_name is not None:
+            return len(self.tuples(relation_name))
+        return sum(len(store) for store in self._tuples.values())
+
+    def by_label(self, label: str) -> Tuple:
+        """Find a tuple by its display label (unique labels assumed)."""
+        matches = [t for t in self.all_tuples() if t.label == label]
+        if len(matches) != 1:
+            raise IntegrityError(
+                "label does not identify exactly one tuple",
+                label=label,
+                matches=len(matches),
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # navigation along foreign keys
+    # ------------------------------------------------------------------
+    def referenced_tuple(
+        self, record: Tuple, foreign_key: ForeignKey
+    ) -> Optional[Tuple]:
+        """The tuple ``record`` points at via ``foreign_key`` (None if NULL)."""
+        if foreign_key.source != record.relation:
+            raise IntegrityError(
+                "foreign key does not start at tuple's relation",
+                foreign_key=foreign_key.name,
+                relation=record.relation,
+            )
+        key = tuple(record.values[column] for column in foreign_key.source_columns)
+        if any(part is None for part in key):
+            return None
+        return self._tuples[foreign_key.target].get(key)
+
+    def referencing_tuples(
+        self, record: Tuple, foreign_key: Optional[ForeignKey] = None
+    ) -> Iterator[Tuple]:
+        """Tuples pointing at ``record`` (via one FK, or via any FK)."""
+        if foreign_key is not None:
+            candidates = [foreign_key]
+        else:
+            candidates = list(self.schema.foreign_keys_to(record.relation))
+        for fk in candidates:
+            if fk.target != record.relation:
+                raise IntegrityError(
+                    "foreign key does not point at tuple's relation",
+                    foreign_key=fk.name,
+                    relation=record.relation,
+                )
+            for candidate in self._tuples[fk.source].values():
+                key = tuple(candidate.values[c] for c in fk.source_columns)
+                if key == record.tid.key:
+                    yield candidate
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def _check_reference(self, record: Tuple, foreign_key: ForeignKey) -> None:
+        key = tuple(record.values[column] for column in foreign_key.source_columns)
+        if any(part is None for part in key):
+            return
+        if key not in self._tuples[foreign_key.target]:
+            raise ForeignKeyError(
+                "dangling foreign key",
+                foreign_key=foreign_key.name,
+                source=str(record.tid),
+                missing_key=key,
+            )
+
+    def check_integrity(self) -> None:
+        """Validate every foreign key of every tuple (for deferred mode)."""
+        for foreign_key in self.schema.foreign_keys:
+            for record in self._tuples[foreign_key.source].values():
+                self._check_reference(record, foreign_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.schema.name!r}, tuples={self.count()})"

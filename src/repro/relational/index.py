@@ -1,0 +1,150 @@
+"""Inverted index over attribute values for keyword matching.
+
+Keyword search over structural data matches a keyword either against a
+whole attribute value (``Smith`` matching ``L_NAME = 'Smith'``) or against a
+word inside a text attribute (``XML`` matching a department description).
+The paper relies on both modes; :class:`InvertedIndex` supports them through
+a single posting structure that records, per keyword, the matching tuples
+and the attributes they matched in.
+
+The index is maintained incrementally: :meth:`InvertedIndex.add_tuple` /
+:meth:`InvertedIndex.remove_tuple` keep it consistent with a mutating
+database, and :meth:`InvertedIndex.build` performs a full (re)build.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.relational.database import Database, Tuple, TupleId
+
+__all__ = ["tokenize", "Posting", "InvertedIndex"]
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+(?:[-_][A-Za-z0-9]+)*")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a value into lower-cased word tokens.
+
+    Hyphenated compounds stay together *and* contribute their parts, so the
+    paper's ``DB-project`` matches the keywords ``db-project``, ``db`` and
+    ``project``.
+
+    >>> tokenize("Different data models, such as XML")
+    ['different', 'data', 'models', 'such', 'as', 'xml']
+    """
+    tokens: list[str] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        token = match.group(0).lower()
+        tokens.append(token)
+        if "-" in token or "_" in token:
+            tokens.extend(part for part in re.split(r"[-_]", token) if part)
+    return tokens
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One keyword occurrence: which tuple, which attribute, how it matched.
+
+    ``whole_value`` is True when the keyword equals the entire attribute
+    value (case insensitively), the strongest form of match.
+    """
+
+    tid: TupleId
+    attribute: str
+    whole_value: bool
+
+
+class InvertedIndex:
+    """Word-level inverted index over a database instance."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._postings: dict[str, list[Posting]] = defaultdict(list)
+        self._indexed: set[TupleId] = set()
+        self.build()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Discard and rebuild the whole index from the database."""
+        self._postings.clear()
+        self._indexed.clear()
+        for record in self._database.all_tuples():
+            self.add_tuple(record)
+
+    def add_tuple(self, record: Tuple) -> None:
+        """Index one tuple (no-op if already indexed)."""
+        if record.tid in self._indexed:
+            return
+        relation = self._database.schema.relation(record.relation)
+        for attribute in relation.attributes:
+            value = record.values.get(attribute.name)
+            if value is None:
+                continue
+            text = str(value)
+            whole = text.lower()
+            seen: set[str] = set()
+            for token in tokenize(text):
+                if token in seen:
+                    continue
+                seen.add(token)
+                self._postings[token].append(
+                    Posting(record.tid, attribute.name, whole_value=(token == whole))
+                )
+            if whole and whole not in seen:
+                # Values that tokenise away entirely (e.g. punctuation-only)
+                # are still matchable as whole values.
+                self._postings[whole].append(
+                    Posting(record.tid, attribute.name, whole_value=True)
+                )
+        self._indexed.add(record.tid)
+
+    def remove_tuple(self, tid: TupleId) -> None:
+        """Drop all postings of one tuple."""
+        if tid not in self._indexed:
+            return
+        empty_keys = []
+        for token, postings in self._postings.items():
+            postings[:] = [p for p in postings if p.tid != tid]
+            if not postings:
+                empty_keys.append(token)
+        for token in empty_keys:
+            del self._postings[token]
+        self._indexed.discard(tid)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def postings(self, keyword: str) -> tuple[Posting, ...]:
+        """All postings of a keyword (word-level match), lower-cased."""
+        return tuple(self._postings.get(keyword.strip().lower(), ()))
+
+    def matching_tuples(self, keyword: str) -> tuple[TupleId, ...]:
+        """Distinct tuples containing the keyword, in first-posting order."""
+        seen: dict[TupleId, None] = {}
+        for posting in self.postings(keyword):
+            seen.setdefault(posting.tid, None)
+        return tuple(seen)
+
+    def vocabulary(self) -> tuple[str, ...]:
+        """Every indexed token, sorted (mainly for tests and diagnostics)."""
+        return tuple(sorted(self._postings))
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of distinct tuples matching the keyword."""
+        return len(self.matching_tuples(keyword))
+
+    def indexed_count(self) -> int:
+        """Number of tuples currently indexed (the IR collection size)."""
+        return len(self._indexed)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword.strip().lower() in self._postings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InvertedIndex(tokens={len(self._postings)}, tuples={len(self._indexed)})"

@@ -1,0 +1,135 @@
+"""Minimal query operators over a :class:`~repro.relational.database.Database`.
+
+Keyword search needs three relational capabilities: selection (filter a
+relation by a predicate), foreign-key joins between adjacent relations, and
+materialising the join network a set of connected tuples forms.  This module
+provides them as plain functions so baselines (DISCOVER's candidate network
+evaluation in particular) can be written against a conventional interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.relational.database import Database, Tuple
+from repro.relational.schema import ForeignKey
+
+__all__ = ["select", "fk_join", "join_pairs", "joinable", "project"]
+
+Predicate = Callable[[Tuple], bool]
+
+
+def select(
+    database: Database,
+    relation_name: str,
+    predicate: Optional[Predicate] = None,
+    **equals: object,
+) -> list[Tuple]:
+    """Filter a relation by a predicate and/or attribute equalities.
+
+    >>> select(db, "EMPLOYEE", L_NAME="Smith")            # doctest: +SKIP
+    """
+    relation = database.schema.relation(relation_name)
+    for attribute in equals:
+        if not relation.has_attribute(attribute):
+            raise QueryError(
+                "selection on unknown attribute",
+                relation=relation_name,
+                attribute=attribute,
+            )
+    results = []
+    for record in database.tuples(relation_name):
+        if predicate is not None and not predicate(record):
+            continue
+        if any(record.values.get(k) != v for k, v in equals.items()):
+            continue
+        results.append(record)
+    return results
+
+
+def joinable(database: Database, left: Tuple, right: Tuple) -> Optional[ForeignKey]:
+    """The foreign key joining two tuples, or None.
+
+    Checks both directions: ``left`` referencing ``right`` and vice versa.
+    When several foreign keys connect the pair the first declared one wins
+    (deterministic because schema FK order is declaration order).
+    """
+    for fk in database.schema.foreign_keys_from(left.relation):
+        if fk.target == right.relation and database.referenced_tuple(left, fk) == right:
+            return fk
+    for fk in database.schema.foreign_keys_from(right.relation):
+        if fk.target == left.relation and database.referenced_tuple(right, fk) == left:
+            return fk
+    return None
+
+
+def fk_join(
+    database: Database,
+    left_tuples: Iterable[Tuple],
+    foreign_key: ForeignKey,
+) -> Iterator[tuple[Tuple, Tuple]]:
+    """Join tuples along one foreign key, yielding ``(source, target)`` pairs.
+
+    ``left_tuples`` must belong to the FK's source relation; tuples with a
+    NULL reference produce no pair (inner-join semantics).
+    """
+    for record in left_tuples:
+        if record.relation != foreign_key.source:
+            raise QueryError(
+                "tuple does not belong to join source",
+                relation=record.relation,
+                foreign_key=foreign_key.name,
+            )
+        target = database.referenced_tuple(record, foreign_key)
+        if target is not None:
+            yield record, target
+
+
+def join_pairs(
+    database: Database,
+    left_relation: str,
+    right_relation: str,
+) -> Iterator[tuple[Tuple, Tuple, ForeignKey]]:
+    """All joined tuple pairs between two adjacent relations.
+
+    Yields ``(left, right, fk)`` where ``left`` belongs to ``left_relation``
+    regardless of the FK direction.
+    """
+    emitted = False
+    for fk in database.schema.foreign_keys_from(left_relation):
+        if fk.target != right_relation:
+            continue
+        emitted = True
+        for source, target in fk_join(database, database.tuples(left_relation), fk):
+            yield source, target, fk
+    for fk in database.schema.foreign_keys_from(right_relation):
+        if fk.target != left_relation:
+            continue
+        emitted = True
+        for source, target in fk_join(database, database.tuples(right_relation), fk):
+            yield target, source, fk
+    if not emitted and left_relation != right_relation:
+        # Not an error per se; adjacent check is the caller's business.  We
+        # still validate the relation names for early failure.
+        database.schema.relation(left_relation)
+        database.schema.relation(right_relation)
+
+
+def project(
+    records: Iterable[Tuple], attributes: Sequence[str]
+) -> list[Mapping[str, object]]:
+    """Project tuples onto a list of attributes (as plain dicts)."""
+    projected = []
+    for record in records:
+        row = {}
+        for attribute in attributes:
+            if attribute not in record.values:
+                raise QueryError(
+                    "projection on unknown attribute",
+                    relation=record.relation,
+                    attribute=attribute,
+                )
+            row[attribute] = record.values[attribute]
+        projected.append(row)
+    return projected

@@ -1,0 +1,330 @@
+"""Relational schemas: relations, keys and foreign keys.
+
+Foreign keys carry two pieces of metadata beyond the referencing/referenced
+columns that the paper's analysis depends on:
+
+* ``cardinality_hint`` — whether the reference implements a ``1:N``
+  relationship (plain FK) or one leg of an ``N:M`` middle relation; the
+  reverse-engineering code fills this in automatically;
+* each relation records whether it is a **middle relation** (the relational
+  implementation of an ``N:M`` relationship), because middle relations do
+  not count toward the conceptual length of a connection (paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.types import SUPPORTED_TYPES, is_text_type
+
+__all__ = ["AttributeDef", "ForeignKey", "Relation", "DatabaseSchema"]
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """A column definition.
+
+    ``data_type`` must be one of :data:`repro.relational.types.SUPPORTED_TYPES`.
+    ``nullable`` defaults to True except for key columns (enforced by
+    :class:`Relation`).
+    """
+
+    name: str
+    data_type: str = "str"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.data_type not in SUPPORTED_TYPES:
+            raise SchemaError(
+                "unsupported attribute type",
+                attribute=self.name,
+                data_type=self.data_type,
+            )
+
+    @property
+    def is_text(self) -> bool:
+        """True when values of this column join word-level matching."""
+        return is_text_type(self.data_type)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key from ``source`` columns to ``target`` key columns.
+
+    The constraint means: every non-NULL combination of ``source_columns``
+    in relation ``source`` must equal the primary key of some tuple of
+    ``target``.  A plain foreign key implements a conceptual ``N:1``
+    reference from the source relation to the target relation; a *unique*
+    foreign key (``unique=True``) implements ``1:1``.
+    """
+
+    name: str
+    source: str
+    source_columns: tuple[str, ...]
+    target: str
+    target_columns: tuple[str, ...]
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.source_columns or len(self.source_columns) != len(
+            self.target_columns
+        ):
+            raise SchemaError(
+                "foreign key column lists must be non-empty and aligned",
+                foreign_key=self.name,
+            )
+
+    def __str__(self) -> str:
+        src = ", ".join(self.source_columns)
+        dst = ", ".join(self.target_columns)
+        return f"{self.source}({src}) -> {self.target}({dst})"
+
+
+class Relation:
+    """A relation definition: name, columns, primary key, middle-ness."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[AttributeDef],
+        primary_key: Sequence[str],
+        is_middle: bool = False,
+        implements_relationship: Optional[str] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not attributes:
+            raise SchemaError("relation needs at least one attribute", relation=name)
+        self.name = name
+        self._attributes: dict[str, AttributeDef] = {}
+        for attribute in attributes:
+            if attribute.name in self._attributes:
+                raise SchemaError(
+                    "duplicate attribute", relation=name, attribute=attribute.name
+                )
+            self._attributes[attribute.name] = attribute
+        if not primary_key:
+            raise SchemaError("relation needs a primary key", relation=name)
+        for column in primary_key:
+            if column not in self._attributes:
+                raise UnknownAttributeError(
+                    "primary key column is not an attribute",
+                    relation=name,
+                    column=column,
+                )
+        self.primary_key = tuple(primary_key)
+        #: True when this relation implements an ``N:M`` relationship and
+        #: should be skipped when measuring conceptual connection length.
+        self.is_middle = is_middle
+        #: Name of the ER relationship this relation implements (middle
+        #: relations) or ``None`` for entity relations.
+        self.implements_relationship = implements_relationship
+
+    @property
+    def attributes(self) -> tuple[AttributeDef, ...]:
+        return tuple(self._attributes.values())
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def text_attributes(self) -> tuple[AttributeDef, ...]:
+        """Columns participating in word-level keyword matching."""
+        return tuple(a for a in self._attributes.values() if a.is_text)
+
+    def attribute(self, name: str) -> AttributeDef:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                "no such attribute", relation=self.name, attribute=name
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "middle relation" if self.is_middle else "relation"
+        return f"Relation({self.name!r}, {kind})"
+
+
+class DatabaseSchema:
+    """A relational schema: relations plus foreign keys.
+
+    The schema exposes the adjacency needed to build schema and data graphs:
+    :meth:`foreign_keys_from`, :meth:`foreign_keys_to` and
+    :meth:`adjacent_relations`.
+    """
+
+    def __init__(
+        self,
+        name: str = "db",
+        relations: Iterable[Relation] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        self._foreign_keys: dict[str, ForeignKey] = {}
+        for relation in relations:
+            self.add_relation(relation)
+        for foreign_key in foreign_keys:
+            self.add_foreign_key(foreign_key)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> Relation:
+        if relation.name in self._relations:
+            raise SchemaError("duplicate relation", relation=relation.name)
+        self._relations[relation.name] = relation
+        return relation
+
+    def replace_relation(self, relation: Relation) -> Relation:
+        """Replace an existing relation definition (same name) in place.
+
+        Foreign keys pointing at the relation are re-validated.  This exists
+        for schema builders (the ER mapper extends relations with generated
+        FK columns); instance data is not migrated — replace before loading.
+        """
+        if relation.name not in self._relations:
+            raise UnknownRelationError("no such relation", relation=relation.name)
+        previous = self._relations[relation.name]
+        self._relations[relation.name] = relation
+        try:
+            for fk in list(self._foreign_keys.values()):
+                if fk.target == relation.name and tuple(fk.target_columns) != relation.primary_key:
+                    raise SchemaError(
+                        "replacement breaks referencing foreign key",
+                        relation=relation.name,
+                        foreign_key=fk.name,
+                    )
+                if fk.source == relation.name:
+                    for column in fk.source_columns:
+                        if not relation.has_attribute(column):
+                            raise SchemaError(
+                                "replacement drops a foreign key column",
+                                relation=relation.name,
+                                foreign_key=fk.name,
+                                column=column,
+                            )
+        except SchemaError:
+            self._relations[relation.name] = previous
+            raise
+        return relation
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> ForeignKey:
+        if foreign_key.name in self._foreign_keys:
+            raise SchemaError("duplicate foreign key", foreign_key=foreign_key.name)
+        source = self.relation(foreign_key.source)
+        target = self.relation(foreign_key.target)
+        for column in foreign_key.source_columns:
+            if not source.has_attribute(column):
+                raise UnknownAttributeError(
+                    "foreign key source column missing",
+                    foreign_key=foreign_key.name,
+                    column=column,
+                )
+        if tuple(foreign_key.target_columns) != target.primary_key:
+            raise SchemaError(
+                "foreign key must reference the full primary key",
+                foreign_key=foreign_key.name,
+                expected=target.primary_key,
+                got=foreign_key.target_columns,
+            )
+        self._foreign_keys[foreign_key.name] = foreign_key
+        return foreign_key
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys.values())
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError("no such relation", relation=name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def foreign_key(self, name: str) -> ForeignKey:
+        try:
+            return self._foreign_keys[name]
+        except KeyError:
+            raise SchemaError("no such foreign key", foreign_key=name) from None
+
+    def foreign_keys_from(self, relation_name: str) -> tuple[ForeignKey, ...]:
+        """Foreign keys whose *source* is ``relation_name``."""
+        self.relation(relation_name)
+        return tuple(
+            fk for fk in self._foreign_keys.values() if fk.source == relation_name
+        )
+
+    def foreign_keys_to(self, relation_name: str) -> tuple[ForeignKey, ...]:
+        """Foreign keys whose *target* is ``relation_name``."""
+        self.relation(relation_name)
+        return tuple(
+            fk for fk in self._foreign_keys.values() if fk.target == relation_name
+        )
+
+    def adjacent_relations(self, relation_name: str) -> tuple[str, ...]:
+        """Relations connected to ``relation_name`` by any FK, either way."""
+        names = {
+            fk.target for fk in self.foreign_keys_from(relation_name)
+        } | {fk.source for fk in self.foreign_keys_to(relation_name)}
+        return tuple(sorted(names))
+
+    def middle_relations(self) -> tuple[Relation, ...]:
+        return tuple(r for r in self._relations.values() if r.is_middle)
+
+    # ------------------------------------------------------------------
+    # validation / description
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check middle relations really look like middle relations.
+
+        A middle relation must carry at least two outgoing foreign keys —
+        one per leg of the ``N:M`` relationship it implements.
+        """
+        for relation in self._relations.values():
+            if relation.is_middle and len(self.foreign_keys_from(relation.name)) < 2:
+                raise SchemaError(
+                    "middle relation needs two outgoing foreign keys",
+                    relation=relation.name,
+                )
+
+    def describe(self) -> str:
+        """Printable, deterministic description."""
+        lines = [f"database schema {self.name}"]
+        for relation in self._relations.values():
+            cols = ", ".join(
+                f"{a.name}:{a.data_type}" for a in relation.attributes
+            )
+            middle = " [middle]" if relation.is_middle else ""
+            key = ", ".join(relation.primary_key)
+            lines.append(f"  {relation.name}({cols}) key({key}){middle}")
+        for foreign_key in self._foreign_keys.values():
+            lines.append(f"  fk {foreign_key.name}: {foreign_key}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatabaseSchema({self.name!r}, relations={len(self._relations)}, "
+            f"foreign_keys={len(self._foreign_keys)})"
+        )

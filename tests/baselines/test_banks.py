@@ -1,0 +1,134 @@
+"""Unit tests for the BANKS backward expanding baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.banks import BanksSearch
+from repro.core.matching import match_keywords
+from repro.errors import QueryError
+from repro.relational.database import TupleId
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+@pytest.fixture
+def banks(data_graph):
+    return BanksSearch(data_graph)
+
+
+@pytest.fixture
+def smith_xml(index):
+    return match_keywords(index, ("XML", "Smith"))
+
+
+class TestDirectedGraph:
+    def test_forward_edge_from_referencing_tuple(self, banks):
+        graph = banks.directed_graph
+        assert graph.has_edge(tid("EMPLOYEE", "e1"), tid("DEPARTMENT", "d1"))
+
+    def test_backward_edge_exists(self, banks):
+        graph = banks.directed_graph
+        assert graph.has_edge(tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1"))
+
+    def test_forward_weight_is_one(self, banks):
+        graph = banks.directed_graph
+        weight = graph[tid("EMPLOYEE", "e1")][tid("DEPARTMENT", "d1")]["weight"]
+        assert weight == 1.0
+
+    def test_backward_weight_grows_with_indegree(self, banks):
+        graph = banks.directed_graph
+        # d1 is referenced by e1, e3 and p1 (indegree 3).
+        weight = graph[tid("DEPARTMENT", "d1")][tid("EMPLOYEE", "e1")]["weight"]
+        assert weight == pytest.approx(1.0 + math.log2(4))
+
+    def test_isolated_node_present(self, banks):
+        assert tid("DEPARTMENT", "d3") in banks.directed_graph
+
+    def test_node_prestige(self, banks):
+        assert banks.node_prestige(tid("DEPARTMENT", "d1")) > \
+            banks.node_prestige(tid("DEPARTMENT", "d3"))
+
+
+class TestSearch:
+    def test_answers_cover_all_keywords(self, banks, smith_xml):
+        for answer in banks.search(smith_xml, top_k=5):
+            assert answer.covered_keywords == {"XML", "Smith"}
+
+    def test_answers_sorted_by_score(self, banks, smith_xml):
+        answers = banks.search(smith_xml, top_k=10)
+        scores = [answer.score for answer in answers]
+        assert scores == sorted(scores)
+
+    def test_top_answer_is_direct_connection(self, banks, smith_xml):
+        best = banks.search(smith_xml, top_k=1)[0]
+        members = {t for t in best.tuple_ids()}
+        # A root on a Smith employee with a path to an XML tuple of cost 1:
+        # d1->e1 or d2->e2 shaped answers dominate.
+        assert members in (
+            {tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1")},
+            {tid("DEPARTMENT", "d2"), tid("EMPLOYEE", "e2")},
+        )
+
+    def test_paths_start_at_root(self, banks, smith_xml):
+        for answer in banks.search(smith_xml, top_k=5):
+            for __, path in answer.paths:
+                assert path[0] == answer.root
+
+    def test_path_ends_at_keyword_tuple(self, banks, smith_xml, index):
+        keyword_tuples = {
+            match.keyword: set(match.tuple_ids) for match in smith_xml
+        }
+        for answer in banks.search(smith_xml, top_k=5):
+            for keyword, path in answer.paths:
+                assert path[-1] in keyword_tuples[keyword]
+
+    def test_top_k_respected(self, banks, smith_xml):
+        assert len(banks.search(smith_xml, top_k=3)) == 3
+
+    def test_max_distance_prunes(self, banks, smith_xml):
+        near = banks.search(smith_xml, top_k=50, max_distance=1.0)
+        far = banks.search(smith_xml, top_k=50, max_distance=10.0)
+        assert len(near) < len(far)
+
+    def test_unmatched_keyword_yields_nothing(self, banks, index):
+        matches = match_keywords(index, ("XML", "unicorn"))
+        assert banks.search(matches) == []
+
+    def test_no_keywords_rejected(self, banks):
+        with pytest.raises(QueryError):
+            banks.search([])
+
+    def test_answers_deduplicated_by_tuple_set(self, banks, smith_xml):
+        answers = banks.search(smith_xml, top_k=50)
+        member_sets = [frozenset(answer.tuple_ids()) for answer in answers]
+        assert len(member_sets) == len(set(member_sets))
+
+    def test_deterministic(self, banks, smith_xml):
+        first = [a.render() for a in banks.search(smith_xml, top_k=5)]
+        second = [a.render() for a in banks.search(smith_xml, top_k=5)]
+        assert first == second
+
+    def test_rdb_length_counts_tree_edges(self, banks, smith_xml):
+        best = banks.search(smith_xml, top_k=1)[0]
+        assert best.rdb_length == 1
+
+    def test_prestige_weight_changes_scores(self, data_graph, smith_xml):
+        plain = BanksSearch(data_graph).search(smith_xml, top_k=3)
+        weighted = BanksSearch(data_graph, prestige_weight=0.5).search(
+            smith_xml, top_k=3
+        )
+        assert any(
+            p.score != w.score for p, w in zip(plain, weighted)
+        )
+
+
+class TestThreeKeywords:
+    def test_three_keyword_answers(self, banks, index):
+        matches = match_keywords(index, ("Smith", "Alice", "Cs"))
+        answers = banks.search(matches, top_k=3)
+        assert answers
+        for answer in answers:
+            assert answer.covered_keywords == {"Smith", "Alice", "Cs"}

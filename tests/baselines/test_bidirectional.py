@@ -1,0 +1,91 @@
+"""Unit tests for the bidirectional (activation-prioritised) baseline."""
+
+import pytest
+
+from repro.baselines.banks import BanksSearch
+from repro.baselines.bidirectional import BidirectionalSearch
+from repro.core.matching import match_keywords
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def smith_xml(index):
+    return match_keywords(index, ("XML", "Smith"))
+
+
+class TestConstruction:
+    def test_decay_must_be_fractional(self, data_graph):
+        with pytest.raises(QueryError):
+            BidirectionalSearch(data_graph, decay=1.5)
+        with pytest.raises(QueryError):
+            BidirectionalSearch(data_graph, decay=0.0)
+
+
+class TestEquivalenceWithBanks:
+    def test_unbudgeted_run_matches_banks_answer_sets(
+        self, data_graph, smith_xml
+    ):
+        banks = BanksSearch(data_graph).search(smith_xml, top_k=10)
+        bidirectional = BidirectionalSearch(data_graph).search(
+            smith_xml, top_k=10
+        )
+        assert [frozenset(a.tuple_ids()) for a in banks] == [
+            frozenset(a.tuple_ids()) for a in bidirectional
+        ]
+
+    def test_scores_match_banks(self, data_graph, smith_xml):
+        banks = BanksSearch(data_graph).search(smith_xml, top_k=10)
+        bidirectional = BidirectionalSearch(data_graph).search(
+            smith_xml, top_k=10
+        )
+        for b, d in zip(banks, bidirectional):
+            assert b.score == pytest.approx(d.score)
+
+
+class TestBudget:
+    def test_expansions_counted(self, data_graph, smith_xml):
+        search = BidirectionalSearch(data_graph)
+        search.search(smith_xml, top_k=5)
+        assert search.expansions > 0
+
+    def test_budget_limits_expansions(self, data_graph, smith_xml):
+        search = BidirectionalSearch(data_graph)
+        search.search(smith_xml, top_k=5, expansion_budget=3)
+        assert search.expansions <= 3
+
+    def test_budgeted_answers_are_subset(self, data_graph, smith_xml):
+        full = {
+            frozenset(a.tuple_ids())
+            for a in BidirectionalSearch(data_graph).search(smith_xml, top_k=50)
+        }
+        search = BidirectionalSearch(data_graph)
+        budgeted = {
+            frozenset(a.tuple_ids())
+            for a in search.search(smith_xml, top_k=50, expansion_budget=10)
+        }
+        assert budgeted <= full
+
+
+class TestBasics:
+    def test_answers_cover_keywords(self, data_graph, smith_xml):
+        for answer in BidirectionalSearch(data_graph).search(smith_xml, top_k=5):
+            assert answer.covered_keywords == {"XML", "Smith"}
+
+    def test_unmatched_keyword_yields_nothing(self, data_graph, index):
+        matches = match_keywords(index, ("XML", "unicorn"))
+        assert BidirectionalSearch(data_graph).search(matches) == []
+
+    def test_no_keywords_rejected(self, data_graph):
+        with pytest.raises(QueryError):
+            BidirectionalSearch(data_graph).search([])
+
+    def test_deterministic(self, data_graph, smith_xml):
+        first = [
+            a.render()
+            for a in BidirectionalSearch(data_graph).search(smith_xml, top_k=5)
+        ]
+        second = [
+            a.render()
+            for a in BidirectionalSearch(data_graph).search(smith_xml, top_k=5)
+        ]
+        assert first == second

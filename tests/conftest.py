@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's database and derived structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.company import (
+    build_company_database,
+    build_company_er_schema,
+    build_company_schema,
+)
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like
+from repro.graph.data_graph import DataGraph
+from repro.graph.schema_graph import SchemaGraph
+from repro.relational.index import InvertedIndex
+
+
+@pytest.fixture
+def er_schema():
+    """Figure 1's ER schema."""
+    return build_company_er_schema()
+
+
+@pytest.fixture
+def db_schema():
+    """Figure 2's relational schema."""
+    return build_company_schema()
+
+
+@pytest.fixture
+def company_db():
+    """Figure 2's instance, verbatim."""
+    return build_company_database()
+
+
+@pytest.fixture
+def data_graph(company_db):
+    return DataGraph(company_db)
+
+
+@pytest.fixture
+def schema_graph(db_schema):
+    return SchemaGraph(db_schema)
+
+
+@pytest.fixture
+def index(company_db):
+    return InvertedIndex(company_db)
+
+
+@pytest.fixture
+def engine(company_db):
+    return KeywordSearchEngine(company_db)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A small deterministic synthetic database (shared, do not mutate)."""
+    return generate_company_like(
+        SyntheticConfig(
+            departments=3,
+            projects_per_department=2,
+            employees_per_department=4,
+            works_on_per_employee=2,
+            dependents_per_employee=0.5,
+            seed=42,
+        )
+    )

@@ -1,0 +1,191 @@
+"""Unit tests for the close/loose association classifier (paper §2)."""
+
+import pytest
+
+from repro.core.associations import (
+    AssociationKind,
+    classify_cardinalities,
+    classify_er_path,
+    loose_joints,
+)
+from repro.er.cardinality import Cardinality
+from repro.er.paths import ERPath
+from repro.errors import PathError
+
+
+def cards(*texts):
+    return [Cardinality.parse(text) for text in texts]
+
+
+class TestLooseJoints:
+    def test_fan_in_fan_out_is_a_joint(self):
+        assert loose_joints(cards("N:1", "1:N")) == (0,)
+
+    def test_functional_chain_has_no_joints(self):
+        assert loose_joints(cards("1:N", "1:N")) == ()
+        assert loose_joints(cards("N:1", "N:1")) == ()
+
+    def test_fan_out_then_fan_in_is_not_a_joint(self):
+        # 1:N then N:1: the middle entity is referenced by both ends, no
+        # invented association.
+        assert loose_joints(cards("1:N", "N:1")) == ()
+
+    def test_nm_step_alone_is_not_a_joint(self):
+        assert loose_joints(cards("1:N", "N:M")) == ()
+
+    def test_nm_then_fan_out_is_a_joint(self):
+        # ... N:M E 1:N ...: many left per E, many right per E.
+        assert loose_joints(cards("N:M", "1:N")) == (0,)
+
+    def test_multiple_joints(self):
+        sequence = cards("N:1", "1:N", "N:1", "1:N")
+        assert loose_joints(sequence) == (0, 2)
+
+    def test_single_step_has_no_joints(self):
+        assert loose_joints(cards("N:M")) == ()
+
+    def test_one_to_one_dampens_joints(self):
+        assert loose_joints(cards("1:1", "1:N")) == ()
+        assert loose_joints(cards("N:1", "1:1")) == ()
+
+
+class TestClassifyCardinalities:
+    def test_empty_rejected(self):
+        with pytest.raises(PathError):
+            classify_cardinalities([])
+
+    def test_immediate_one_to_many(self):
+        verdict = classify_cardinalities(cards("1:N"))
+        assert verdict.kind is AssociationKind.IMMEDIATE
+        assert verdict.is_close
+
+    def test_immediate_nm_is_close(self):
+        # Paper: immediate relationships carry no ambiguity, even N:M.
+        verdict = classify_cardinalities(cards("N:M"))
+        assert verdict.kind is AssociationKind.IMMEDIATE
+        assert verdict.is_close
+        assert verdict.nm_step_positions == (0,)
+
+    def test_transitive_functional_forward(self):
+        verdict = classify_cardinalities(cards("1:N", "1:N", "1:N"))
+        assert verdict.kind is AssociationKind.TRANSITIVE_FUNCTIONAL
+        assert verdict.is_close
+        assert str(verdict.composed) == "1:N"
+
+    def test_transitive_functional_backward(self):
+        verdict = classify_cardinalities(cards("N:1", "N:1"))
+        assert verdict.kind is AssociationKind.TRANSITIVE_FUNCTIONAL
+        assert verdict.is_close
+
+    def test_transitive_functional_with_one_to_one(self):
+        verdict = classify_cardinalities(cards("1:1", "1:N"))
+        assert verdict.is_close
+
+    def test_transitive_nm_via_joint(self):
+        verdict = classify_cardinalities(cards("N:1", "1:N"))
+        assert verdict.kind is AssociationKind.TRANSITIVE_NM
+        assert verdict.is_loose
+        assert verdict.loose_joint_positions == (0,)
+
+    def test_transitive_nm_via_nm_step(self):
+        verdict = classify_cardinalities(cards("1:N", "N:M"))
+        assert verdict.is_loose
+        assert verdict.loose_joint_positions == ()
+        assert verdict.nm_step_positions == (1,)
+
+    def test_loose_without_joint_or_nm_step(self):
+        # 1:N then N:1 composes to N:M with neither reason marker.
+        verdict = classify_cardinalities(cards("1:N", "N:1"))
+        assert verdict.is_loose
+        assert verdict.loose_joint_positions == ()
+        assert verdict.nm_step_positions == ()
+
+    def test_loose_joint_count(self):
+        verdict = classify_cardinalities(cards("N:1", "1:N", "N:1", "1:N"))
+        assert verdict.loose_joint_count == 2
+
+    def test_describe_mentions_kind_and_reasons(self):
+        verdict = classify_cardinalities(cards("N:1", "1:N"))
+        description = verdict.describe()
+        assert "transitive N:M" in description
+        assert "loose" in description
+        assert "joints at 0" in description
+
+
+class TestPaperTable1:
+    """The classifier reproduces all six rows of Table 1."""
+
+    @pytest.mark.parametrize(
+        "sequence, close",
+        [
+            (("1:N",), True),                      # row 1 department-employee
+            (("N:M",), True),                      # row 2 project-employee
+            (("1:N", "1:N"), True),                # row 3
+            (("1:N", "N:M"), False),               # row 4
+            (("N:1", "1:N"), False),               # row 5
+            (("1:N", "N:M", "1:N"), False),        # row 6
+        ],
+    )
+    def test_row(self, sequence, close):
+        assert classify_cardinalities(cards(*sequence)).is_close is close
+
+    def test_row6_contains_nm_part(self):
+        verdict = classify_cardinalities(cards("1:N", "N:M", "1:N"))
+        # "it contains a transitive N:M relationship as a part of it".
+        assert verdict.nm_step_positions == (1,)
+        assert verdict.loose_joint_positions == (1,)
+
+
+class TestClassifyErPath:
+    def test_schema_path_row5(self, er_schema):
+        path = ERPath.from_relationships(
+            er_schema, ["PROJECT", "DEPARTMENT", "EMPLOYEE"]
+        )
+        verdict = classify_er_path(path)
+        assert verdict.is_loose
+        assert verdict.loose_joint_positions == (0,)
+
+    def test_schema_path_row3(self, er_schema):
+        path = ERPath.from_relationships(
+            er_schema, ["DEPARTMENT", "EMPLOYEE", "DEPENDENT"]
+        )
+        assert classify_er_path(path).is_close
+
+    def test_direction_does_not_change_closeness(self, er_schema):
+        forward = ERPath.from_relationships(
+            er_schema, ["DEPARTMENT", "EMPLOYEE", "DEPENDENT"]
+        )
+        backward = forward.reversed()
+        assert classify_er_path(forward).is_close == \
+            classify_er_path(backward).is_close
+
+
+class TestInvariants:
+    """Structural invariants relating the taxonomy's pieces."""
+
+    ALL = ("1:1", "1:N", "N:1", "N:M")
+
+    def test_functional_composition_never_has_joints(self):
+        from itertools import product
+
+        for sequence in product(self.ALL, repeat=3):
+            verdict = classify_cardinalities(cards(*sequence))
+            if verdict.composed.is_functional:
+                assert verdict.loose_joint_positions == ()
+
+    def test_joint_implies_nm_composition(self):
+        from itertools import product
+
+        for sequence in product(self.ALL, repeat=3):
+            verdict = classify_cardinalities(cards(*sequence))
+            if verdict.loose_joint_positions:
+                assert verdict.composed.is_many_to_many
+
+    def test_close_iff_immediate_or_functional(self):
+        from itertools import product
+
+        for length in (1, 2, 3):
+            for sequence in product(self.ALL, repeat=length):
+                verdict = classify_cardinalities(cards(*sequence))
+                expected = length == 1 or verdict.composed.is_functional
+                assert verdict.is_close is expected

@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSearchCommand:
+    def test_default_database_search(self):
+        code, output = run("search", "Smith XML")
+        assert code == 0
+        assert "e1(Smith)" in output
+        assert "d1(XML)" in output
+
+    def test_ranker_choice_changes_order(self):
+        __, closeness = run("search", "Smith XML", "--ranker", "closeness")
+        __, rdb = run("search", "Smith XML", "--ranker", "rdb")
+        assert closeness != rdb
+
+    def test_top_k(self):
+        code, output = run("search", "Smith XML", "--top", "2")
+        assert code == 0
+        assert len(output.strip().splitlines()) == 2
+
+    def test_explain_mode(self):
+        code, output = run("search", "Smith XML", "--explain")
+        assert code == 0
+        assert "verdict" in output
+
+    def test_no_answers_exit_code(self):
+        code, output = run("search", "unicorn rainbow")
+        assert code == 1
+        assert "no answers" in output
+
+    def test_max_rdb_bound(self):
+        __, short = run("search", "Smith XML", "--max-rdb", "1")
+        __, longer = run("search", "Smith XML", "--max-rdb", "3")
+        assert len(short.splitlines()) < len(longer.splitlines())
+
+    def test_or_semantics_flag(self):
+        code, output = run("search", "Smith unicorn", "--semantics", "or")
+        assert code == 0
+        assert "e1(Smith)" in output
+
+    def test_group_flag(self):
+        code, output = run("search", "Smith XML", "--group")
+        assert code == 0
+        assert "close (" in output
+        assert "loose (" in output
+
+    def test_role_qualified_query(self):
+        code, output = run("search", "Smith XML@PROJECT")
+        assert code == 0
+        assert "XML@PROJECT" in output
+        assert "d1(XML)" not in output
+
+
+class TestReproduceCommand:
+    def test_reproduce_runs_everything(self):
+        code, output = run("reproduce")
+        assert code == 0
+        assert "Table 1" in output
+        assert "Table 2" in output
+        assert "Table 3" in output
+        assert "Claim C1" in output
+        assert "Claim C2" in output
+        assert "lost (3, 4, 6, 7)" in output
+
+
+class TestAnalyzeCommand:
+    def test_analyze_company(self):
+        code, output = run("analyze")
+        assert code == 0
+        assert "DEPARTMENT -- EMPLOYEE: both" in output
+
+    def test_max_length_flag(self):
+        __, short = run("analyze", "--max-length", "1")
+        __, longer = run("analyze", "--max-length", "3")
+        assert len(longer) > len(short)
+
+
+class TestMtjntCommand:
+    def test_paper_query(self):
+        code, output = run("mtjnt", "Smith XML")
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 3
+        assert "{d1, e1}" in output
+
+    def test_no_networks_exit_code(self):
+        code, output = run("mtjnt", "unicorn rainbow")
+        assert code == 1
+
+
+class TestGenerateCommand:
+    def test_generate_and_reuse(self, tmp_path):
+        path = tmp_path / "db.json"
+        code, output = run("generate", "--departments", "2", "--out", str(path))
+        assert code == 0
+        assert path.exists()
+        code, output = run("--db", str(path), "search", "project")
+        assert code == 0
+
+    def test_generated_size_scales(self, tmp_path):
+        small = tmp_path / "small.json"
+        large = tmp_path / "large.json"
+        __, small_out = run("generate", "--departments", "2", "--out", str(small))
+        __, large_out = run("generate", "--departments", "8", "--out", str(large))
+        small_count = int(small_out.split()[1])
+        large_count = int(large_out.split()[1])
+        assert large_count > small_count

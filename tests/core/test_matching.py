@@ -1,0 +1,63 @@
+"""Unit tests for query parsing and keyword matching."""
+
+import pytest
+
+from repro.core.matching import match_keywords, parse_query
+from repro.errors import QueryError
+
+
+class TestParseQuery:
+    def test_splits_on_whitespace(self):
+        assert parse_query("Smith XML") == ("Smith", "XML")
+
+    def test_collapses_case_insensitive_duplicates(self):
+        assert parse_query("XML xml Xml") == ("XML",)
+
+    def test_preserves_first_spelling(self):
+        assert parse_query("xml XML") == ("xml",)
+
+    def test_preserves_order(self):
+        assert parse_query("b a c") == ("b", "a", "c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_multiline(self):
+        assert parse_query("a\nb\tc") == ("a", "b", "c")
+
+
+class TestMatchKeywords:
+    def test_matches_in_query_order(self, index):
+        matches = match_keywords(index, ("Smith", "XML"))
+        assert [m.keyword for m in matches] == ["Smith", "XML"]
+
+    def test_keyword_spelling_preserved(self, index):
+        matches = match_keywords(index, ("XML",))
+        assert matches[0].keyword == "XML"
+
+    def test_tuple_ids(self, index, company_db):
+        matches = match_keywords(index, ("Smith",))
+        labels = {company_db.tuple(t).label for t in matches[0].tuple_ids}
+        assert labels == {"e1", "e2"}
+
+    def test_empty_match(self, index):
+        matches = match_keywords(index, ("nothinghere",))
+        assert matches[0].is_empty
+        assert len(matches[0]) == 0
+
+    def test_no_keywords_rejected(self, index):
+        with pytest.raises(QueryError):
+            match_keywords(index, ())
+
+    def test_matched_attributes(self, index, company_db):
+        matches = match_keywords(index, ("XML",))
+        p2 = company_db.get("PROJECT", "p2").tid
+        assert set(matches[0].matched_attributes(p2)) == {
+            "P_NAME", "P_DESCRIPTION",
+        }
+
+    def test_postings_have_provenance(self, index):
+        matches = match_keywords(index, ("Smith",))
+        assert all(p.attribute == "L_NAME" for p in matches[0].postings)
+        assert all(p.whole_value for p in matches[0].postings)

@@ -1,0 +1,152 @@
+"""Unit tests for result presentation (paper §4) and OR semantics."""
+
+import pytest
+
+from repro.core.presentation import (
+    filter_instance_close,
+    group_results,
+    larger_context,
+)
+from repro.core.search import SearchLimits
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def results(engine):
+    return engine.search("XML Smith", limits=SearchLimits(max_rdb_length=3))
+
+
+class TestGroupResults:
+    def test_three_groups_on_paper_query(self, results):
+        groups = group_results(results)
+        labels = [group.label for group in groups]
+        assert labels == ["close", "close, larger context", "loose"]
+
+    def test_close_group_contains_the_three_best(self, results):
+        groups = {group.label: group for group in group_results(results)}
+        rendered = {r.answer.render() for r in groups["close"].results}
+        assert rendered == {
+            "d1(XML) – e1(Smith)",
+            "p1(XML) – w_f1 – e1(Smith)",
+            "d2(XML) – e2(Smith)",
+        }
+
+    def test_larger_context_group_is_instance_corroborated(self, results):
+        # Paper §3: "in an instance level, also connections 3 and 4 have a
+        # close association" - so 3, 4 and 7 land in the middle group.
+        groups = {group.label: group for group in group_results(results)}
+        rendered = {
+            r.answer.render()
+            for r in groups["close, larger context"].results
+        }
+        assert rendered == {
+            "p1(XML) – d1(XML) – e1(Smith)",
+            "d1(XML) – p1(XML) – w_f1 – e1(Smith)",
+            "d2(XML) – p3 – w_f2 – e2(Smith)",
+        }
+
+    def test_loose_group_is_connection_6_only(self, results):
+        # Barbara Smith never works on p2: connection 6 stays loose even at
+        # the instance level.
+        groups = {group.label: group for group in group_results(results)}
+        rendered = {r.answer.render() for r in groups["loose"].results}
+        assert rendered == {"p2(XML) – d2(XML) – e2(Smith)"}
+
+    def test_groups_preserve_order(self, results):
+        for group in group_results(results):
+            ranks = [result.rank for result in group.results]
+            assert ranks == sorted(ranks)
+
+    def test_empty_groups_omitted(self, engine):
+        results = engine.search("XML Smith", limits=SearchLimits(max_rdb_length=1))
+        labels = [group.label for group in group_results(results)]
+        assert labels == ["close"]
+
+    def test_describe(self, results):
+        group = group_results(results)[0]
+        description = group.describe()
+        assert description.startswith("close (")
+        assert "d1(XML)" in description
+
+
+class TestLargerContext:
+    def test_selects_corroborated_long_answers(self, results):
+        # Connections 3, 4 and 7 keep their association at the instance
+        # level (paper §3); connection 6 does not and is excluded.
+        selected = {r.answer.render() for r in larger_context(results)}
+        assert selected == {
+            "p1(XML) – d1(XML) – e1(Smith)",
+            "d1(XML) – p1(XML) – w_f1 – e1(Smith)",
+            "d2(XML) – p3 – w_f2 – e2(Smith)",
+        }
+
+    def test_without_instance_corroboration(self, results):
+        selected = larger_context(results, require_instance_close=False)
+        # Only schema-close long answers remain - none at er>=2 here are
+        # schema-close except... 4 and 7 are loose, so nothing qualifies.
+        assert {r.answer.render() for r in selected} == set()
+
+    def test_min_er_length_threshold(self, results):
+        everything = larger_context(results, min_er_length=1)
+        assert len(everything) >= 5  # all close + corroborated loose
+
+
+class TestFilterInstanceClose:
+    def test_drops_uncorroborated(self, results):
+        kept = {r.answer.render() for r in filter_instance_close(results)}
+        assert "p2(XML) – d2(XML) – e2(Smith)" not in kept
+        assert "p1(XML) – d1(XML) – e1(Smith)" in kept  # corroborated
+
+    def test_keeps_all_close(self, results):
+        kept = {r.answer.render() for r in filter_instance_close(results)}
+        assert "d1(XML) – e1(Smith)" in kept
+        assert "p1(XML) – w_f1 – e1(Smith)" in kept
+
+
+class TestOrSemantics:
+    def test_unmatched_keyword_does_not_kill_query(self, engine):
+        results = engine.search("Smith unicorn", semantics="or")
+        assert results
+        rendered = {r.answer.render() for r in results}
+        assert "e1(Smith)" in rendered
+
+    def test_all_unmatched_yields_empty(self, engine):
+        assert engine.search("unicorn rainbow", semantics="or") == []
+
+    def test_coverage_major_ordering(self, engine):
+        results = engine.search(
+            "XML Smith", semantics="or", limits=SearchLimits(max_rdb_length=3)
+        )
+        coverages = []
+        for result in results:
+            coverages.append(-result.score[0])
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_two_keyword_or_includes_singles(self, engine):
+        results = engine.search(
+            "XML Smith", semantics="or", limits=SearchLimits(max_rdb_length=3)
+        )
+        rendered = {r.answer.render() for r in results}
+        assert "d1(XML)" in rendered          # single matching only XML
+        assert "e1(Smith) – d1(XML)" in rendered or \
+            "d1(XML) – e1(Smith)" in rendered
+
+    def test_connections_outrank_singles(self, engine):
+        results = engine.search(
+            "XML Smith", semantics="or", limits=SearchLimits(max_rdb_length=3)
+        )
+        # The first results cover both keywords.
+        assert results[0].score[0] == -2.0
+
+    def test_three_keyword_or(self, engine):
+        results = engine.search("Smith Alice unicorn", semantics="or")
+        assert results
+        best_coverage = -results[0].score[0]
+        assert best_coverage == 2  # Smith+Alice connect; unicorn matches nothing
+
+    def test_invalid_semantics_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.search("Smith", semantics="xor")
+
+    def test_and_unchanged_by_default(self, engine):
+        assert engine.search("Smith unicorn") == []

@@ -1,0 +1,95 @@
+"""Unit tests for role-qualified keywords (MeanKS-style disambiguation)."""
+
+import pytest
+
+from repro.core.matching import match_keywords, split_role
+from repro.core.search import SearchLimits
+from repro.errors import QueryError
+
+
+class TestSplitRole:
+    def test_plain_keyword(self):
+        assert split_role("xml") == ("xml", None)
+
+    def test_qualified_keyword(self):
+        assert split_role("xml@PROJECT") == ("xml", "PROJECT")
+
+    def test_whitespace_stripped(self):
+        assert split_role("  xml@PROJECT ") == ("xml", "PROJECT")
+
+    def test_missing_term_rejected(self):
+        with pytest.raises(QueryError):
+            split_role("@PROJECT")
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(QueryError):
+            split_role("xml@")
+
+    def test_double_qualifier_rejected(self):
+        with pytest.raises(QueryError):
+            split_role("xml@A@B")
+
+
+class TestQualifiedMatching:
+    def test_role_restricts_relation(self, index, company_db):
+        matches = match_keywords(index, ("xml@PROJECT",))
+        labels = {company_db.tuple(t).label for t in matches[0].tuple_ids}
+        assert labels == {"p1", "p2"}
+
+    def test_role_is_case_insensitive(self, index):
+        upper = match_keywords(index, ("xml@PROJECT",))
+        lower = match_keywords(index, ("xml@project",))
+        assert upper[0].tuple_ids == lower[0].tuple_ids
+
+    def test_unqualified_keyword_unchanged(self, index, company_db):
+        matches = match_keywords(index, ("xml",))
+        labels = {company_db.tuple(t).label for t in matches[0].tuple_ids}
+        assert labels == {"d1", "d2", "p1", "p2"}
+
+    def test_postings_filtered_too(self, index):
+        matches = match_keywords(index, ("xml@DEPARTMENT",))
+        assert all(
+            posting.tid.relation == "DEPARTMENT"
+            for posting in matches[0].postings
+        )
+
+    def test_wrong_role_matches_nothing(self, index):
+        matches = match_keywords(index, ("smith@PROJECT",))
+        assert matches[0].is_empty
+
+    def test_keyword_keeps_qualified_spelling(self, index):
+        matches = match_keywords(index, ("XML@Project",))
+        assert matches[0].keyword == "XML@Project"
+
+
+class TestQualifiedSearch:
+    def test_role_narrows_the_answer_set(self, engine):
+        unqualified = engine.search(
+            "Smith XML", limits=SearchLimits(max_rdb_length=3)
+        )
+        qualified = engine.search(
+            "Smith XML@PROJECT", limits=SearchLimits(max_rdb_length=3)
+        )
+        assert 0 < len(qualified) < len(unqualified)
+
+    def test_qualified_answers_end_in_the_role_relation(self, engine):
+        results = engine.search(
+            "Smith XML@PROJECT", limits=SearchLimits(max_rdb_length=3)
+        )
+        for result in results:
+            relations = {tid.relation for tid in result.answer.tuple_ids()}
+            assert "PROJECT" in relations
+
+    def test_annotation_shows_qualified_keyword(self, engine):
+        results = engine.search(
+            "Smith XML@PROJECT", limits=SearchLimits(max_rdb_length=3)
+        )
+        assert any("XML@PROJECT" in r.answer.render() for r in results)
+
+    def test_department_role_excludes_projects(self, engine):
+        results = engine.search(
+            "Smith XML@DEPARTMENT", limits=SearchLimits(max_rdb_length=2)
+        )
+        rendered = {r.answer.render() for r in results}
+        assert "e1(Smith) – d1(XML@DEPARTMENT)" in rendered
+        assert not any("p1" in text or "p2" in text for text in rendered)

@@ -1,0 +1,132 @@
+"""Unit tests for TF-IDF content scoring and the combined ranker."""
+
+import pytest
+
+from repro.core.connections import Connection
+from repro.core.matching import match_keywords
+from repro.core.ranking import rank_connections
+from repro.core.scoring import CombinedRanker, TfIdfScorer, content_score
+from repro.relational.database import TupleId
+
+
+@pytest.fixture
+def scorer(index):
+    return TfIdfScorer(index)
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+class TestTfIdfScorer:
+    def test_absent_keyword_scores_zero(self, scorer):
+        assert scorer.score("unicorn", tid("EMPLOYEE", "e1")) == 0.0
+
+    def test_absent_tuple_scores_zero(self, scorer):
+        assert scorer.score("xml", tid("EMPLOYEE", "e3")) == 0.0
+
+    def test_present_keyword_scores_positive(self, scorer):
+        assert scorer.score("xml", tid("DEPARTMENT", "d1")) > 0.0
+
+    def test_rarer_terms_have_higher_idf(self, scorer):
+        # 'databases' occurs in one tuple, 'xml' in four.
+        assert scorer.idf("databases") > scorer.idf("xml")
+
+    def test_idf_of_unknown_term_is_maximal(self, scorer):
+        assert scorer.idf("unicorn") >= scorer.idf("databases")
+
+    def test_whole_value_boost(self, index):
+        boosted = TfIdfScorer(index, whole_value_boost=2.0)
+        flat = TfIdfScorer(index, whole_value_boost=1.0)
+        # 'Smith' matches L_NAME as a whole value.
+        employee = tid("EMPLOYEE", "e1")
+        assert boosted.score("smith", employee) == pytest.approx(
+            2.0 * flat.score("smith", employee)
+        )
+
+    def test_term_frequency_counts_attributes(self, scorer):
+        # 'xml' occurs in p2's P_NAME and P_DESCRIPTION.
+        assert scorer.term_frequency("xml", tid("PROJECT", "p2")) == 2.0
+
+    def test_multiple_occurrences_score_higher(self, scorer):
+        # p2 mentions xml in two attributes; d1 in one.
+        p2 = scorer.score("xml", tid("PROJECT", "p2"))
+        d1 = scorer.score("xml", tid("DEPARTMENT", "d1"))
+        assert p2 > d1
+
+
+class TestContentScore:
+    def test_sums_best_per_keyword(self, scorer, index):
+        matches = match_keywords(index, ("XML", "Smith"))
+        members = [tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1")]
+        total = content_score(scorer, members, matches)
+        expected = scorer.score("xml", tid("DEPARTMENT", "d1")) + scorer.score(
+            "smith", tid("EMPLOYEE", "e1")
+        )
+        assert total == pytest.approx(expected)
+
+    def test_uncovered_keyword_contributes_zero(self, scorer, index):
+        matches = match_keywords(index, ("XML", "Smith"))
+        members = [tid("DEPARTMENT", "d1")]  # no Smith tuple
+        total = content_score(scorer, members, matches)
+        assert total == pytest.approx(scorer.score("xml", tid("DEPARTMENT", "d1")))
+
+    def test_picks_best_tuple_per_keyword(self, scorer, index):
+        matches = match_keywords(index, ("XML",))
+        members = [tid("DEPARTMENT", "d1"), tid("PROJECT", "p2")]
+        total = content_score(scorer, members, matches)
+        assert total == pytest.approx(scorer.score("xml", tid("PROJECT", "p2")))
+
+
+class TestCombinedRanker:
+    @pytest.fixture
+    def searched(self, engine):
+        from repro.core.search import SearchLimits, find_connections
+
+        matches = match_keywords(engine.index, ("XML", "Smith"))
+        answers = [
+            answer
+            for answer in find_connections(
+                engine.data_graph, matches, SearchLimits(max_rdb_length=3)
+            )
+            if isinstance(answer, Connection)
+        ]
+        return matches, answers
+
+    def test_structure_only_matches_closeness_order(self, scorer, searched):
+        from repro.core.ranking import ClosenessRanker
+
+        matches, answers = searched
+        combined = CombinedRanker.for_query(scorer, matches, w_content=0.0)
+        closeness = rank_connections(answers, ClosenessRanker())
+        content_free = rank_connections(answers, combined)
+        assert [a.render() for a, __ in closeness] == [
+            a.render() for a, __ in content_free
+        ]
+
+    def test_content_weight_changes_order(self, scorer, searched):
+        matches, answers = searched
+        structural = CombinedRanker.for_query(scorer, matches, w_content=0.0)
+        content_heavy = CombinedRanker.for_query(
+            scorer, matches, w_structure=0.0, w_content=1.0
+        )
+        first = [a.render() for a, __ in rank_connections(answers, structural)]
+        second = [a.render() for a, __ in rank_connections(answers, content_heavy)]
+        assert first != second
+
+    def test_content_heavy_prefers_double_xml_paths(self, scorer, searched):
+        matches, answers = searched
+        content_heavy = CombinedRanker.for_query(
+            scorer, matches, w_structure=0.0, w_content=1.0
+        )
+        ranked = rank_connections(answers, content_heavy)
+        # The best content answer must contain an XML-rich project tuple.
+        top_render = ranked[0][0].render()
+        assert "p2(XML)" in top_render or "p1(XML)" in top_render
+
+    def test_lower_is_better_convention(self, scorer, searched):
+        matches, answers = searched
+        combined = CombinedRanker.for_query(scorer, matches)
+        ranked = rank_connections(answers, combined)
+        scores = [score for __, score in ranked]
+        assert scores == sorted(scores)

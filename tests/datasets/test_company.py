@@ -1,0 +1,86 @@
+"""Unit tests for the paper's company dataset (Figures 1 and 2)."""
+
+import pytest
+
+from repro.datasets.company import (
+    TABLE1_ENTITY_SEQUENCES,
+    build_company_database,
+    build_company_er_schema,
+    build_company_schema,
+)
+
+
+class TestErSchema:
+    def test_four_entities_four_relationships(self, er_schema):
+        assert len(er_schema.entity_types) == 4
+        assert len(er_schema.relationships) == 4
+
+    def test_validates(self, er_schema):
+        er_schema.validate()
+
+    def test_table1_sequences_are_well_formed(self, er_schema):
+        from repro.er.paths import ERPath
+
+        for sequence in TABLE1_ENTITY_SEQUENCES:
+            if len(sequence) >= 2:
+                ERPath.from_relationships(er_schema, sequence)
+
+
+class TestRelationalSchema:
+    def test_five_relations(self, db_schema):
+        assert len(db_schema.relations) == 5
+
+    def test_five_foreign_keys(self, db_schema):
+        assert len(db_schema.foreign_keys) == 5
+
+    def test_works_for_is_middle(self, db_schema):
+        relation = db_schema.relation("WORKS_FOR")
+        assert relation.is_middle
+        assert relation.implements_relationship == "WORKS_ON"
+        assert relation.primary_key == ("ESSN", "P_ID")
+
+    def test_description_attributes_are_text(self, db_schema):
+        assert db_schema.relation("DEPARTMENT").attribute("D_DESCRIPTION").is_text
+        assert db_schema.relation("PROJECT").attribute("P_DESCRIPTION").is_text
+
+    def test_validates(self, db_schema):
+        db_schema.validate()
+
+
+class TestInstance:
+    def test_counts(self, company_db):
+        assert company_db.count("DEPARTMENT") == 3
+        assert company_db.count("PROJECT") == 3
+        assert company_db.count("EMPLOYEE") == 4
+        assert company_db.count("WORKS_FOR") == 4
+        assert company_db.count("DEPENDENT") == 2
+
+    def test_integrity(self, company_db):
+        company_db.check_integrity()
+
+    def test_figure2_values_spot_checks(self, company_db):
+        assert company_db.get("DEPARTMENT", "d3")["D_NAME"] == "history"
+        assert company_db.get("PROJECT", "p2")["P_NAME"] == "XML and IR"
+        assert company_db.get("EMPLOYEE", "e2")["S_NAME"] == "Barbara"
+        assert company_db.get("WORKS_FOR", "e4", "p3")["HOURS"] == 60
+        assert company_db.get("DEPENDENT", "t2")["DEPENDENT_NAME"] == "Theodore"
+
+    def test_works_for_labels_in_print_order(self, company_db):
+        labels = [t.label for t in company_db.tuples("WORKS_FOR")]
+        assert labels == ["w_f1", "w_f2", "w_f3", "w_f4"]
+
+    def test_employee_department_assignments(self, company_db):
+        assignments = {
+            t.label: t["D_ID"] for t in company_db.tuples("EMPLOYEE")
+        }
+        assert assignments == {"e1": "d1", "e2": "d2", "e3": "d1", "e4": "d2"}
+
+    def test_dependents_belong_to_e3(self, company_db):
+        essns = {t["ESSN"] for t in company_db.tuples("DEPENDENT")}
+        assert essns == {"e3"}
+
+    def test_fresh_instances_are_independent(self):
+        first = build_company_database()
+        second = build_company_database()
+        first.insert("DEPARTMENT", {"ID": "d9"})
+        assert second.get("DEPARTMENT", "d9") is None

@@ -1,0 +1,218 @@
+"""Unit tests for the cardinality algebra."""
+
+import pytest
+
+from repro.er.cardinality import Cardinality, Multiplicity, compose_path
+from repro.errors import PathError
+
+
+class TestMultiplicity:
+    def test_parse_one(self):
+        assert Multiplicity.parse("1") is Multiplicity.ONE
+
+    def test_parse_n(self):
+        assert Multiplicity.parse("N") is Multiplicity.MANY
+
+    def test_parse_m_is_many(self):
+        assert Multiplicity.parse("M") is Multiplicity.MANY
+
+    def test_parse_star_is_many(self):
+        assert Multiplicity.parse("*") is Multiplicity.MANY
+
+    def test_parse_lower_case(self):
+        assert Multiplicity.parse("n") is Multiplicity.MANY
+
+    def test_parse_strips_whitespace(self):
+        assert Multiplicity.parse(" 1 ") is Multiplicity.ONE
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Multiplicity.parse("2")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Multiplicity.parse("")
+
+    def test_is_one(self):
+        assert Multiplicity.ONE.is_one
+        assert not Multiplicity.MANY.is_one
+
+    def test_is_many(self):
+        assert Multiplicity.MANY.is_many
+        assert not Multiplicity.ONE.is_many
+
+    def test_str(self):
+        assert str(Multiplicity.ONE) == "1"
+        assert str(Multiplicity.MANY) == "N"
+
+
+class TestCardinalityParsing:
+    @pytest.mark.parametrize(
+        "text, left, right",
+        [
+            ("1:1", Multiplicity.ONE, Multiplicity.ONE),
+            ("1:N", Multiplicity.ONE, Multiplicity.MANY),
+            ("N:1", Multiplicity.MANY, Multiplicity.ONE),
+            ("N:M", Multiplicity.MANY, Multiplicity.MANY),
+            ("M:N", Multiplicity.MANY, Multiplicity.MANY),
+        ],
+    )
+    def test_parse(self, text, left, right):
+        cardinality = Cardinality.parse(text)
+        assert cardinality.left is left
+        assert cardinality.right is right
+
+    def test_parse_rejects_missing_colon(self):
+        with pytest.raises(ValueError):
+            Cardinality.parse("1N")
+
+    def test_parse_rejects_three_parts(self):
+        with pytest.raises(ValueError):
+            Cardinality.parse("1:N:M")
+
+    def test_constructors_match_parse(self):
+        assert Cardinality.one_to_one() == Cardinality.parse("1:1")
+        assert Cardinality.one_to_many() == Cardinality.parse("1:N")
+        assert Cardinality.many_to_one() == Cardinality.parse("N:1")
+        assert Cardinality.many_to_many() == Cardinality.parse("N:M")
+
+    def test_round_trip_rendering(self):
+        for text in ("1:1", "1:N", "N:1", "N:M"):
+            assert str(Cardinality.parse(text)) == text
+
+    def test_nm_renders_with_m(self):
+        assert str(Cardinality.many_to_many()) == "N:M"
+
+    def test_hashable_and_equal(self):
+        assert Cardinality.parse("1:N") == Cardinality.parse("1:N")
+        assert len({Cardinality.parse("1:N"), Cardinality.parse("1:N")}) == 1
+
+
+class TestCardinalityPredicates:
+    def test_forward_functional(self):
+        assert Cardinality.parse("N:1").forward_functional
+        assert Cardinality.parse("1:1").forward_functional
+        assert not Cardinality.parse("1:N").forward_functional
+        assert not Cardinality.parse("N:M").forward_functional
+
+    def test_backward_functional(self):
+        assert Cardinality.parse("1:N").backward_functional
+        assert Cardinality.parse("1:1").backward_functional
+        assert not Cardinality.parse("N:1").backward_functional
+
+    def test_is_functional(self):
+        assert Cardinality.parse("1:N").is_functional
+        assert Cardinality.parse("N:1").is_functional
+        assert Cardinality.parse("1:1").is_functional
+        assert not Cardinality.parse("N:M").is_functional
+
+    def test_is_many_to_many(self):
+        assert Cardinality.parse("N:M").is_many_to_many
+        assert not Cardinality.parse("1:N").is_many_to_many
+
+    def test_is_one_to_one(self):
+        assert Cardinality.parse("1:1").is_one_to_one
+        assert not Cardinality.parse("N:1").is_one_to_one
+
+
+class TestReversal:
+    def test_reverse_one_to_many(self):
+        assert Cardinality.parse("1:N").reversed() == Cardinality.parse("N:1")
+
+    def test_reverse_symmetric_cases(self):
+        assert Cardinality.parse("1:1").reversed() == Cardinality.parse("1:1")
+        assert Cardinality.parse("N:M").reversed() == Cardinality.parse("N:M")
+
+    def test_double_reverse_is_identity(self):
+        for text in ("1:1", "1:N", "N:1", "N:M"):
+            cardinality = Cardinality.parse(text)
+            assert cardinality.reversed().reversed() == cardinality
+
+
+class TestComposition:
+    @pytest.mark.parametrize(
+        "first, second, expected",
+        [
+            # Functional chains stay functional.
+            ("1:N", "1:N", "1:N"),
+            ("N:1", "N:1", "N:1"),
+            ("1:1", "1:1", "1:1"),
+            ("1:1", "1:N", "1:N"),
+            ("1:N", "1:1", "1:N"),
+            # Fan-in then fan-out: the paper's transitive N:M.
+            ("N:1", "1:N", "N:M"),
+            # Fan-out then fan-in composes to N:M as well (both ends many).
+            ("1:N", "N:1", "N:M"),
+            # Any N:M step poisons functionality.
+            ("N:M", "1:N", "N:M"),
+            ("1:N", "N:M", "N:M"),
+            ("N:M", "N:M", "N:M"),
+            # N:M then N:1 keeps forward multi-valued, backward multi too.
+            ("N:M", "N:1", "N:M"),
+        ],
+    )
+    def test_pairwise(self, first, second, expected):
+        composed = Cardinality.parse(first).compose(Cardinality.parse(second))
+        assert composed == Cardinality.parse(expected)
+
+    def test_paper_relationship_3(self):
+        # department 1:N employee 1:N dependent -> 1:N (functional).
+        composed = compose_path(
+            [Cardinality.parse("1:N"), Cardinality.parse("1:N")]
+        )
+        assert composed == Cardinality.parse("1:N")
+        assert composed.is_functional
+
+    def test_paper_relationship_4(self):
+        # department 1:N project N:M employee -> N:M (loose).
+        composed = compose_path(
+            [Cardinality.parse("1:N"), Cardinality.parse("N:M")]
+        )
+        assert composed.is_many_to_many
+
+    def test_paper_relationship_5(self):
+        # project N:1 department 1:N employee -> N:M (loose).
+        composed = compose_path(
+            [Cardinality.parse("N:1"), Cardinality.parse("1:N")]
+        )
+        assert composed.is_many_to_many
+
+    def test_paper_relationship_6(self):
+        # department 1:N project N:M employee 1:N dependent -> N:M.
+        composed = compose_path(
+            [
+                Cardinality.parse("1:N"),
+                Cardinality.parse("N:M"),
+                Cardinality.parse("1:N"),
+            ]
+        )
+        assert composed.is_many_to_many
+
+    def test_single_step_composition_is_identity(self):
+        for text in ("1:1", "1:N", "N:1", "N:M"):
+            assert compose_path([Cardinality.parse(text)]) == Cardinality.parse(text)
+
+    def test_empty_path_raises(self):
+        with pytest.raises(PathError):
+            compose_path([])
+
+    def test_compose_accepts_generator(self):
+        steps = (Cardinality.parse(t) for t in ("1:N", "1:N"))
+        assert compose_path(steps) == Cardinality.parse("1:N")
+
+    def test_one_to_one_chain_is_one_to_one(self):
+        composed = compose_path([Cardinality.parse("1:1")] * 4)
+        assert composed.is_one_to_one
+
+    def test_functional_definition_mixed_with_one_to_one(self):
+        # 1:1 steps inside an otherwise 1:N chain keep it functional
+        # (the paper: "a functional relationship may also contain 1:1").
+        composed = compose_path(
+            [
+                Cardinality.parse("1:N"),
+                Cardinality.parse("1:1"),
+                Cardinality.parse("1:N"),
+            ]
+        )
+        assert composed == Cardinality.parse("1:N")
+        assert composed.is_functional

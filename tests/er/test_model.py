@@ -1,0 +1,216 @@
+"""Unit tests for the ER model classes."""
+
+import pytest
+
+from repro.er.cardinality import Cardinality
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.errors import (
+    SchemaError,
+    UnknownAttributeError,
+    UnknownEntityTypeError,
+    UnknownRelationshipError,
+)
+
+
+def make_entity(name="E", key="ID"):
+    return EntityType(name, [Attribute(key, is_key=True), Attribute("NAME")])
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attribute = Attribute("NAME")
+        assert attribute.data_type == "str"
+        assert not attribute.is_key
+        assert not attribute.is_text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_frozen(self):
+        attribute = Attribute("NAME")
+        with pytest.raises(AttributeError):
+            attribute.name = "OTHER"
+
+
+class TestEntityType:
+    def test_attributes_in_declaration_order(self):
+        entity = EntityType("E", [Attribute("A"), Attribute("B")])
+        assert [a.name for a in entity.attributes] == ["A", "B"]
+
+    def test_key_attributes(self):
+        entity = make_entity()
+        assert [a.name for a in entity.key_attributes] == ["ID"]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            EntityType("E", [Attribute("A"), Attribute("A")])
+
+    def test_attribute_lookup(self):
+        entity = make_entity()
+        assert entity.attribute("NAME").name == "NAME"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_entity().attribute("MISSING")
+
+    def test_has_attribute(self):
+        entity = make_entity()
+        assert entity.has_attribute("ID")
+        assert not entity.has_attribute("MISSING")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            EntityType("")
+
+    def test_equality_by_name(self):
+        assert make_entity("X") == make_entity("X")
+        assert make_entity("X") != make_entity("Y")
+
+    def test_add_attribute_after_construction(self):
+        entity = make_entity()
+        entity.add_attribute(Attribute("EXTRA"))
+        assert entity.has_attribute("EXTRA")
+
+
+class TestRelationshipType:
+    def test_other_end(self):
+        relationship = RelationshipType(
+            "R", "A", "B", Cardinality.parse("1:N")
+        )
+        assert relationship.other_end("A") == "B"
+        assert relationship.other_end("B") == "A"
+
+    def test_other_end_rejects_stranger(self):
+        relationship = RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+        with pytest.raises(UnknownEntityTypeError):
+            relationship.other_end("C")
+
+    def test_cardinality_from_left(self):
+        relationship = RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+        assert relationship.cardinality_from("A") == Cardinality.parse("1:N")
+
+    def test_cardinality_from_right_is_reversed(self):
+        relationship = RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+        assert relationship.cardinality_from("B") == Cardinality.parse("N:1")
+
+    def test_cardinality_from_stranger_raises(self):
+        relationship = RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+        with pytest.raises(UnknownEntityTypeError):
+            relationship.cardinality_from("C")
+
+    def test_reflexive(self):
+        relationship = RelationshipType("R", "A", "A", Cardinality.parse("N:M"))
+        assert relationship.is_reflexive
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationshipType("", "A", "B", Cardinality.parse("1:N"))
+
+    def test_relationship_attributes(self):
+        relationship = RelationshipType(
+            "R", "A", "B", Cardinality.parse("N:M"),
+            attributes=(Attribute("HOURS", data_type="int"),),
+        )
+        assert relationship.attributes[0].name == "HOURS"
+
+
+class TestERSchema:
+    def test_add_and_lookup_entity(self):
+        schema = ERSchema()
+        schema.add_entity_type(make_entity("A"))
+        assert schema.entity_type("A").name == "A"
+        assert schema.has_entity_type("A")
+
+    def test_duplicate_entity_rejected(self):
+        schema = ERSchema(entity_types=[make_entity("A")])
+        with pytest.raises(SchemaError):
+            schema.add_entity_type(make_entity("A"))
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(UnknownEntityTypeError):
+            ERSchema().entity_type("A")
+
+    def test_relationship_requires_registered_endpoints(self):
+        schema = ERSchema(entity_types=[make_entity("A")])
+        with pytest.raises(UnknownEntityTypeError):
+            schema.add_relationship(
+                RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+            )
+
+    def test_duplicate_relationship_rejected(self):
+        schema = ERSchema(entity_types=[make_entity("A"), make_entity("B")])
+        schema.add_relationship(
+            RelationshipType("R", "A", "B", Cardinality.parse("1:N"))
+        )
+        with pytest.raises(SchemaError):
+            schema.add_relationship(
+                RelationshipType("R", "A", "B", Cardinality.parse("N:M"))
+            )
+
+    def test_unknown_relationship_raises(self):
+        with pytest.raises(UnknownRelationshipError):
+            ERSchema().relationship("R")
+
+    def test_relationships_of(self):
+        schema = ERSchema(
+            entity_types=[make_entity("A"), make_entity("B"), make_entity("C")]
+        )
+        schema.add_relationship(
+            RelationshipType("R1", "A", "B", Cardinality.parse("1:N"))
+        )
+        schema.add_relationship(
+            RelationshipType("R2", "B", "C", Cardinality.parse("N:M"))
+        )
+        assert [r.name for r in schema.relationships_of("B")] == ["R1", "R2"]
+        assert [r.name for r in schema.relationships_of("A")] == ["R1"]
+
+    def test_relationships_between(self):
+        schema = ERSchema(entity_types=[make_entity("A"), make_entity("B")])
+        schema.add_relationship(
+            RelationshipType("R1", "A", "B", Cardinality.parse("1:N"))
+        )
+        between = schema.relationships_between("B", "A")
+        assert [r.name for r in between] == ["R1"]
+
+    def test_neighbours(self):
+        schema = ERSchema(entity_types=[make_entity("A"), make_entity("B")])
+        schema.add_relationship(
+            RelationshipType("R1", "A", "B", Cardinality.parse("1:N"))
+        )
+        neighbours = list(schema.neighbours("A"))
+        assert neighbours[0][1] == "B"
+
+    def test_validate_accepts_keyed_entities(self, er_schema):
+        er_schema.validate()
+
+    def test_validate_rejects_empty_schema(self):
+        with pytest.raises(SchemaError):
+            ERSchema().validate()
+
+    def test_validate_rejects_orphan_keyless_entity(self):
+        schema = ERSchema(entity_types=[EntityType("A", [Attribute("X")])])
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_describe_mentions_everything(self, er_schema):
+        description = er_schema.describe()
+        for name in ("DEPARTMENT", "EMPLOYEE", "PROJECT", "DEPENDENT",
+                     "WORKS_FOR", "WORKS_ON", "CONTROLS", "DEPENDENTS"):
+            assert name in description
+
+
+class TestCompanyErSchema:
+    def test_entity_types(self, er_schema):
+        names = {entity.name for entity in er_schema.entity_types}
+        assert names == {"DEPARTMENT", "EMPLOYEE", "PROJECT", "DEPENDENT"}
+
+    def test_relationship_cardinalities(self, er_schema):
+        assert str(er_schema.relationship("WORKS_FOR").cardinality) == "1:N"
+        assert str(er_schema.relationship("CONTROLS").cardinality) == "1:N"
+        assert str(er_schema.relationship("DEPENDENTS").cardinality) == "1:N"
+        assert str(er_schema.relationship("WORKS_ON").cardinality) == "N:M"
+
+    def test_works_on_carries_hours(self, er_schema):
+        attributes = er_schema.relationship("WORKS_ON").attributes
+        assert [a.name for a in attributes] == ["HOURS"]

@@ -1,0 +1,196 @@
+"""Unit tests for weak entity types and identifying relationships.
+
+The Elmasri–Navathe COMPANY schema (which the paper's Figure 1 abridges)
+models DEPENDENT as a weak entity identified by its guardian employee plus
+a partial key (the dependent's name).  The paper's Figure 2 regularises it
+with a surrogate ID; the library supports both designs.
+"""
+
+import pytest
+
+from repro.er.cardinality import Cardinality
+from repro.er.model import Attribute, EntityType, ERSchema, RelationshipType
+from repro.errors import SchemaError
+from repro.relational.database import Database
+
+
+def weak_company_schema() -> ERSchema:
+    """EMPLOYEE with DEPENDENT as a true weak entity."""
+    schema = ERSchema(name="weak-company")
+    schema.add_entity_type(
+        EntityType(
+            "EMPLOYEE",
+            [Attribute("SSN", is_key=True), Attribute("L_NAME")],
+        )
+    )
+    schema.add_entity_type(
+        EntityType(
+            "DEPENDENT",
+            [Attribute("DEPENDENT_NAME", is_key=True),
+             Attribute("BIRTH_YEAR", data_type="int")],
+            weak=True,
+        )
+    )
+    schema.add_relationship(
+        RelationshipType(
+            "DEPENDENTS",
+            "EMPLOYEE",
+            "DEPENDENT",
+            Cardinality.parse("1:N"),
+            identifying=True,
+        )
+    )
+    schema.validate()
+    return schema
+
+
+class TestModel:
+    def test_weak_flag(self):
+        schema = weak_company_schema()
+        assert schema.entity_type("DEPENDENT").weak
+        assert not schema.entity_type("EMPLOYEE").weak
+
+    def test_identifying_relationship_lookup(self):
+        schema = weak_company_schema()
+        assert schema.identifying_relationship("DEPENDENT").name == "DEPENDENTS"
+
+    def test_identifying_lookup_rejects_strong_entity(self):
+        schema = weak_company_schema()
+        with pytest.raises(SchemaError):
+            schema.identifying_relationship("EMPLOYEE")
+
+    def test_identifying_must_be_owner_functional(self):
+        with pytest.raises(SchemaError):
+            RelationshipType(
+                "BAD", "A", "B", Cardinality.parse("N:M"), identifying=True
+            )
+
+    def test_one_to_one_identifying_allowed(self):
+        relationship = RelationshipType(
+            "OK", "A", "B", Cardinality.parse("1:1"), identifying=True
+        )
+        assert relationship.identifying
+
+    def test_validate_requires_identifying_relationship(self):
+        schema = ERSchema(name="s")
+        schema.add_entity_type(
+            EntityType("A", [Attribute("ID", is_key=True)])
+        )
+        schema.add_entity_type(
+            EntityType("W", [Attribute("NAME", is_key=True)], weak=True)
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_rejects_weak_owner(self):
+        schema = ERSchema(name="s")
+        schema.add_entity_type(EntityType("A", [Attribute("ID", is_key=True)]))
+        schema.add_entity_type(
+            EntityType("W1", [Attribute("N1", is_key=True)], weak=True)
+        )
+        schema.add_entity_type(
+            EntityType("W2", [Attribute("N2", is_key=True)], weak=True)
+        )
+        schema.add_relationship(
+            RelationshipType("R1", "A", "W1", Cardinality.parse("1:N"),
+                             identifying=True)
+        )
+        schema.add_relationship(
+            RelationshipType("R2", "W1", "W2", Cardinality.parse("1:N"),
+                             identifying=True)
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_validate_requires_partial_key(self):
+        schema = ERSchema(name="s")
+        schema.add_entity_type(EntityType("A", [Attribute("ID", is_key=True)]))
+        schema.add_entity_type(
+            EntityType("W", [Attribute("NAME")], weak=True)
+        )
+        schema.add_relationship(
+            RelationshipType("R", "A", "W", Cardinality.parse("1:N"),
+                             identifying=True)
+        )
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+
+class TestMapping:
+    def test_weak_relation_has_composite_key(self):
+        from repro.er.mapping import map_er_to_relational
+
+        result = map_er_to_relational(weak_company_schema())
+        dependent = result.schema.relation("DEPENDENT")
+        assert dependent.primary_key == ("EMPLOYEE_SSN", "DEPENDENT_NAME")
+
+    def test_identifying_fk_created(self):
+        from repro.er.mapping import map_er_to_relational
+
+        result = map_er_to_relational(weak_company_schema())
+        fk = result.schema.foreign_key(result.fk_of_relationship["DEPENDENTS"])
+        assert fk.source == "DEPENDENT"
+        assert fk.target == "EMPLOYEE"
+        assert fk.source_columns == ("EMPLOYEE_SSN",)
+
+    def test_column_name_override(self):
+        from repro.er.mapping import map_er_to_relational
+
+        result = map_er_to_relational(
+            weak_company_schema(), column_names={"DEPENDENTS": "ESSN"}
+        )
+        assert result.schema.relation("DEPENDENT").primary_key == (
+            "ESSN", "DEPENDENT_NAME",
+        )
+
+    def test_mapped_schema_validates(self):
+        from repro.er.mapping import map_er_to_relational
+
+        result = map_er_to_relational(weak_company_schema())
+        result.schema.validate()
+
+
+class TestInstanceLevel:
+    @pytest.fixture
+    def database(self):
+        from repro.er.mapping import map_er_to_relational
+
+        result = map_er_to_relational(
+            weak_company_schema(), column_names={"DEPENDENTS": "ESSN"}
+        )
+        database = Database(result.schema)
+        database.insert("EMPLOYEE", {"SSN": "e1", "L_NAME": "Smith"})
+        database.insert("EMPLOYEE", {"SSN": "e2", "L_NAME": "Miller"})
+        database.insert(
+            "DEPENDENT",
+            {"ESSN": "e1", "DEPENDENT_NAME": "Alice", "BIRTH_YEAR": 2010},
+        )
+        database.insert(
+            "DEPENDENT",
+            {"ESSN": "e2", "DEPENDENT_NAME": "Alice", "BIRTH_YEAR": 2012},
+        )
+        return database
+
+    def test_same_partial_key_under_different_owners(self, database):
+        # Two Alices, distinguished by their guardians: legal for weak
+        # entities, and the whole point of the composite key.
+        assert database.count("DEPENDENT") == 2
+
+    def test_same_owner_same_partial_key_rejected(self, database):
+        from repro.errors import PrimaryKeyError
+
+        with pytest.raises(PrimaryKeyError):
+            database.insert(
+                "DEPENDENT",
+                {"ESSN": "e1", "DEPENDENT_NAME": "Alice", "BIRTH_YEAR": 2011},
+            )
+
+    def test_weak_tuples_are_searchable(self, database):
+        from repro.core.engine import KeywordSearchEngine
+
+        engine = KeywordSearchEngine(database)
+        results = engine.search("Smith Alice")
+        assert results
+        best = results[0].answer
+        assert best.rdb_length == 1
+        assert best.verdict().is_close

@@ -1,0 +1,37 @@
+"""The §3 claims must verify mechanically."""
+
+from repro.experiments.claims import mtjnt_loss, ranking_comparison
+
+
+class TestMtjntLoss:
+    def test_survivors_and_lost(self):
+        result = mtjnt_loss()
+        assert result.mtjnt_rows == (1, 2, 5)
+        assert result.lost_rows == (3, 4, 6, 7)
+
+    def test_exactly_three_mtjnts(self):
+        assert mtjnt_loss().mtjnt_count == 3
+
+
+class TestRankingComparison:
+    def test_rdb_groups(self):
+        result = ranking_comparison()
+        assert result.rdb_best == (1, 5)
+        assert result.rdb_worst == (4, 7)
+
+    def test_closeness_groups(self):
+        result = ranking_comparison()
+        assert result.closeness_best == (1, 2, 5)
+        assert result.closeness_worst == (3, 6)
+
+    def test_connections_4_and_7_promoted(self):
+        result = ranking_comparison()
+        rdb_positions = {n: i for i, n in enumerate(result.rdb_order)}
+        closeness_positions = {n: i for i, n in enumerate(result.closeness_order)}
+        for number in (4, 7):
+            assert closeness_positions[number] < rdb_positions[number]
+
+    def test_orders_cover_all_seven(self):
+        result = ranking_comparison()
+        assert sorted(result.rdb_order) == list(range(1, 8))
+        assert sorted(result.closeness_order) == list(range(1, 8))

@@ -1,0 +1,32 @@
+"""The verbatim Figure 2 rendering."""
+
+from repro.experiments.figures import figure2_text
+
+
+class TestFigure2Text:
+    def test_all_relations_rendered(self):
+        text = figure2_text()
+        for name in ("DEPARTMENT", "PROJECT", "EMPLOYEE", "WORKS_FOR",
+                     "DEPENDENT"):
+            assert name in text
+
+    def test_printed_values_present(self):
+        text = figure2_text()
+        for value in (
+            "The main topics of teaching are history of Scandinavian.",
+            "DB-project",
+            "XML and IR",
+            "Barbara",
+            "Theodore",
+        ):
+            assert value in text
+
+    def test_row_counts(self):
+        text = figure2_text()
+        # 16 data rows + 5 headers + 5 separators + 5 titles + 4 blanks.
+        assert len(text.splitlines()) == 16 + 5 + 5 + 5 + 4
+
+    def test_hours_rendered_as_numbers(self):
+        text = figure2_text()
+        for hours in ("40", "56", "70", "60"):
+            assert hours in text

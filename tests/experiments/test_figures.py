@@ -1,0 +1,38 @@
+"""The reproduction harness must regenerate Figures 1 and 2."""
+
+from repro.experiments.figures import figure1, figure2
+
+
+class TestFigure1:
+    def test_mapping_reproduces_figure2_schema(self):
+        result = figure1()
+        names = {relation.name for relation in result.mapped_schema.relations}
+        assert names == {
+            "DEPARTMENT", "PROJECT", "EMPLOYEE", "WORKS_FOR", "DEPENDENT",
+        }
+
+    def test_middle_relation_named_as_printed(self):
+        result = figure1()
+        assert result.mapped_schema.relation("WORKS_FOR").is_middle
+
+    def test_description_covers_er_primitives(self):
+        result = figure1()
+        for token in ("WORKS_ON", "CONTROLS", "N:M", "1:N"):
+            assert token in result.description
+
+
+class TestFigure2:
+    def test_counts(self):
+        result = figure2()
+        assert result.tuple_counts == {
+            "DEPARTMENT": 3,
+            "PROJECT": 3,
+            "EMPLOYEE": 4,
+            "WORKS_FOR": 4,
+            "DEPENDENT": 2,
+        }
+
+    def test_paper_stated_matches(self):
+        result = figure2()
+        assert set(result.smith_labels) == {"e1", "e2"}
+        assert set(result.xml_labels) == {"d1", "d2", "p1", "p2"}

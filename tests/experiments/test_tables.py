@@ -1,0 +1,95 @@
+"""The reproduction harness must regenerate Tables 1-3 exactly."""
+
+import pytest
+
+from repro.core.associations import AssociationKind
+from repro.experiments.report import ReproductionMismatch, render_table
+from repro.experiments.tables import paper_connections, table1, table2, table3
+
+
+class TestTable1:
+    def test_regenerates(self):
+        rows = table1()
+        assert len(rows) == 6
+
+    def test_closeness_pattern(self):
+        rows = table1()
+        assert [row.is_close for row in rows] == [
+            True, True, True, False, False, False,
+        ]
+
+    def test_kinds(self):
+        rows = table1()
+        assert rows[0].kind is AssociationKind.IMMEDIATE
+        assert rows[1].kind is AssociationKind.IMMEDIATE
+        assert rows[2].kind is AssociationKind.TRANSITIVE_FUNCTIONAL
+        assert rows[3].kind is AssociationKind.TRANSITIVE_NM
+        assert rows[4].kind is AssociationKind.TRANSITIVE_NM
+        assert rows[5].kind is AssociationKind.TRANSITIVE_NM
+
+    def test_row5_is_the_canonical_transitive_nm(self):
+        rows = table1()
+        assert rows[4].loose_joints == (0,)
+
+    def test_cardinalities_rendered_like_paper(self):
+        rows = table1()
+        assert rows[2].cardinalities == "department 1:N employee 1:N dependent"
+
+
+class TestTable2:
+    def test_regenerates_all_nine_rows(self):
+        rows = table2()
+        assert [row.number for row in rows] == list(range(1, 10))
+
+    def test_lengths(self):
+        rows = table2()
+        assert [(row.rdb_length, row.er_length) for row in rows] == [
+            (1, 1), (2, 1), (2, 2), (3, 2), (1, 1), (2, 2), (3, 2), (2, 2),
+            (4, 3),
+        ]
+
+    def test_er_length_never_exceeds_rdb(self):
+        for row in table2():
+            assert row.er_length <= row.rdb_length
+
+    def test_rendering_matches_paper(self):
+        rows = table2()
+        assert rows[0].rendered == "d1(XML) – e1(Smith)"
+        assert rows[8].rendered == "d2 – p2 – w_f3 – e3 – t1(Alice)"
+
+
+class TestTable3:
+    def test_regenerates(self):
+        rows = table3()
+        assert len(rows) == 9
+
+    def test_connection2_cardinalities(self):
+        rows = table3()
+        assert rows[1].rendered == "p1(XML) 1:N w_f1 N:1 e1(Smith)"
+
+    def test_connection9_cardinalities(self):
+        rows = table3()
+        assert rows[8].rendered == "d2 1:N p2 1:N w_f3 N:1 e3 1:N t1(Alice)"
+
+
+class TestPaperConnections:
+    def test_connections_keyed_by_row(self):
+        connections = paper_connections()
+        assert sorted(connections) == list(range(1, 10))
+
+    def test_searched_rows_are_exactly_the_published_ones(self):
+        connections = paper_connections()
+        assert connections[4].rdb_length == 3
+        assert connections[2].er_length == 1
+
+
+class TestRenderTable:
+    def test_renders_fixed_width(self):
+        text = render_table("t", ["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[2:]}) >= 1
+
+    def test_mismatch_is_an_exception(self):
+        assert issubclass(ReproductionMismatch, Exception)

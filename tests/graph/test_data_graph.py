@@ -1,0 +1,160 @@
+"""Unit tests for the tuple-level data graph and its conceptual collapse."""
+
+import pytest
+
+from repro.er.cardinality import Cardinality
+from repro.errors import PathError
+from repro.relational.database import TupleId
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+class TestStructure:
+    def test_every_tuple_is_a_node(self, data_graph, company_db):
+        assert data_graph.number_of_nodes() == company_db.count() == 16
+
+    def test_every_reference_is_an_edge(self, data_graph):
+        # 3 project->dept is 3? p1,p2,p3 -> 3; employees 4; works_for 8 (2 fks
+        # x 4 rows); dependents 2.  Total 3+4+8+2 = 17.
+        assert data_graph.number_of_edges() == 17
+
+    def test_has_node(self, data_graph):
+        assert data_graph.has_node(tid("EMPLOYEE", "e1"))
+        assert not data_graph.has_node(tid("EMPLOYEE", "e99"))
+
+    def test_neighbours_of_employee(self, data_graph, company_db):
+        neighbours = {
+            company_db.tuple(other).label
+            for other, __, __ in data_graph.neighbours(tid("EMPLOYEE", "e3"))
+        }
+        assert neighbours == {"d1", "w_f3", "t1", "t2"}
+
+    def test_neighbours_unknown_tuple(self, data_graph):
+        with pytest.raises(PathError):
+            list(data_graph.neighbours(tid("EMPLOYEE", "e99")))
+
+    def test_degree(self, data_graph):
+        assert data_graph.degree(tid("DEPARTMENT", "d3")) == 0
+        assert data_graph.degree(tid("DEPARTMENT", "d1")) == 3  # p1, e1, e3
+
+    def test_edges_between(self, data_graph):
+        edges = data_graph.edges_between(
+            tid("EMPLOYEE", "e1"), tid("DEPARTMENT", "d1")
+        )
+        assert len(edges) == 1
+        assert edges[0]["foreign_key"].name == "fk_employee_department"
+
+    def test_edges_between_unjoined(self, data_graph):
+        assert data_graph.edges_between(
+            tid("EMPLOYEE", "e1"), tid("DEPARTMENT", "d2")
+        ) == []
+
+    def test_null_references_add_no_edge(self, company_db):
+        from repro.graph.data_graph import DataGraph
+
+        company_db.insert("EMPLOYEE", {"SSN": "e9", "L_NAME": "X", "S_NAME": "Y"})
+        graph = DataGraph(company_db)
+        assert graph.degree(tid("EMPLOYEE", "e9")) == 0
+
+
+class TestEdgeCardinality:
+    def test_read_from_referenced(self, data_graph):
+        edge = data_graph.edges_between(
+            tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1")
+        )[0]
+        assert data_graph.edge_cardinality(edge, tid("DEPARTMENT", "d1")) == \
+            Cardinality.one_to_many()
+
+    def test_read_from_referencing(self, data_graph):
+        edge = data_graph.edges_between(
+            tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1")
+        )[0]
+        assert data_graph.edge_cardinality(edge, tid("EMPLOYEE", "e1")) == \
+            Cardinality.many_to_one()
+
+    def test_is_middle(self, data_graph):
+        assert data_graph.is_middle(tid("WORKS_FOR", "e1", "p1"))
+        assert not data_graph.is_middle(tid("EMPLOYEE", "e1"))
+
+
+class TestInducedSubgraphs:
+    def test_connected_set(self, data_graph):
+        members = [tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e1")]
+        assert data_graph.is_connected_set(members)
+
+    def test_disconnected_set(self, data_graph):
+        members = [tid("DEPARTMENT", "d1"), tid("EMPLOYEE", "e2")]
+        assert not data_graph.is_connected_set(members)
+
+    def test_indirectly_connected_needs_the_middle(self, data_graph):
+        # e1 and p1 join only through w_f1.
+        assert not data_graph.is_connected_set(
+            [tid("EMPLOYEE", "e1"), tid("PROJECT", "p1")]
+        )
+        assert data_graph.is_connected_set(
+            [
+                tid("EMPLOYEE", "e1"),
+                tid("WORKS_FOR", "e1", "p1"),
+                tid("PROJECT", "p1"),
+            ]
+        )
+
+    def test_empty_set_not_connected(self, data_graph):
+        assert not data_graph.is_connected_set([])
+
+    def test_missing_node_not_connected(self, data_graph):
+        assert not data_graph.is_connected_set([tid("EMPLOYEE", "e99")])
+
+    def test_induced_subgraph_keeps_internal_edges(self, data_graph):
+        # d2 and e2 join directly; the subgraph on {d2, p3, w_f2, e2} keeps
+        # that edge even though the "path" went around - the MTJNT property.
+        members = [
+            tid("DEPARTMENT", "d2"),
+            tid("PROJECT", "p3"),
+            tid("WORKS_FOR", "e2", "p3"),
+            tid("EMPLOYEE", "e2"),
+        ]
+        induced = data_graph.induced_subgraph(members)
+        assert induced.has_edge(tid("DEPARTMENT", "d2"), tid("EMPLOYEE", "e2"))
+        assert induced.number_of_edges() == 4
+
+
+class TestConceptualGraph:
+    def test_middle_tuples_removed(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        assert tid("WORKS_FOR", "e1", "p1") not in collapsed
+        assert tid("EMPLOYEE", "e1") in collapsed
+
+    def test_collapsed_edge_connects_anchors(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        assert collapsed.has_edge(tid("EMPLOYEE", "e1"), tid("PROJECT", "p1"))
+
+    def test_collapsed_edge_remembers_middle(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        data = list(
+            collapsed[tid("EMPLOYEE", "e1")][tid("PROJECT", "p1")].values()
+        )[0]
+        assert data["middle"] == tid("WORKS_FOR", "e1", "p1")
+
+    def test_collapsed_edge_is_many_to_many(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        data = list(
+            collapsed[tid("EMPLOYEE", "e1")][tid("PROJECT", "p1")].values()
+        )[0]
+        assert data_graph.conceptual_edge_cardinality(data).is_many_to_many
+
+    def test_plain_edges_kept(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        assert collapsed.has_edge(tid("EMPLOYEE", "e1"), tid("DEPARTMENT", "d1"))
+
+    def test_conceptual_graph_is_cached(self, data_graph):
+        assert data_graph.conceptual_graph() is data_graph.conceptual_graph()
+
+    def test_node_and_edge_counts(self, data_graph):
+        collapsed = data_graph.conceptual_graph()
+        assert collapsed.number_of_nodes() == 12       # 16 - 4 middles
+        # 9 plain FK edges (3 project + 4 employee + 2 dependent) + 4
+        # collapsed works-on edges.
+        assert collapsed.number_of_edges() == 13

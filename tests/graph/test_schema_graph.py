@@ -1,0 +1,75 @@
+"""Unit tests for the schema graph."""
+
+import pytest
+
+from repro.er.cardinality import Cardinality
+from repro.errors import UnknownRelationError
+
+
+class TestStructure:
+    def test_nodes_are_relations(self, schema_graph):
+        assert set(schema_graph.graph.nodes) == {
+            "DEPARTMENT", "PROJECT", "EMPLOYEE", "WORKS_FOR", "DEPENDENT",
+        }
+
+    def test_edges_are_fks(self, schema_graph):
+        assert schema_graph.graph.number_of_edges() == 5
+
+    def test_middle_flag_on_nodes(self, schema_graph):
+        assert schema_graph.graph.nodes["WORKS_FOR"]["is_middle"]
+        assert not schema_graph.graph.nodes["EMPLOYEE"]["is_middle"]
+
+    def test_is_connected(self, schema_graph):
+        assert schema_graph.is_connected()
+
+    def test_degree(self, schema_graph):
+        assert schema_graph.degree("EMPLOYEE") == 3
+        assert schema_graph.degree("DEPENDENT") == 1
+
+    def test_degree_unknown_relation(self, schema_graph):
+        with pytest.raises(UnknownRelationError):
+            schema_graph.degree("NOPE")
+
+
+class TestCardinalities:
+    def test_read_from_referenced_side(self, schema_graph, db_schema):
+        fk = db_schema.foreign_key("fk_employee_department")
+        assert schema_graph.edge_cardinality(fk, "DEPARTMENT") == \
+            Cardinality.one_to_many()
+
+    def test_read_from_referencing_side(self, schema_graph, db_schema):
+        fk = db_schema.foreign_key("fk_employee_department")
+        assert schema_graph.edge_cardinality(fk, "EMPLOYEE") == \
+            Cardinality.many_to_one()
+
+    def test_unique_fk_is_one_to_one(self, schema_graph, db_schema):
+        from repro.relational.schema import ForeignKey
+
+        fk = ForeignKey("u", "EMPLOYEE", ("D_ID",), "DEPARTMENT", ("ID",),
+                        unique=True)
+        assert schema_graph.edge_cardinality(fk, "EMPLOYEE") == \
+            Cardinality.one_to_one()
+
+    def test_stranger_relation_rejected(self, schema_graph, db_schema):
+        fk = db_schema.foreign_key("fk_employee_department")
+        with pytest.raises(UnknownRelationError):
+            schema_graph.edge_cardinality(fk, "PROJECT")
+
+
+class TestNavigation:
+    def test_neighbours(self, schema_graph):
+        neighbours = {other for other, __ in schema_graph.neighbours("EMPLOYEE")}
+        assert neighbours == {"DEPARTMENT", "WORKS_FOR", "DEPENDENT"}
+
+    def test_neighbours_unknown_relation(self, schema_graph):
+        with pytest.raises(UnknownRelationError):
+            list(schema_graph.neighbours("NOPE"))
+
+    def test_relation_distance(self, schema_graph):
+        assert schema_graph.relation_distance("DEPARTMENT", "EMPLOYEE") == 1
+        assert schema_graph.relation_distance("DEPARTMENT", "DEPENDENT") == 2
+        assert schema_graph.relation_distance("PROJECT", "DEPENDENT") == 3
+
+    def test_relation_distance_unknown(self, schema_graph):
+        with pytest.raises(UnknownRelationError):
+            schema_graph.relation_distance("NOPE", "EMPLOYEE")

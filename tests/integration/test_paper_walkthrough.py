@@ -1,0 +1,115 @@
+"""End-to-end walkthrough of the full paper on the public API only."""
+
+import pytest
+
+from repro import (
+    ClosenessRanker,
+    KeywordSearchEngine,
+    RdbLengthRanker,
+    SearchLimits,
+    build_company_database,
+)
+from repro.baselines.discover import find_mtjnts
+from repro.core.ambiguity import is_instance_close
+from repro.core.connections import Connection
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KeywordSearchEngine(build_company_database())
+
+
+class TestSection3Walkthrough:
+    """Follow the paper's §3 narrative end to end."""
+
+    def test_keyword_matching_stage(self, engine):
+        smith, xml = engine.match("Smith XML")
+        assert len(smith) == 2
+        assert len(xml) == 4
+
+    def test_connection_enumeration_stage(self, engine):
+        results = engine.search("XML Smith", limits=SearchLimits(max_rdb_length=3))
+        connections = [
+            r.answer for r in results if isinstance(r.answer, Connection)
+        ]
+        assert len(connections) == 7
+
+    def test_ranking_stage_rdb(self, engine):
+        results = engine.search(
+            "XML Smith",
+            ranker=RdbLengthRanker(),
+            limits=SearchLimits(max_rdb_length=3),
+        )
+        # Best: the two direct department-employee connections.
+        assert {results[0].answer.render(), results[1].answer.render()} == {
+            "d1(XML) – e1(Smith)",
+            "d2(XML) – e2(Smith)",
+        }
+
+    def test_ranking_stage_closeness(self, engine):
+        results = engine.search(
+            "XML Smith",
+            ranker=ClosenessRanker(),
+            limits=SearchLimits(max_rdb_length=3),
+        )
+        top3 = {r.answer.render() for r in results[:3]}
+        assert top3 == {
+            "d1(XML) – e1(Smith)",
+            "p1(XML) – w_f1 – e1(Smith)",
+            "d2(XML) – e2(Smith)",
+        }
+        worst2 = {r.answer.render() for r in results[-2:]}
+        assert worst2 == {
+            "p1(XML) – d1(XML) – e1(Smith)",
+            "p2(XML) – d2(XML) – e2(Smith)",
+        }
+
+    def test_instance_level_stage(self, engine):
+        results = engine.search("XML Smith", limits=SearchLimits(max_rdb_length=3))
+        by_render = {
+            r.answer.render(): r.answer
+            for r in results
+            if isinstance(r.answer, Connection)
+        }
+        # John Smith's loose connections are corroborated, Barbara's via p2
+        # is not.
+        assert is_instance_close(by_render["p1(XML) – d1(XML) – e1(Smith)"])
+        assert is_instance_close(by_render["d1(XML) – p1(XML) – w_f1 – e1(Smith)"])
+        assert not is_instance_close(by_render["p2(XML) – d2(XML) – e2(Smith)"])
+
+    def test_mtjnt_stage(self, engine):
+        matches = engine.match("XML Smith")
+        mtjnts = find_mtjnts(engine.data_graph, matches, SearchLimits(max_tuples=5))
+        assert len(mtjnts) == 3
+
+    def test_explanations_render(self, engine):
+        results = engine.search("XML Smith", limits=SearchLimits(max_rdb_length=3))
+        for result in results:
+            text = engine.explain(result)
+            assert result.answer.render() in text
+
+
+class TestIntroExample:
+    """§1/§2: employee-department associations come in two ways."""
+
+    def test_two_ways_from_employee_to_department(self, engine):
+        from repro.er.paths import enumerate_paths
+        from repro.datasets.company import build_company_er_schema
+
+        schema = build_company_er_schema()
+        paths = list(enumerate_paths(schema, "EMPLOYEE", "DEPARTMENT", 2))
+        assert len(paths) == 2
+        lengths = sorted(path.length for path in paths)
+        assert lengths == [1, 2]
+
+    def test_longer_path_contains_more_information(self, engine):
+        # The 2-step path visits the project; the 1-step path does not.
+        from repro.er.paths import enumerate_paths
+        from repro.datasets.company import build_company_er_schema
+
+        schema = build_company_er_schema()
+        longer = max(
+            enumerate_paths(schema, "EMPLOYEE", "DEPARTMENT", 2),
+            key=lambda p: p.length,
+        )
+        assert "PROJECT" in longer.entities()

@@ -1,0 +1,108 @@
+"""Property-based tests for the cardinality algebra and classifier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.associations import classify_cardinalities, loose_joints
+from repro.er.cardinality import Cardinality, compose_path
+
+cardinalities = st.sampled_from(
+    [
+        Cardinality.parse("1:1"),
+        Cardinality.parse("1:N"),
+        Cardinality.parse("N:1"),
+        Cardinality.parse("N:M"),
+    ]
+)
+sequences = st.lists(cardinalities, min_size=1, max_size=8)
+
+
+class TestCompositionAlgebra:
+    @given(sequences, sequences)
+    def test_composition_is_associative(self, left, right):
+        joined = compose_path(left + right)
+        stepwise = compose_path(left).compose(compose_path(right))
+        assert joined == stepwise
+
+    @given(sequences)
+    def test_reversal_antihomomorphism(self, sequence):
+        forward = compose_path(sequence)
+        backward = compose_path([c.reversed() for c in reversed(sequence)])
+        assert backward == forward.reversed()
+
+    @given(cardinalities)
+    def test_one_to_one_is_identity(self, cardinality):
+        identity = Cardinality.one_to_one()
+        assert identity.compose(cardinality) == cardinality
+        assert cardinality.compose(identity) == cardinality
+
+    @given(sequences)
+    def test_an_nm_step_anywhere_kills_functionality(self, sequence):
+        extended = sequence + [Cardinality.many_to_many()]
+        assert not compose_path(extended).is_functional
+
+    @given(sequences)
+    def test_forward_functional_iff_all_rights_one(self, sequence):
+        composed = compose_path(sequence)
+        assert composed.forward_functional == all(
+            c.right.is_one for c in sequence
+        )
+
+    @given(sequences)
+    def test_backward_functional_iff_all_lefts_one(self, sequence):
+        composed = compose_path(sequence)
+        assert composed.backward_functional == all(
+            c.left.is_one for c in sequence
+        )
+
+
+class TestClassifierInvariants:
+    @given(sequences)
+    def test_functional_paths_never_have_loose_joints(self, sequence):
+        verdict = classify_cardinalities(sequence)
+        if verdict.composed.is_functional:
+            assert verdict.loose_joint_positions == ()
+
+    @given(sequences)
+    def test_loose_joint_implies_loose_composition(self, sequence):
+        verdict = classify_cardinalities(sequence)
+        if verdict.loose_joint_positions:
+            assert verdict.composed.is_many_to_many
+
+    @given(sequences)
+    def test_close_iff_immediate_or_functional(self, sequence):
+        verdict = classify_cardinalities(sequence)
+        expected = len(sequence) == 1 or verdict.composed.is_functional
+        assert verdict.is_close is expected
+
+    @given(sequences)
+    def test_direction_invariance_of_closeness(self, sequence):
+        forward = classify_cardinalities(sequence)
+        backward = classify_cardinalities(
+            [c.reversed() for c in reversed(sequence)]
+        )
+        assert forward.is_close == backward.is_close
+
+    @given(sequences)
+    def test_joint_count_direction_invariant(self, sequence):
+        forward = classify_cardinalities(sequence)
+        backward = classify_cardinalities(
+            [c.reversed() for c in reversed(sequence)]
+        )
+        assert forward.loose_joint_count == backward.loose_joint_count
+
+    @given(sequences)
+    def test_joints_are_within_bounds(self, sequence):
+        for joint in loose_joints(sequence):
+            assert 0 <= joint < len(sequence) - 1
+
+    @given(sequences, sequences)
+    def test_monotonicity_of_looseness_under_concatenation(self, left, right):
+        # Extending a path can never make a loose composition functional...
+        combined = classify_cardinalities(left + right)
+        if not classify_cardinalities(left).composed.is_functional:
+            assert not combined.composed.is_functional
+
+    @given(sequences)
+    def test_verdict_is_deterministic(self, sequence):
+        assert classify_cardinalities(sequence) == classify_cardinalities(sequence)

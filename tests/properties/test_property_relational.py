@@ -1,0 +1,101 @@
+"""Property-based tests for the relational substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.database import Database
+from repro.relational.index import InvertedIndex, tokenize
+from repro.relational.io import database_from_dict, database_to_dict
+from repro.relational.schema import AttributeDef, DatabaseSchema, Relation
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+words = st.text(alphabet=string.ascii_letters + string.digits, min_size=1,
+                max_size=12)
+sentences = st.lists(words, min_size=0, max_size=6).map(" ".join)
+
+
+def fresh_database():
+    schema = DatabaseSchema(
+        name="prop",
+        relations=[
+            Relation(
+                "DOC",
+                [AttributeDef("ID"), AttributeDef("BODY", data_type="text")],
+                primary_key=["ID"],
+            )
+        ],
+    )
+    return Database(schema)
+
+
+class TestTokenizer:
+    @given(sentences)
+    def test_tokens_are_lowercase(self, text):
+        assert all(token == token.lower() for token in tokenize(text))
+
+    @given(sentences)
+    def test_tokens_appear_in_text(self, text):
+        lowered = text.lower()
+        for token in tokenize(text):
+            assert token in lowered
+
+    @given(words)
+    def test_single_word_tokenises_to_itself(self, word):
+        tokens = tokenize(word)
+        assert word.lower() in tokens
+
+    @given(sentences)
+    def test_tokenisation_is_deterministic(self, text):
+        assert tokenize(text) == tokenize(text)
+
+
+class TestIndexConsistency:
+    @given(st.lists(st.tuples(identifiers, sentences), max_size=12,
+                    unique_by=lambda pair: pair[0]))
+    def test_index_matches_scan(self, rows):
+        database = fresh_database()
+        for identifier, body in rows:
+            database.insert("DOC", {"ID": identifier, "BODY": body})
+        index = InvertedIndex(database)
+        for identifier, body in rows:
+            for token in tokenize(body):
+                matched = set(index.matching_tuples(token))
+                scanned = {
+                    record.tid
+                    for record in database.tuples("DOC")
+                    if token in tokenize(str(record["BODY"]))
+                    or token == str(record["ID"]).lower()
+                }
+                assert matched == scanned
+
+    @given(st.lists(st.tuples(identifiers, sentences), min_size=1, max_size=8,
+                    unique_by=lambda pair: pair[0]))
+    def test_remove_then_rebuild_equals_fresh(self, rows):
+        database = fresh_database()
+        records = [
+            database.insert("DOC", {"ID": identifier, "BODY": body})
+            for identifier, body in rows
+        ]
+        index = InvertedIndex(database)
+        index.remove_tuple(records[0].tid)
+        database.delete(records[0].tid)
+        index.build()
+        fresh = InvertedIndex(database)
+        assert index.vocabulary() == fresh.vocabulary()
+
+
+class TestSerialisationRoundTrip:
+    @given(st.lists(st.tuples(identifiers, sentences), max_size=10,
+                    unique_by=lambda pair: pair[0]))
+    def test_database_round_trips(self, rows):
+        database = fresh_database()
+        for identifier, body in rows:
+            database.insert("DOC", {"ID": identifier, "BODY": body})
+        recovered = database_from_dict(database_to_dict(database))
+        assert recovered.count() == database.count()
+        for record in database.tuples("DOC"):
+            clone = recovered.get("DOC", *record.tid.key)
+            assert clone is not None
+            assert clone.values == record.values

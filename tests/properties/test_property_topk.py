@@ -1,0 +1,89 @@
+"""Property-based tests: lazy top-k equals full enumeration everywhere."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.connections import Connection
+from repro.core.matching import match_keywords
+from repro.core.ranking import (
+    ClosenessRanker,
+    ErLengthRanker,
+    RdbLengthRanker,
+    rank_connections,
+)
+from repro.core.search import SearchLimits, find_connections
+from repro.core.topk import top_k_connections
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like, plant
+from repro.core.engine import KeywordSearchEngine
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+rankers = st.sampled_from(
+    [RdbLengthRanker(), ErLengthRanker(), ClosenessRanker()]
+)
+
+
+def planted_engine(seed):
+    database = generate_company_like(
+        SyntheticConfig(
+            departments=2,
+            projects_per_department=2,
+            employees_per_department=4,
+            seed=seed,
+        )
+    )
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 2, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 3, seed=2)
+    return KeywordSearchEngine(database)
+
+
+class TestLazyEqualsFull:
+    @relaxed
+    @given(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=1, max_value=15),
+        rankers,
+    )
+    def test_equivalence(self, seed, k, ranker):
+        engine = planted_engine(seed)
+        matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+        limits = SearchLimits(max_rdb_length=4)
+        lazy = top_k_connections(
+            engine.data_graph, matches, ranker, k, limits
+        )
+        answers = [
+            answer
+            for answer in find_connections(
+                engine.data_graph, matches, limits, include_single_tuples=False
+            )
+            if isinstance(answer, Connection)
+        ]
+        full = rank_connections(answers, ranker)[:k]
+        assert [(c.render(), s) for c, s in lazy] == [
+            (a.render(), s) for a, s in full
+        ]
+
+
+class TestOrSemanticsInvariants:
+    @relaxed
+    @given(st.integers(min_value=0, max_value=25))
+    def test_or_results_superset_coverage(self, seed):
+        """OR results are coverage-sorted and include every AND answer's
+        tuple set."""
+        engine = planted_engine(seed)
+        limits = SearchLimits(max_rdb_length=3)
+        and_results = engine.search("kwalpha kwbeta", limits=limits)
+        or_results = engine.search(
+            "kwalpha kwbeta", semantics="or", limits=limits
+        )
+        coverages = [-r.score[0] for r in or_results]
+        assert coverages == sorted(coverages, reverse=True)
+        and_sets = {
+            frozenset(r.answer.tuple_ids()) for r in and_results
+        }
+        or_sets = {frozenset(r.answer.tuple_ids()) for r in or_results}
+        assert and_sets <= or_sets

@@ -1,0 +1,197 @@
+"""Unit tests for the database instance store."""
+
+import pytest
+
+from repro.errors import (
+    ForeignKeyError,
+    IntegrityError,
+    PrimaryKeyError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.database import Database, TupleId
+
+
+class TestInsert:
+    def test_insert_and_get(self, company_db):
+        record = company_db.get("DEPARTMENT", "d1")
+        assert record is not None
+        assert record["D_NAME"] == "Cs"
+
+    def test_insert_coerces_types(self, company_db):
+        record = company_db.get("WORKS_FOR", "e1", "p1")
+        assert record["HOURS"] == 40
+        assert isinstance(record["HOURS"], int)
+
+    def test_missing_attributes_become_null(self, db_schema):
+        database = Database(db_schema)
+        database.insert("DEPARTMENT", {"ID": "dx"})
+        assert database.get("DEPARTMENT", "dx")["D_NAME"] is None
+
+    def test_unknown_attribute_rejected(self, db_schema):
+        database = Database(db_schema)
+        with pytest.raises(UnknownAttributeError):
+            database.insert("DEPARTMENT", {"ID": "dx", "NOPE": 1})
+
+    def test_duplicate_primary_key_rejected(self, company_db):
+        with pytest.raises(PrimaryKeyError):
+            company_db.insert("DEPARTMENT", {"ID": "d1", "D_NAME": "dup"})
+
+    def test_null_primary_key_rejected(self, db_schema):
+        database = Database(db_schema)
+        with pytest.raises(PrimaryKeyError):
+            database.insert("DEPARTMENT", {"D_NAME": "x"})
+
+    def test_dangling_fk_rejected_when_enforcing(self, company_db):
+        with pytest.raises(ForeignKeyError):
+            company_db.insert(
+                "EMPLOYEE",
+                {"SSN": "e9", "L_NAME": "New", "S_NAME": "Guy", "D_ID": "d99"},
+            )
+
+    def test_null_fk_allowed(self, company_db):
+        record = company_db.insert(
+            "EMPLOYEE", {"SSN": "e9", "L_NAME": "New", "S_NAME": "Guy"}
+        )
+        assert record["D_ID"] is None
+
+    def test_unknown_relation_rejected(self, company_db):
+        with pytest.raises(UnknownRelationError):
+            company_db.insert("NOPE", {"ID": "x"})
+
+    def test_insert_many(self, db_schema):
+        database = Database(db_schema)
+        rows = [{"ID": f"d{i}"} for i in range(3)]
+        records = database.insert_many("DEPARTMENT", rows)
+        assert len(records) == 3
+        assert database.count("DEPARTMENT") == 3
+
+
+class TestLabels:
+    def test_default_label_is_key(self, company_db):
+        assert company_db.get("DEPARTMENT", "d1").label == "d1"
+
+    def test_explicit_label(self, company_db):
+        assert company_db.get("WORKS_FOR", "e1", "p1").label == "w_f1"
+
+    def test_by_label(self, company_db):
+        assert company_db.by_label("w_f3").tid.key == ("e3", "p2")
+
+    def test_by_label_missing_raises(self, company_db):
+        with pytest.raises(IntegrityError):
+            company_db.by_label("nope")
+
+
+class TestLookup:
+    def test_tuples_in_insertion_order(self, company_db):
+        labels = [t.label for t in company_db.tuples("EMPLOYEE")]
+        assert labels == ["e1", "e2", "e3", "e4"]
+
+    def test_all_tuples_count(self, company_db):
+        assert sum(1 for __ in company_db.all_tuples()) == 16
+
+    def test_count(self, company_db):
+        assert company_db.count() == 16
+        assert company_db.count("PROJECT") == 3
+
+    def test_tuple_by_tid(self, company_db):
+        tid = TupleId("EMPLOYEE", ("e1",))
+        assert company_db.tuple(tid)["L_NAME"] == "Smith"
+
+    def test_tuple_missing_raises(self, company_db):
+        with pytest.raises(IntegrityError):
+            company_db.tuple(TupleId("EMPLOYEE", ("e99",)))
+
+    def test_tuple_unknown_relation_raises(self, company_db):
+        with pytest.raises(UnknownRelationError):
+            company_db.tuple(TupleId("NOPE", ("x",)))
+
+    def test_get_returns_none_for_missing(self, company_db):
+        assert company_db.get("EMPLOYEE", "e99") is None
+
+
+class TestNavigation:
+    def test_referenced_tuple(self, company_db):
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        employee = company_db.get("EMPLOYEE", "e1")
+        department = company_db.referenced_tuple(employee, fk)
+        assert department.tid == TupleId("DEPARTMENT", ("d1",))
+
+    def test_referenced_tuple_null_fk(self, company_db):
+        record = company_db.insert(
+            "EMPLOYEE", {"SSN": "e9", "L_NAME": "X", "S_NAME": "Y"}
+        )
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        assert company_db.referenced_tuple(record, fk) is None
+
+    def test_referenced_tuple_wrong_relation_raises(self, company_db):
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        department = company_db.get("DEPARTMENT", "d1")
+        with pytest.raises(IntegrityError):
+            company_db.referenced_tuple(department, fk)
+
+    def test_referencing_tuples(self, company_db):
+        department = company_db.get("DEPARTMENT", "d1")
+        labels = sorted(t.label for t in company_db.referencing_tuples(department))
+        assert labels == ["e1", "e3", "p1"]
+
+    def test_referencing_tuples_single_fk(self, company_db):
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        department = company_db.get("DEPARTMENT", "d1")
+        labels = sorted(
+            t.label for t in company_db.referencing_tuples(department, fk)
+        )
+        assert labels == ["e1", "e3"]
+
+
+class TestDelete:
+    def test_delete_unreferenced(self, company_db):
+        tid = TupleId("DEPENDENT", ("t2",))
+        company_db.delete(tid)
+        assert company_db.get("DEPENDENT", "t2") is None
+
+    def test_delete_referenced_rejected(self, company_db):
+        with pytest.raises(IntegrityError):
+            company_db.delete(TupleId("DEPARTMENT", ("d1",)))
+
+    def test_delete_missing_raises(self, company_db):
+        with pytest.raises(IntegrityError):
+            company_db.delete(TupleId("DEPENDENT", ("t99",)))
+
+
+class TestDeferredIntegrity:
+    def test_deferred_mode_allows_forward_references(self, db_schema):
+        database = Database(db_schema, enforce_foreign_keys=False)
+        database.insert(
+            "EMPLOYEE", {"SSN": "e1", "L_NAME": "A", "S_NAME": "B", "D_ID": "d1"}
+        )
+        database.insert("DEPARTMENT", {"ID": "d1"})
+        database.check_integrity()
+
+    def test_check_integrity_catches_dangling(self, db_schema):
+        database = Database(db_schema, enforce_foreign_keys=False)
+        database.insert(
+            "EMPLOYEE", {"SSN": "e1", "L_NAME": "A", "S_NAME": "B", "D_ID": "d9"}
+        )
+        with pytest.raises(ForeignKeyError):
+            database.check_integrity()
+
+    def test_company_instance_is_consistent(self, company_db):
+        company_db.check_integrity()
+
+
+class TestTupleClass:
+    def test_equality_by_tid(self, company_db):
+        first = company_db.get("EMPLOYEE", "e1")
+        second = company_db.tuple(TupleId("EMPLOYEE", ("e1",)))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_getitem_and_get(self, company_db):
+        record = company_db.get("EMPLOYEE", "e1")
+        assert record["L_NAME"] == "Smith"
+        assert record.get("MISSING", "default") == "default"
+
+    def test_tid_str(self):
+        assert str(TupleId("EMPLOYEE", ("e1",))) == "EMPLOYEE(e1)"
+        assert str(TupleId("WORKS_FOR", ("e1", "p1"))) == "WORKS_FOR(e1,p1)"

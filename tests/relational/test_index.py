@@ -1,0 +1,133 @@
+"""Unit tests for tokenisation and the inverted index."""
+
+import pytest
+
+from repro.relational.index import InvertedIndex, tokenize
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("Different data models") == ["different", "data", "models"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize("retrieval and XML.") == ["retrieval", "and", "xml"]
+
+    def test_hyphenated_compound_and_parts(self):
+        tokens = tokenize("DB-project")
+        assert tokens == ["db-project", "db", "project"]
+
+    def test_underscore_compound(self):
+        tokens = tokenize("works_for")
+        assert "works_for" in tokens
+        assert "works" in tokens
+        assert "for" in tokens
+
+    def test_numbers(self):
+        assert tokenize("room 42") == ["room", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_case_folding(self):
+        assert tokenize("XML and Xml") == ["xml", "and", "xml"]
+
+
+class TestMatching:
+    def test_smith_matches_two_employees(self, index, company_db):
+        labels = {company_db.tuple(t).label for t in index.matching_tuples("Smith")}
+        assert labels == {"e1", "e2"}
+
+    def test_xml_matches_departments_and_projects(self, index, company_db):
+        labels = {company_db.tuple(t).label for t in index.matching_tuples("XML")}
+        assert labels == {"d1", "d2", "p1", "p2"}
+
+    def test_match_is_case_insensitive(self, index):
+        assert index.matching_tuples("xml") == index.matching_tuples("XML")
+
+    def test_word_inside_text_attribute(self, index, company_db):
+        labels = {
+            company_db.tuple(t).label for t in index.matching_tuples("databases")
+        }
+        assert labels == {"d1"}
+
+    def test_whole_value_match(self, index, company_db):
+        postings = index.postings("Cs")
+        assert any(p.whole_value for p in postings)
+
+    def test_word_match_not_whole_value(self, index):
+        postings = [p for p in index.postings("xml") if p.attribute == "D_DESCRIPTION"]
+        assert postings
+        assert all(not p.whole_value for p in postings)
+
+    def test_multiword_value_matches_as_whole(self, index, company_db):
+        # P_NAME 'XML and IR' is matchable as one whole value.
+        postings = index.postings("xml and ir")
+        assert len(postings) == 1
+        assert postings[0].whole_value
+
+    def test_no_match(self, index):
+        assert index.matching_tuples("quantum") == ()
+        assert "quantum" not in index
+
+    def test_contains(self, index):
+        assert "xml" in index
+        assert "XML " in index  # stripped and lowered
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("xml") == 4
+        assert index.document_frequency("smith") == 2
+        assert index.document_frequency("nothing") == 0
+
+    def test_matched_attribute_provenance(self, index):
+        attributes = {p.attribute for p in index.postings("xml")}
+        assert attributes == {"D_DESCRIPTION", "P_NAME", "P_DESCRIPTION"}
+
+    def test_numbers_are_matchable(self, index, company_db):
+        labels = {company_db.tuple(t).label for t in index.matching_tuples("40")}
+        assert labels == {"w_f1"}
+
+
+class TestMaintenance:
+    def test_add_tuple_after_insert(self, company_db, index):
+        record = company_db.insert(
+            "EMPLOYEE",
+            {"SSN": "e9", "L_NAME": "Zubrowka", "S_NAME": "Ada", "D_ID": "d3"},
+        )
+        index.add_tuple(record)
+        assert index.document_frequency("zubrowka") == 1
+
+    def test_add_tuple_is_idempotent(self, company_db, index):
+        record = company_db.get("EMPLOYEE", "e1")
+        index.add_tuple(record)
+        assert index.document_frequency("smith") == 2
+
+    def test_remove_tuple(self, company_db, index):
+        record = company_db.get("EMPLOYEE", "e2")
+        index.remove_tuple(record.tid)
+        assert index.document_frequency("smith") == 1
+        assert index.document_frequency("barbara") == 0
+
+    def test_remove_unknown_is_noop(self, company_db, index):
+        before = len(index.vocabulary())
+        from repro.relational.database import TupleId
+
+        index.remove_tuple(TupleId("EMPLOYEE", ("e99",)))
+        assert len(index.vocabulary()) == before
+
+    def test_rebuild_restores_state(self, company_db, index):
+        record = company_db.get("EMPLOYEE", "e2")
+        index.remove_tuple(record.tid)
+        index.build()
+        assert index.document_frequency("smith") == 2
+
+    def test_vocabulary_sorted(self, index):
+        vocabulary = index.vocabulary()
+        assert list(vocabulary) == sorted(vocabulary)
+
+    def test_null_values_not_indexed(self, db_schema):
+        from repro.relational.database import Database
+
+        database = Database(db_schema)
+        database.insert("DEPARTMENT", {"ID": "dx"})
+        index = InvertedIndex(database)
+        assert index.document_frequency("dx") == 1  # only the key itself

@@ -1,0 +1,103 @@
+"""Unit tests for the query operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.query import fk_join, join_pairs, joinable, project, select
+
+
+class TestSelect:
+    def test_equality_selection(self, company_db):
+        smiths = select(company_db, "EMPLOYEE", L_NAME="Smith")
+        assert sorted(t.label for t in smiths) == ["e1", "e2"]
+
+    def test_predicate_selection(self, company_db):
+        heavy = select(
+            company_db, "WORKS_FOR", predicate=lambda t: t["HOURS"] > 55
+        )
+        assert sorted(t.label for t in heavy) == ["w_f2", "w_f3", "w_f4"]
+
+    def test_predicate_and_equality_combine(self, company_db):
+        rows = select(
+            company_db,
+            "EMPLOYEE",
+            predicate=lambda t: t["S_NAME"] == "John",
+            L_NAME="Smith",
+        )
+        assert [t.label for t in rows] == ["e1"]
+
+    def test_unknown_attribute_rejected(self, company_db):
+        with pytest.raises(QueryError):
+            select(company_db, "EMPLOYEE", NOPE="x")
+
+    def test_empty_result(self, company_db):
+        assert select(company_db, "EMPLOYEE", L_NAME="Nobody") == []
+
+
+class TestJoinable:
+    def test_direct_reference(self, company_db):
+        e1 = company_db.get("EMPLOYEE", "e1")
+        d1 = company_db.get("DEPARTMENT", "d1")
+        fk = joinable(company_db, e1, d1)
+        assert fk is not None
+        assert fk.name == "fk_employee_department"
+
+    def test_symmetric(self, company_db):
+        e1 = company_db.get("EMPLOYEE", "e1")
+        d1 = company_db.get("DEPARTMENT", "d1")
+        assert joinable(company_db, d1, e1) is not None
+
+    def test_unjoined_tuples(self, company_db):
+        e1 = company_db.get("EMPLOYEE", "e1")
+        d2 = company_db.get("DEPARTMENT", "d2")
+        assert joinable(company_db, e1, d2) is None
+
+    def test_unrelated_relations(self, company_db):
+        e1 = company_db.get("EMPLOYEE", "e1")
+        p1 = company_db.get("PROJECT", "p1")
+        assert joinable(company_db, e1, p1) is None  # only via WORKS_FOR
+
+
+class TestFkJoin:
+    def test_join_along_fk(self, company_db):
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        pairs = list(fk_join(company_db, company_db.tuples("EMPLOYEE"), fk))
+        assert len(pairs) == 4
+        assert all(right.relation == "DEPARTMENT" for __, right in pairs)
+
+    def test_null_reference_skipped(self, company_db):
+        record = company_db.insert(
+            "EMPLOYEE", {"SSN": "e9", "L_NAME": "X", "S_NAME": "Y"}
+        )
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        pairs = list(fk_join(company_db, [record], fk))
+        assert pairs == []
+
+    def test_wrong_source_relation_rejected(self, company_db):
+        fk = company_db.schema.foreign_key("fk_employee_department")
+        with pytest.raises(QueryError):
+            list(fk_join(company_db, company_db.tuples("PROJECT"), fk))
+
+
+class TestJoinPairs:
+    def test_both_directions(self, company_db):
+        pairs = list(join_pairs(company_db, "DEPARTMENT", "EMPLOYEE"))
+        assert len(pairs) == 4
+        assert all(left.relation == "DEPARTMENT" for left, __, __ in pairs)
+
+    def test_middle_relation_joins(self, company_db):
+        pairs = list(join_pairs(company_db, "WORKS_FOR", "PROJECT"))
+        assert len(pairs) == 4
+
+    def test_non_adjacent_yields_nothing(self, company_db):
+        assert list(join_pairs(company_db, "DEPARTMENT", "DEPENDENT")) == []
+
+
+class TestProject:
+    def test_projection(self, company_db):
+        rows = project(company_db.tuples("EMPLOYEE"), ["SSN", "L_NAME"])
+        assert rows[0] == {"SSN": "e1", "L_NAME": "Smith"}
+
+    def test_unknown_attribute_rejected(self, company_db):
+        with pytest.raises(QueryError):
+            project(company_db.tuples("EMPLOYEE"), ["NOPE"])

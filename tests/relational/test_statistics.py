@@ -1,0 +1,88 @@
+"""Unit tests for database statistics."""
+
+import pytest
+
+from repro.relational.statistics import DatabaseStatistics
+
+
+@pytest.fixture
+def stats(company_db):
+    return DatabaseStatistics(company_db)
+
+
+class TestCardinalities:
+    def test_counts(self, stats):
+        assert stats.cardinality("EMPLOYEE") == 4
+        assert stats.cardinality("WORKS_FOR") == 4
+
+    def test_unknown_relation_raises(self, stats):
+        with pytest.raises(KeyError):
+            stats.cardinality("NOPE")
+
+
+class TestFanOuts:
+    def test_employee_department_fanout(self, stats):
+        # d1 employs e1, e3; d2 employs e2, e4; d3 employs nobody.
+        fanout = stats.fanout("fk_employee_department")
+        assert fanout.mean == 2.0
+        assert fanout.maximum == 2
+        assert fanout.coverage == pytest.approx(2 / 3)
+
+    def test_project_department_fanout(self, stats):
+        # d1 controls p1; d2 controls p2, p3.
+        fanout = stats.fanout("fk_project_department")
+        assert fanout.mean == 1.5
+        assert fanout.maximum == 2
+
+    def test_dependent_fanout(self, stats):
+        # Only e3 has dependents: two of them.
+        fanout = stats.fanout("fk_dependent_employee")
+        assert fanout.mean == 2.0
+        assert fanout.coverage == pytest.approx(1 / 4)
+
+    def test_works_for_employee_leg(self, stats):
+        # Every employee works on exactly one project here.
+        fanout = stats.fanout("fk_works_for_employee")
+        assert fanout.mean == 1.0
+        assert fanout.is_effectively_functional
+
+    def test_unreferenced_fk_reports_zero(self, db_schema):
+        from repro.relational.database import Database
+
+        database = Database(db_schema)
+        database.insert("DEPARTMENT", {"ID": "d1"})
+        stats = DatabaseStatistics(database)
+        fanout = stats.fanout("fk_employee_department")
+        assert fanout.mean == 0.0
+        assert fanout.maximum == 0
+        assert fanout.coverage == 0.0
+
+    def test_null_references_excluded(self, company_db):
+        company_db.insert("EMPLOYEE", {"SSN": "e9", "L_NAME": "X",
+                                       "S_NAME": "Y"})
+        stats = DatabaseStatistics(company_db)
+        # e9's NULL D_ID contributes nothing.
+        assert stats.fanout("fk_employee_department").mean == 2.0
+
+
+class TestJointAmbiguity:
+    def test_expected_joint_ambiguity(self, stats):
+        estimate = stats.expected_joint_ambiguity(
+            "fk_project_department", "fk_employee_department"
+        )
+        assert estimate == pytest.approx(1.5 * 2.0)
+
+    def test_floors_at_one(self, db_schema):
+        from repro.relational.database import Database
+
+        database = Database(db_schema)
+        database.insert("DEPARTMENT", {"ID": "d1"})
+        stats = DatabaseStatistics(database)
+        assert stats.expected_joint_ambiguity(
+            "fk_project_department", "fk_employee_department"
+        ) == 1.0
+
+    def test_describe(self, stats):
+        text = stats.describe()
+        assert "|EMPLOYEE| = 4" in text
+        assert "fk_employee_department" in text

@@ -1,0 +1,114 @@
+"""Unit tests for attribute domains and coercion."""
+
+import pytest
+
+from repro.errors import TypeCoercionError
+from repro.relational.types import SUPPORTED_TYPES, coerce_value, is_text_type
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("data_type", sorted(SUPPORTED_TYPES))
+    def test_none_passes_through(self, data_type):
+        assert coerce_value(None, data_type) is None
+
+
+class TestStrings:
+    def test_str_passthrough(self):
+        assert coerce_value("hello", "str") == "hello"
+
+    def test_text_passthrough(self):
+        assert coerce_value("hello world", "text") == "hello world"
+
+    def test_number_to_str(self):
+        assert coerce_value(42, "str") == "42"
+
+    def test_bool_to_str(self):
+        assert coerce_value(True, "str") == "True"
+
+    def test_list_to_str_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value([1, 2], "str")
+
+
+class TestInts:
+    def test_int_passthrough(self):
+        assert coerce_value(7, "int") == 7
+
+    def test_str_to_int(self):
+        assert coerce_value("7", "int") == 7
+
+    def test_str_with_spaces(self):
+        assert coerce_value(" 7 ", "int") == 7
+
+    def test_whole_float_to_int(self):
+        assert coerce_value(7.0, "int") == 7
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(7.5, "int")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(True, "int")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("seven", "int")
+
+
+class TestFloats:
+    def test_float_passthrough(self):
+        assert coerce_value(1.5, "float") == 1.5
+
+    def test_int_to_float(self):
+        assert coerce_value(2, "float") == 2.0
+
+    def test_str_to_float(self):
+        assert coerce_value("2.5", "float") == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(False, "float")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("pi", "float")
+
+
+class TestBools:
+    @pytest.mark.parametrize("token", ["true", "True", "YES", "y", "1", "t"])
+    def test_truthy_tokens(self, token):
+        assert coerce_value(token, "bool") is True
+
+    @pytest.mark.parametrize("token", ["false", "No", "n", "0", "F"])
+    def test_falsy_tokens(self, token):
+        assert coerce_value(token, "bool") is False
+
+    def test_bool_passthrough(self):
+        assert coerce_value(True, "bool") is True
+
+    def test_zero_one_ints(self):
+        assert coerce_value(1, "bool") is True
+        assert coerce_value(0, "bool") is False
+
+    def test_other_ints_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value(2, "bool")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("maybe", "bool")
+
+
+class TestMeta:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeCoercionError):
+            coerce_value("x", "blob")
+
+    def test_is_text_type(self):
+        assert is_text_type("text")
+        assert not is_text_type("str")
+        assert not is_text_type("int")
+
+    def test_supported_types(self):
+        assert SUPPORTED_TYPES == {"str", "text", "int", "float", "bool"}

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.associations
+import repro.er.cardinality
+import repro.relational.index
+
+_MODULES = [
+    repro.er.cardinality,
+    repro.core.associations,
+    repro.relational.index,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0
+    assert results.attempted > 0
