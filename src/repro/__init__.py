@@ -49,6 +49,7 @@ from repro.datasets.company import (
     build_company_schema,
 )
 from repro.er.cardinality import Cardinality
+from repro.graph.fast_traversal import TraversalCache
 from repro.relational.database import Database
 from repro.relational.statistics import DatabaseStatistics
 
@@ -71,6 +72,7 @@ __all__ = [
     "SearchLimits",
     "SearchResult",
     "TfIdfScorer",
+    "TraversalCache",
     "WeightedRanker",
     "analyze_relational_schema",
     "build_company_database",

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro search "Smith XML" --explain
     python -m repro search "Smith XML" --ranker rdb
+    python -m repro search "Smith XML; Brown CS; Smith Brown" --batch
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
     python -m repro mtjnt "Smith XML"
@@ -72,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="AND (cover every keyword) or OR semantics")
     search.add_argument("--group", action="store_true",
                         help="group results: close / larger context / loose")
+    search.add_argument("--batch", action="store_true",
+                        help="treat QUERY as ';'-separated queries answered "
+                             "as one batch (shared traversal cache)")
+    search.add_argument("--slow", action="store_true",
+                        help="use the brute-force networkx traversal instead "
+                             "of the pruned fast path (for comparison)")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -107,25 +114,13 @@ def _load_database(path: Optional[str]) -> Database:
     return load_json(path)
 
 
-def _cmd_search(args: argparse.Namespace, out) -> int:
-    engine = KeywordSearchEngine(_load_database(args.db))
-    ranker = _RANKERS[args.ranker]()
-    results = engine.search(
-        args.query,
-        ranker=ranker,
-        limits=SearchLimits(max_rdb_length=args.max_rdb),
-        top_k=args.top,
-        semantics=args.semantics,
-    )
-    if not results:
-        print("no answers", file=out)
-        return 1
+def _print_results(engine, results, args, out) -> None:
     if args.group:
         from repro.core.presentation import group_results
 
         for group in group_results(results):
             print(group.describe(), file=out)
-        return 0
+        return
     for result in results:
         if args.explain:
             print(engine.explain(result), file=out)
@@ -134,6 +129,46 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             rendered_score = ", ".join(f"{part:g}" for part in result.score)
             print(f"{result.rank:3}  ({rendered_score})  "
                   f"{result.answer.render()}", file=out)
+
+
+def _cmd_search(args: argparse.Namespace, out) -> int:
+    engine = KeywordSearchEngine(
+        _load_database(args.db), use_fast_traversal=not args.slow
+    )
+    ranker = _RANKERS[args.ranker]()
+    limits = SearchLimits(max_rdb_length=args.max_rdb)
+    if args.batch:
+        queries = [part.strip() for part in args.query.split(";") if part.strip()]
+        if not queries:
+            print("no queries", file=out)
+            return 1
+        batched = engine.search_batch(
+            queries,
+            ranker=ranker,
+            limits=limits,
+            top_k=args.top,
+            semantics=args.semantics,
+        )
+        answered = 0
+        for query, results in zip(queries, batched):
+            print(f"== {query} ==", file=out)
+            if not results:
+                print("no answers", file=out)
+            else:
+                answered += 1
+                _print_results(engine, results, args, out)
+        return 0 if answered else 1
+    results = engine.search(
+        args.query,
+        ranker=ranker,
+        limits=limits,
+        top_k=args.top,
+        semantics=args.semantics,
+    )
+    if not results:
+        print("no answers", file=out)
+        return 1
+    _print_results(engine, results, args, out)
     return 0
 
 

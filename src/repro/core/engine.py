@@ -34,6 +34,7 @@ from repro.core.search import (
 )
 from repro.errors import QueryError
 from repro.graph.data_graph import DataGraph
+from repro.graph.fast_traversal import TraversalCache
 from repro.relational.database import Database, TupleId
 from repro.relational.index import InvertedIndex
 
@@ -62,12 +63,15 @@ class KeywordSearchEngine:
         database: Database,
         ranker: Optional[Ranker] = None,
         limits: SearchLimits = SearchLimits(),
+        use_fast_traversal: bool = True,
     ) -> None:
         self.database = database
         self.data_graph = DataGraph(database)
         self.index = InvertedIndex(database)
         self.ranker = ranker or ClosenessRanker()
         self.limits = limits
+        self.use_fast_traversal = use_fast_traversal
+        self.traversal_cache = TraversalCache(self.data_graph)
 
     # ------------------------------------------------------------------
     # querying
@@ -115,9 +119,25 @@ class KeywordSearchEngine:
                 for tid in matches[0].tuple_ids
             ]
         elif len(matches) == 2:
-            answers = list(find_connections(self.data_graph, matches, limits))
+            answers = list(
+                find_connections(
+                    self.data_graph,
+                    matches,
+                    limits,
+                    use_fast_traversal=self.use_fast_traversal,
+                    cache=self.traversal_cache,
+                )
+            )
         else:
-            answers = list(find_joining_networks(self.data_graph, matches, limits))
+            answers = list(
+                find_joining_networks(
+                    self.data_graph,
+                    matches,
+                    limits,
+                    use_fast_traversal=self.use_fast_traversal,
+                    cache=self.traversal_cache,
+                )
+            )
 
         ranked = rank_connections(answers, ranker)
         if top_k is not None:
@@ -126,6 +146,37 @@ class KeywordSearchEngine:
             SearchResult(answer=answer, score=score, rank=position + 1)
             for position, (answer, score) in enumerate(ranked)
         ]
+
+    def search_batch(
+        self,
+        queries: Sequence[str],
+        ranker: Optional[Ranker] = None,
+        limits: Optional[SearchLimits] = None,
+        top_k: Optional[int] = None,
+        semantics: str = "and",
+    ) -> list[list[SearchResult]]:
+        """Answer many queries, one result list per query (input order).
+
+        Each query is answered exactly as :meth:`search` would — the win
+        is amortisation, not approximation: all queries share the
+        engine's :class:`~repro.graph.fast_traversal.TraversalCache`
+        (adjacency and distance maps survive across queries), and a query
+        text appearing several times is searched once with its result
+        list reused.
+        """
+        resolved: dict[str, list[SearchResult]] = {}
+        batched = []
+        for query in queries:
+            if query not in resolved:
+                resolved[query] = self.search(
+                    query,
+                    ranker=ranker,
+                    limits=limits,
+                    top_k=top_k,
+                    semantics=semantics,
+                )
+            batched.append(resolved[query])
+        return batched
 
     def _search_or(
         self,
@@ -159,11 +210,19 @@ class KeywordSearchEngine:
                         (first, second),
                         limits,
                         include_single_tuples=False,
+                        use_fast_traversal=self.use_fast_traversal,
+                        cache=self.traversal_cache,
                     )
                 )
         if len(populated) >= 3:
             answers.extend(
-                find_joining_networks(self.data_graph, populated, limits)
+                find_joining_networks(
+                    self.data_graph,
+                    populated,
+                    limits,
+                    use_fast_traversal=self.use_fast_traversal,
+                    cache=self.traversal_cache,
+                )
             )
 
         def coverage(answer: AnswerType) -> int:
@@ -215,9 +274,14 @@ class KeywordSearchEngine:
         return "\n".join(lines)
 
     def rebuild(self) -> None:
-        """Refresh derived structures after database mutations."""
+        """Refresh derived structures after database mutations.
+
+        The traversal cache is bound to the discarded data graph, so a
+        fresh one replaces it.
+        """
         self.data_graph = DataGraph(self.database)
         self.index.build()
+        self.traversal_cache = TraversalCache(self.data_graph)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -29,6 +29,11 @@ from repro.core.connections import Connection
 from repro.core.matching import KeywordMatch
 from repro.errors import QueryError
 from repro.graph.data_graph import DataGraph
+from repro.graph.fast_traversal import (
+    TraversalCache,
+    fast_enumerate_joining_trees,
+    fast_enumerate_simple_paths,
+)
 from repro.graph.traversal import (
     TuplePathStep,
     enumerate_joining_trees,
@@ -242,6 +247,9 @@ def find_connections(
     matches: Sequence[KeywordMatch],
     limits: SearchLimits = SearchLimits(),
     include_single_tuples: bool = True,
+    *,
+    use_fast_traversal: bool = True,
+    cache: Optional[TraversalCache] = None,
 ) -> Iterator[Connection | SingleTupleAnswer]:
     """Enumerate path answers for a two-keyword query (AND semantics).
 
@@ -249,6 +257,11 @@ def find_connections(
     the first keyword and a tuple matching the second (shorter paths
     first per pair), plus :class:`SingleTupleAnswer` for tuples matching
     both keywords when ``include_single_tuples``.
+
+    ``use_fast_traversal`` (default on) enumerates through the pruned
+    traversal core; answers and order are identical to the brute-force
+    path, only faster.  Pass a :class:`TraversalCache` to share adjacency
+    and distance maps across calls — the engine passes its own.
 
     Raises :class:`~repro.errors.QueryError` unless exactly two keyword
     matches are supplied — use :func:`find_joining_networks` otherwise.
@@ -258,9 +271,12 @@ def find_connections(
             "find_connections needs exactly two keywords",
             keywords=[m.keyword for m in matches],
         )
+    if use_fast_traversal and cache is None:
+        cache = TraversalCache(data_graph)
     first, second = matches
     if include_single_tuples:
-        both = [tid for tid in first.tuple_ids if tid in set(second.tuple_ids)]
+        second_set = set(second.tuple_ids)
+        both = [tid for tid in first.tuple_ids if tid in second_set]
         for tid in both:
             yield SingleTupleAnswer(
                 data_graph, tid, frozenset((first.keyword, second.keyword))
@@ -269,13 +285,24 @@ def find_connections(
         for target in second.tuple_ids:
             if source == target:
                 continue
-            for steps in enumerate_simple_paths(
-                data_graph,
-                source,
-                target,
-                limits.max_rdb_length,
-                max_paths=limits.max_paths_per_pair,
-            ):
+            if use_fast_traversal:
+                paths = fast_enumerate_simple_paths(
+                    data_graph,
+                    source,
+                    target,
+                    limits.max_rdb_length,
+                    max_paths=limits.max_paths_per_pair,
+                    cache=cache,
+                )
+            else:
+                paths = enumerate_simple_paths(
+                    data_graph,
+                    source,
+                    target,
+                    limits.max_rdb_length,
+                    max_paths=limits.max_paths_per_pair,
+                )
+            for steps in paths:
                 tids = [steps[0].source] + [s.target for s in steps]
                 yield Connection(
                     data_graph, steps, _keyword_map(matches, tids)
@@ -286,6 +313,9 @@ def find_joining_networks(
     data_graph: DataGraph,
     matches: Sequence[KeywordMatch],
     limits: SearchLimits = SearchLimits(),
+    *,
+    use_fast_traversal: bool = True,
+    cache: Optional[TraversalCache] = None,
 ) -> Iterator[JoiningNetwork]:
     """Enumerate joining networks for a query with any number of keywords.
 
@@ -294,11 +324,17 @@ def find_joining_networks(
     wrapped as :class:`JoiningNetwork`.  Distinct assignments may produce
     the same tuple set with different keyword bindings; both are yielded —
     deduplication by tuple set is the caller's choice.
+
+    ``use_fast_traversal`` / ``cache`` behave as in
+    :func:`find_connections`; the cache pays off especially here because
+    every keyword-tuple assignment shares its distance maps.
     """
     if not matches:
         raise QueryError("no keywords to search")
     if any(match.is_empty for match in matches):
         return
+    if use_fast_traversal and cache is None:
+        cache = TraversalCache(data_graph)
     seen: set[tuple[frozenset[TupleId], tuple[tuple[str, TupleId], ...]]] = set()
     assignments = product(*(match.tuple_ids for match in matches))
     for assignment in assignments:
@@ -306,12 +342,22 @@ def find_joining_networks(
             match.keyword: tid for match, tid in zip(matches, assignment)
         }
         required = list(dict.fromkeys(assignment))
-        for tuple_set in enumerate_joining_trees(
-            data_graph,
-            required,
-            limits.max_tuples,
-            max_results=limits.max_networks,
-        ):
+        if use_fast_traversal:
+            tuple_sets = fast_enumerate_joining_trees(
+                data_graph,
+                required,
+                limits.max_tuples,
+                max_results=limits.max_networks,
+                cache=cache,
+            )
+        else:
+            tuple_sets = enumerate_joining_trees(
+                data_graph,
+                required,
+                limits.max_tuples,
+                max_results=limits.max_networks,
+            )
+        for tuple_set in tuple_sets:
             key = (tuple_set, tuple(sorted(keyword_tuples.items())))
             if key in seen:
                 continue

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from repro.datasets.synthetic import plant
 from repro.relational.database import Database
 
-__all__ = ["WorkloadConfig", "WorkloadQuery", "generate_workload"]
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadQuery",
+    "batch_texts",
+    "generate_workload",
+]
 
 #: Relations and text attributes that keywords may be planted into.
 _PLANT_SITES = (
@@ -41,6 +46,19 @@ class WorkloadQuery:
     text: str
     keywords: tuple[str, ...]
     planted_labels: dict[str, tuple[str, ...]]
+
+
+def batch_texts(
+    queries: list[WorkloadQuery], repeats: int = 1
+) -> list[str]:
+    """Flatten a workload into ``engine.search_batch`` input.
+
+    ``repeats`` > 1 cycles the whole workload that many times — the shape
+    served engines see (the same popular queries arriving again), which is
+    exactly what the engine's traversal cache amortises.
+    """
+    texts = [query.text for query in queries]
+    return texts * max(1, repeats)
 
 
 def generate_workload(

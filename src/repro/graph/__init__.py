@@ -6,10 +6,13 @@
   database) plus the *conceptual* collapse that removes middle-relation
   tuples;
 * :mod:`repro.graph.traversal` — bounded enumeration of paths and joining
-  trees used by the search engines.
+  trees used by the search engines;
+* :mod:`repro.graph.fast_traversal` — the pruned, cache-backed fast path
+  producing identical answers (the engine's default).
 """
 
 from repro.graph.schema_graph import SchemaGraph
 from repro.graph.data_graph import DataGraph
+from repro.graph.fast_traversal import TraversalCache
 
-__all__ = ["DataGraph", "SchemaGraph"]
+__all__ = ["DataGraph", "SchemaGraph", "TraversalCache"]

@@ -1,0 +1,298 @@
+"""Pruned traversal core: the fast path behind the search engines.
+
+:mod:`repro.graph.traversal` enumerates by brute force — iterative
+deepening that expands every branch to the depth budget, plus a fresh
+networkx BFS per required tuple per joining-tree call.  Exhaustive and
+deterministic, but every query pays the full cost again.
+
+This module keeps the *exact* output contract (same answers, same order,
+same :class:`~repro.errors.SearchLimitError` budget behaviour — the
+differential tests in ``tests/graph/test_fast_traversal.py`` assert it)
+while cutting the work three ways:
+
+* **Bidirectional pruning.**  Path enumeration still runs a forward DFS
+  from the source (that is what fixes the output order), but a backward
+  BFS from the target bounds it: a branch standing at ``v`` with ``r``
+  edges of budget left is cut unless ``dist(v, target) <= r``.  The DFS
+  only ever walks the corridor of tuples that lie on some admissible
+  path, instead of the whole component.
+* **Cached per-tuple adjacency.**  The brute-force DFS re-reads and
+  re-sorts ``graph.edges(v)`` at every visit; :class:`TraversalCache`
+  materialises each tuple's sorted expansion list once and serves it to
+  every later visit, depth pass and query.
+* **Cached distance maps.**  Joining-tree growth needs a distance map
+  per required tuple; the brute-force version recomputes them for every
+  keyword-tuple assignment even though assignments overlap heavily.
+  The cache computes each map once per tuple and shares it across
+  assignments, queries and batches.
+
+One :class:`TraversalCache` is owned by
+:class:`~repro.core.engine.KeywordSearchEngine` and dropped by
+``rebuild()``; the cache never observes database mutations on its own,
+so callers that mutate tuples must rebuild (the same contract the data
+graph and inverted index already have).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import SearchLimitError
+from repro.graph.data_graph import DataGraph
+from repro.graph.traversal import TuplePathStep, _sort_key
+from repro.relational.database import TupleId
+
+__all__ = [
+    "TraversalCache",
+    "fast_enumerate_simple_paths",
+    "fast_enumerate_joining_trees",
+]
+
+_UNREACHABLE = 1 << 30
+
+
+class TraversalCache:
+    """Per-tuple adjacency and distance maps, shared across queries.
+
+    All structures are derived lazily from one :class:`DataGraph` and
+    stay valid exactly as long as that graph does.  ``invalidate()``
+    drops everything; the engine calls it (via replacement) on
+    ``rebuild()``.  ``hits`` / ``misses`` count distance-map lookups so
+    benchmarks and tests can observe reuse.
+    """
+
+    #: Most distance maps kept at once; each is O(nodes), so this caps the
+    #: cache at O(nodes * max_distance_maps) for a long-lived served engine.
+    max_distance_maps = 1024
+
+    def __init__(self, data_graph: DataGraph) -> None:
+        self.data_graph = data_graph
+        self._expansions: dict[TupleId, tuple] = {}
+        self._neighbours: dict[TupleId, tuple[TupleId, ...]] = {}
+        self._distances: dict[TupleId, dict[TupleId, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def invalidate(self) -> None:
+        """Drop every cached structure (call after graph changes)."""
+        self._expansions.clear()
+        self._neighbours.clear()
+        self._distances.clear()
+
+    def expansions(self, tid: TupleId) -> tuple:
+        """``(other, edge_key, edge_data)`` triples incident to ``tid``.
+
+        Reverse-sorted by ``(tuple order, edge key)`` so a DFS stack that
+        pushes them in this order pops them forward-sorted — the same
+        expansion order the brute-force traversal uses.
+        """
+        cached = self._expansions.get(tid)
+        if cached is None:
+            graph = self.data_graph.graph
+            cached = tuple(
+                sorted(
+                    (
+                        (other, key, data)
+                        for __, other, key, data in graph.edges(
+                            tid, keys=True, data=True
+                        )
+                    ),
+                    key=lambda item: (_sort_key(item[0]), item[1]),
+                    reverse=True,
+                )
+            )
+            self._expansions[tid] = cached
+        return cached
+
+    def neighbours(self, tid: TupleId) -> tuple[TupleId, ...]:
+        """Distinct neighbours of ``tid``, forward-sorted."""
+        cached = self._neighbours.get(tid)
+        if cached is None:
+            cached = tuple(
+                dict.fromkeys(
+                    other for other, __, __ in reversed(self.expansions(tid))
+                )
+            )
+            self._neighbours[tid] = cached
+        return cached
+
+    def distances(self, tid: TupleId) -> dict[TupleId, int]:
+        """Shortest-path (edge-count) map from ``tid`` to every reachable tuple."""
+        cached = self._distances.get(tid)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        distances = {tid: 0}
+        frontier = [tid]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for other in self.neighbours(node):
+                    if other not in distances:
+                        distances[other] = depth
+                        next_frontier.append(other)
+            frontier = next_frontier
+        while len(self._distances) >= self.max_distance_maps:
+            self._distances.pop(next(iter(self._distances)))  # oldest first
+        self._distances[tid] = distances
+        return distances
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraversalCache(expansions={len(self._expansions)}, "
+            f"distances={len(self._distances)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def fast_enumerate_simple_paths(
+    data_graph: DataGraph,
+    source: TupleId,
+    target: TupleId,
+    max_edges: int,
+    max_paths: Optional[int] = None,
+    cache: Optional[TraversalCache] = None,
+) -> Iterator[list[TuplePathStep]]:
+    """Drop-in replacement for :func:`~repro.graph.traversal.enumerate_simple_paths`.
+
+    Same paths, same order (shorter first, deterministic within a
+    length), same budget semantics — but the forward DFS is bounded by a
+    backward BFS from ``target``: a branch is expanded into ``other``
+    only when the shortest distance from ``other`` to ``target`` fits in
+    the remaining edge budget.  The distance map prunes admissibly
+    (ignoring the simple-path constraint it can under- but never
+    over-estimate the true remaining length), so no valid path is lost.
+    """
+    graph = data_graph.graph
+    if source not in graph or target not in graph:
+        return
+    if max_edges < 1:
+        return
+    if cache is None or cache.data_graph is not data_graph:
+        # A cache built on another graph would serve stale adjacency and
+        # distances; fall back to a private one rather than answer wrongly.
+        cache = TraversalCache(data_graph)
+
+    to_target = cache.distances(target)
+    shortest = to_target.get(source, _UNREACHABLE)
+    if shortest > max_edges:
+        # Disconnected pair (or too far): the brute-force version walks
+        # the whole component once per depth to learn this.
+        return
+
+    produced = 0
+    for depth in range(max(1, shortest), max_edges + 1):
+        stack: list[tuple[TupleId, list[TuplePathStep], frozenset[TupleId]]] = [
+            (source, [], frozenset([source]))
+        ]
+        while stack:
+            at, path, visited = stack.pop()
+            if len(path) == depth:
+                if at == target:
+                    produced += 1
+                    if max_paths is not None and produced > max_paths:
+                        raise SearchLimitError(
+                            "path enumeration exceeded budget",
+                            max_paths=max_paths,
+                            source=str(source),
+                            target=str(target),
+                        )
+                    yield path
+                continue
+            if at == target and path:
+                continue  # simple paths stop at the target
+            remaining = depth - len(path) - 1
+            for other, key, data in cache.expansions(at):
+                if other in visited:
+                    continue
+                if to_target.get(other, _UNREACHABLE) > remaining:
+                    continue  # cannot reach the target within this depth
+                stack.append(
+                    (
+                        other,
+                        path + [TuplePathStep(at, other, key, data)],
+                        visited | {other},
+                    )
+                )
+
+
+def fast_enumerate_joining_trees(
+    data_graph: DataGraph,
+    required: Sequence[TupleId],
+    max_tuples: int,
+    max_results: Optional[int] = None,
+    cache: Optional[TraversalCache] = None,
+) -> Iterator[frozenset[TupleId]]:
+    """Drop-in replacement for :func:`~repro.graph.traversal.enumerate_joining_trees`.
+
+    Identical growth order and budget behaviour; the per-required-tuple
+    distance maps and the per-member neighbour lists come from the cache
+    instead of fresh networkx traversals, so the maps are computed once
+    per tuple and shared across every keyword-tuple assignment of a
+    query (and across queries in a batch).
+    """
+    required = list(dict.fromkeys(required))
+    if not required:
+        return
+    graph = data_graph.graph
+    for tid in required:
+        if tid not in graph:
+            return
+    if cache is None or cache.data_graph is not data_graph:
+        cache = TraversalCache(data_graph)
+
+    distance_maps = [cache.distances(tid) for tid in required]
+    for tid in required:
+        if any(tid not in dmap for dmap in distance_maps):
+            return  # some required pair is disconnected: no joining tree
+
+    produced = 0
+    seen: set[frozenset[TupleId]] = set()
+    start = required[0]
+    frontier: list[frozenset[TupleId]] = [frozenset([start])]
+    required_set = frozenset(required)
+
+    while frontier:
+        next_frontier: set[frozenset[TupleId]] = set()
+        for current in sorted(
+            frontier, key=lambda s: sorted(_sort_key(t) for t in s)
+        ):
+            if required_set <= current:
+                if current not in seen:
+                    seen.add(current)
+                    produced += 1
+                    if max_results is not None and produced > max_results:
+                        raise SearchLimitError(
+                            "joining tree enumeration exceeded budget",
+                            max_results=max_results,
+                        )
+                    yield current
+            if len(current) >= max_tuples:
+                continue
+            missing = required_set - current
+            budget = max_tuples - len(current)
+            if missing:
+                feasible = True
+                for index, tid in enumerate(required):
+                    if tid not in missing:
+                        continue
+                    dmap = distance_maps[index]
+                    best = min(
+                        (dmap.get(member, _UNREACHABLE) for member in current)
+                    )
+                    if best > budget:
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+            neighbours: set[TupleId] = set()
+            for member in current:
+                for other in cache.neighbours(member):
+                    if other not in current:
+                        neighbours.add(other)
+            for other in sorted(neighbours, key=_sort_key):
+                next_frontier.add(current | {other})
+        frontier = list(next_frontier)

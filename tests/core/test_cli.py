@@ -117,3 +117,40 @@ class TestGenerateCommand:
         small_count = int(small_out.split()[1])
         large_count = int(large_out.split()[1])
         assert large_count > small_count
+
+
+class TestBatchFlag:
+    def test_batch_answers_every_query(self):
+        code, output = run("search", "Smith XML; John Smith", "--batch")
+        assert code == 0
+        assert "== Smith XML ==" in output
+        assert "== John Smith ==" in output
+        assert "e1(Smith)" in output
+
+    def test_batch_matches_single_runs(self):
+        __, batched = run("search", "Smith XML; John Smith", "--batch")
+        __, first = run("search", "Smith XML")
+        __, second = run("search", "John Smith")
+        body = [
+            line for line in batched.splitlines() if not line.startswith("==")
+        ]
+        assert body == (first + second).splitlines()
+
+    def test_batch_reports_empty_queries(self):
+        code, output = run("search", "Smith XML; unicorn rainbow", "--batch")
+        assert code == 0
+        assert "no answers" in output
+
+    def test_batch_all_empty_exit_code(self):
+        code, __ = run("search", "unicorn rainbow; gryphon", "--batch")
+        assert code == 1
+
+    def test_slow_flag_same_answers(self):
+        __, fast = run("search", "Smith XML")
+        __, slow = run("search", "Smith XML", "--slow")
+        assert fast == slow
+
+    def test_batch_only_separators_reports_no_queries(self):
+        code, output = run("search", ";;;", "--batch")
+        assert code == 1
+        assert "no queries" in output

@@ -125,3 +125,49 @@ class TestDeterminism:
         other = KeywordSearchEngine(build_company_database()).search("Smith XML")
         assert [r.answer.render() for r in one] == \
             [r.answer.render() for r in other]
+
+
+class TestSearchBatch:
+    def test_batch_matches_individual_searches(self, engine):
+        queries = ["Smith XML", "John Smith", "Smith XML"]
+        batched = engine.search_batch(queries)
+        assert len(batched) == 3
+        for query, results in zip(queries, batched):
+            individual = engine.search(query)
+            assert [(r.render(), r.score) for r in results] == [
+                (r.render(), r.score) for r in individual
+            ]
+
+    def test_duplicate_queries_share_result_lists(self, engine):
+        batched = engine.search_batch(["Smith XML", "Smith XML"])
+        assert batched[0] is batched[1]
+
+    def test_empty_batch(self, engine):
+        assert engine.search_batch([]) == []
+
+    def test_batch_passes_options_through(self, engine):
+        batched = engine.search_batch(
+            ["Smith XML"], ranker=RdbLengthRanker(), top_k=2
+        )
+        assert len(batched[0]) == 2
+        assert batched[0][0].score == engine.search(
+            "Smith XML", ranker=RdbLengthRanker(), top_k=2
+        )[0].score
+
+    def test_batch_warms_traversal_cache(self, company_db):
+        engine = KeywordSearchEngine(company_db)
+        engine.search_batch(["Smith XML", "John XML"])
+        # The second query reuses the distance maps of the shared targets.
+        assert engine.traversal_cache.hits > 0
+
+
+class TestFastTraversalFlag:
+    def test_flag_defaults_on(self, engine):
+        assert engine.use_fast_traversal is True
+
+    def test_slow_engine_gives_same_answers(self, company_db):
+        fast = KeywordSearchEngine(company_db)
+        slow = KeywordSearchEngine(company_db, use_fast_traversal=False)
+        assert [(r.render(), r.score) for r in fast.search("Smith XML")] == [
+            (r.render(), r.score) for r in slow.search("Smith XML")
+        ]

@@ -1,0 +1,126 @@
+"""Property-based differential tests: fast traversal vs brute force.
+
+Hypothesis drives synthetic database shapes; on every generated instance
+the pruned traversal core must reproduce the brute-force enumeration
+exactly — paths, joining trees and end-to-end engine rankings.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.matching import match_keywords
+from repro.core.search import SearchLimits, find_connections
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like, plant
+from repro.graph.fast_traversal import (
+    TraversalCache,
+    fast_enumerate_joining_trees,
+    fast_enumerate_simple_paths,
+)
+from repro.graph.traversal import enumerate_joining_trees, enumerate_simple_paths
+
+configs = st.builds(
+    SyntheticConfig,
+    departments=st.integers(min_value=1, max_value=3),
+    projects_per_department=st.integers(min_value=1, max_value=2),
+    employees_per_department=st.integers(min_value=1, max_value=4),
+    works_on_per_employee=st.integers(min_value=1, max_value=2),
+    dependents_per_employee=st.just(0.3),
+    seed=st.integers(min_value=0, max_value=50),
+)
+
+relaxed = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def planted_engine(config):
+    database = generate_company_like(config)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION",
+          min(2, database.count("DEPARTMENT")), seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME",
+          min(2, database.count("EMPLOYEE")), seed=2)
+    return KeywordSearchEngine(database)
+
+
+class TestDifferentialInvariants:
+    @relaxed
+    @given(configs)
+    def test_paths_identical_between_planted_tuples(self, config):
+        engine = planted_engine(config)
+        matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+        cache = TraversalCache(engine.data_graph)
+        for source in matches[0].tuple_ids:
+            for target in matches[1].tuple_ids:
+                if source == target:
+                    continue
+                brute = list(
+                    enumerate_simple_paths(engine.data_graph, source, target, 4)
+                )
+                fast = list(
+                    fast_enumerate_simple_paths(
+                        engine.data_graph, source, target, 4, cache=cache
+                    )
+                )
+                assert fast == brute
+
+    @relaxed
+    @given(configs)
+    def test_joining_trees_identical(self, config):
+        engine = planted_engine(config)
+        matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+        cache = TraversalCache(engine.data_graph)
+        required = [matches[0].tuple_ids[0], matches[1].tuple_ids[0]]
+        brute = list(enumerate_joining_trees(engine.data_graph, required, 4))
+        fast = list(
+            fast_enumerate_joining_trees(
+                engine.data_graph, required, 4, cache=cache
+            )
+        )
+        assert fast == brute
+
+    @relaxed
+    @given(configs)
+    def test_connection_enumeration_identical(self, config):
+        engine = planted_engine(config)
+        matches = match_keywords(engine.index, ("kwalpha", "kwbeta"))
+        limits = SearchLimits(max_rdb_length=4)
+        fast = [
+            answer.render()
+            for answer in find_connections(engine.data_graph, matches, limits)
+        ]
+        brute = [
+            answer.render()
+            for answer in find_connections(
+                engine.data_graph, matches, limits, use_fast_traversal=False
+            )
+        ]
+        assert fast == brute
+
+    @relaxed
+    @given(configs)
+    def test_engine_ranking_identical(self, config):
+        fast_engine = planted_engine(config)
+        brute_engine = KeywordSearchEngine(
+            fast_engine.database, use_fast_traversal=False
+        )
+        fast = fast_engine.search("kwalpha kwbeta")
+        brute = brute_engine.search("kwalpha kwbeta")
+        assert [(r.render(), r.score, r.rank) for r in fast] == [
+            (r.render(), r.score, r.rank) for r in brute
+        ]
+
+    @relaxed
+    @given(configs)
+    def test_batch_matches_sequential_search(self, config):
+        engine = planted_engine(config)
+        queries = ["kwalpha kwbeta", "kwalpha kwbeta", "kwbeta kwalpha"]
+        batched = engine.search_batch(queries)
+        sequential = [engine.search(query) for query in queries]
+        assert [
+            [(r.render(), r.score) for r in results] for results in batched
+        ] == [
+            [(r.render(), r.score) for r in results] for results in sequential
+        ]
