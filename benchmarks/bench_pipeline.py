@@ -1,0 +1,252 @@
+"""Experiment P1 (extension): query pipeline — top-k pushdown and plan sharing.
+
+Measures the planner/executor pipeline against full enumerate-sort-cut
+on planted synthetic workloads:
+
+* **top-k pushdown, connections** — two-keyword queries with ``top_k``;
+  the executor's generalized ranker-lower-bound termination
+  (``pushdown``, the default) versus forced full enumeration
+  (``pushdown=False``), compared on the engine's enumeration counters
+  (``last_stats.candidates``: answers constructed and scored).  Both
+  modes must return bit-identical results; the counter ratio is the
+  deterministic speedup gate (>= 2x).
+* **top-k pushdown, joining networks** — three-keyword queries under the
+  RDB-length ranker (the closeness bound starts at zero loose joints,
+  so it cannot terminate workloads whose best networks are loose —
+  correctness holds either way, the counters just show no skip).
+* **batch plan sharing** — ``search_batch`` over a workload containing
+  distinct query texts with identical enumeration sub-plans (case
+  variants and overlapping keyword subsets): shared streams must fan
+  out (``last_shared.hits > 0``) and answers must equal per-query
+  ``search`` calls.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick  # CI gate
+
+or through pytest-benchmark like the other benches
+(``pytest benchmarks/ -o python_files='bench_*.py'``).
+"""
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.ranking import RdbLengthRanker
+from repro.core.search import SearchLimits
+from repro.datasets.synthetic import SyntheticConfig, generate_company_like
+from repro.datasets.workload import WorkloadConfig, generate_workload
+
+_TOP_K = 3
+
+
+def _database(departments, employees=8, works_on=3):
+    return generate_company_like(
+        SyntheticConfig(
+            departments=departments,
+            projects_per_department=3,
+            employees_per_department=employees,
+            works_on_per_employee=works_on,
+            seed=17,
+        )
+    )
+
+
+def _texts(database, queries, keywords=2, matches=3):
+    workload = generate_workload(
+        database,
+        WorkloadConfig(
+            queries=queries,
+            keywords_per_query=keywords,
+            matches_per_keyword=matches,
+            seed=13,
+        ),
+    )
+    return [query.text for query in workload]
+
+
+def _rendered(results):
+    return [(r.render(), r.score, r.rank) for r in results]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pushdown_setup():
+    database = _database(departments=15)
+    texts = _texts(database, queries=4)
+    return KeywordSearchEngine(database), texts, SearchLimits(max_rdb_length=7)
+
+
+@pytest.mark.parametrize("mode", ["pushdown", "full"])
+def test_topk_connections(benchmark, pushdown_setup, mode):
+    engine, texts, limits = pushdown_setup
+    benchmark.group = "P1 top-k connections"
+    benchmark.name = mode
+    pushdown = None if mode == "pushdown" else False
+    results = benchmark(
+        lambda: [
+            engine.search(text, top_k=_TOP_K, limits=limits, pushdown=pushdown)
+            for text in texts
+        ]
+    )
+    reference = [
+        engine.search(text, top_k=_TOP_K, limits=limits, pushdown=False)
+        for text in texts
+    ]
+    assert [_rendered(r) for r in results] == [_rendered(r) for r in reference]
+
+
+@pytest.mark.parametrize("mode", ["shared", "sequential"])
+def test_batch_plan_sharing(benchmark, pushdown_setup, mode):
+    engine, texts, limits = pushdown_setup
+    batch = texts + [text.upper() for text in texts]
+    benchmark.group = "P1 batch plan sharing"
+    benchmark.name = mode
+    if mode == "shared":
+        batched = benchmark(lambda: engine.search_batch(batch, limits=limits))
+    else:
+        batched = benchmark(
+            lambda: [engine.search(text, limits=limits) for text in batch]
+        )
+    assert len(batched) == len(batch)
+
+
+# ----------------------------------------------------------------------
+# standalone report (CI smoke runs this with --quick)
+# ----------------------------------------------------------------------
+def _sweep(engine, texts, limits, ranker=None, top_k=_TOP_K):
+    """Run a workload in both modes; return (identical, counters, times)."""
+    pushed_candidates = full_candidates = 0
+    identical = True
+    started = time.perf_counter()
+    pushed = []
+    for text in texts:
+        pushed.append(
+            engine.search(text, top_k=top_k, limits=limits, ranker=ranker)
+        )
+        assert engine.last_stats.pushdown
+        pushed_candidates += engine.last_stats.candidates
+    pushed_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    for text, pushed_results in zip(texts, pushed):
+        full_results = engine.search(
+            text, top_k=top_k, limits=limits, ranker=ranker, pushdown=False
+        )
+        full_candidates += engine.last_stats.candidates
+        if _rendered(full_results) != _rendered(pushed_results):
+            identical = False
+    full_elapsed = time.perf_counter() - started
+    return identical, pushed_candidates, full_candidates, pushed_elapsed, full_elapsed
+
+
+def _report(name, sweep, out):
+    identical, pushed, full, pushed_s, full_s = sweep
+    ratio = full / max(pushed, 1)
+    print(f"{name}:", file=out)
+    print(f"  pushdown {pushed:6d} candidates  {pushed_s * 1e3:8.2f} ms", file=out)
+    print(f"  full     {full:6d} candidates  {full_s * 1e3:8.2f} ms", file=out)
+    print(f"  identical results: {identical}   "
+          f"enumeration skipped: {full - pushed} ({ratio:.1f}x)", file=out)
+    return identical, ratio
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    failures = []
+
+    # -- top-k pushdown on connections (the gated workload) -------------
+    departments = 15 if args.quick else 30
+    queries = 4 if args.quick else 6
+    database = _database(departments=departments)
+    texts = _texts(database, queries=queries)
+    engine = KeywordSearchEngine(database)
+    limits = SearchLimits(max_rdb_length=7)
+    identical, ratio = _report(
+        f"connections top-{_TOP_K} ({database.count()} tuples, "
+        f"{len(texts)} queries)",
+        _sweep(engine, texts, limits),
+        out,
+    )
+    if not identical:
+        failures.append("connections: pushdown diverged from full enumeration")
+    if ratio < 2.0:
+        failures.append(
+            f"connections: enumeration ratio {ratio:.1f}x < 2x"
+        )
+
+    # -- top-k pushdown on joining networks -----------------------------
+    network_db = _database(departments=10, employees=6, works_on=2)
+    network_texts = _texts(network_db, queries=3, keywords=3)
+    network_engine = KeywordSearchEngine(network_db)
+    network_limits = SearchLimits(max_tuples=6 if args.quick else 7)
+    identical, __ = _report(
+        f"networks top-{_TOP_K} rdb-length ({network_db.count()} tuples, "
+        f"{len(network_texts)} queries)",
+        _sweep(network_engine, network_texts, network_limits,
+               ranker=RdbLengthRanker()),
+        out,
+    )
+    if not identical:
+        failures.append("networks: pushdown diverged from full enumeration")
+
+    # -- OR semantics through the same pushdown -------------------------
+    or_texts = [f"{texts[0]} {texts[1].split()[0]}", texts[0]]
+    or_identical = all(
+        _rendered(
+            engine.search(text, top_k=_TOP_K, limits=limits, semantics="or")
+        )
+        == _rendered(
+            engine.search(text, top_k=_TOP_K, limits=limits, semantics="or",
+                          pushdown=False)
+        )
+        for text in or_texts
+    )
+    print(f"OR semantics identical under pushdown: {or_identical}", file=out)
+    if not or_identical:
+        failures.append("or: pushdown diverged from full enumeration")
+
+    # -- batch plan sharing ---------------------------------------------
+    batch = texts + [text.upper() for text in texts]
+    started = time.perf_counter()
+    batched = engine.search_batch(batch, limits=limits)
+    batch_elapsed = time.perf_counter() - started
+    shared_hits = engine.last_shared.hits
+    started = time.perf_counter()
+    sequential = [engine.search(text, limits=limits) for text in batch]
+    sequential_elapsed = time.perf_counter() - started
+    batch_identical = [_rendered(r) for r in batched] == [
+        _rendered(r) for r in sequential
+    ]
+    print(f"batch plan sharing ({len(batch)} queries, "
+          f"{len(set(batch))} distinct texts):", file=out)
+    print(f"  shared sub-plan hits {shared_hits}   "
+          f"batch {batch_elapsed * 1e3:8.2f} ms   "
+          f"sequential {sequential_elapsed * 1e3:8.2f} ms", file=out)
+    print(f"  identical results: {batch_identical}", file=out)
+    if not batch_identical:
+        failures.append("batch: shared execution diverged from sequential")
+    if shared_hits <= 0:
+        failures.append("batch: no enumeration sub-plans were shared")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=out)
+        return 1
+    print(f"OK: pushdown ratio {ratio:.1f}x >= 2x, "
+          f"{shared_hits} sub-plans shared, all modes bit-identical", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro search "Smith XML" --explain
     python -m repro search "Smith XML" --ranker rdb
+    python -m repro search "Smith XML" --top 3 --stream
     python -m repro search "Smith XML; Brown CS; Smith Brown" --batch
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
@@ -75,7 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="group results: close / larger context / loose")
     search.add_argument("--batch", action="store_true",
                         help="treat QUERY as ';'-separated queries answered "
-                             "as one batch (shared traversal cache)")
+                             "as one batch (shared traversal cache and "
+                             "enumeration sub-plans)")
+    search.add_argument("--stream", action="store_true",
+                        help="print each answer as the executor yields it "
+                             "(incompatible with --batch/--group)")
     search.add_argument("--slow", action="store_true",
                         help="use the brute-force networkx traversal instead "
                              "of the pruned fast path (for comparison)")
@@ -126,9 +131,44 @@ def _print_results(engine, results, args, out) -> None:
             print(engine.explain(result), file=out)
             print(file=out)
         else:
-            rendered_score = ", ".join(f"{part:g}" for part in result.score)
-            print(f"{result.rank:3}  ({rendered_score})  "
-                  f"{result.answer.render()}", file=out)
+            _print_result_line(result, out)
+
+
+def _print_result_line(result, out) -> None:
+    rendered_score = ", ".join(f"{part:g}" for part in result.score)
+    print(f"{result.rank:3}  ({rendered_score})  "
+          f"{result.answer.render()}", file=out)
+
+
+def _report_pushdown(engine, args, ranker, limits, out) -> None:
+    """Compare the top-k run's enumeration against full enumeration.
+
+    Counting the full candidate set re-enumerates without the cut, which
+    can exceed a budget the lazy top-k run never reached — report that
+    instead of crashing (it is itself evidence of the skipped work).
+    """
+    from repro.errors import SearchLimitError
+
+    stats = engine.last_stats
+    enumerated = stats.candidates
+    mode = (
+        "pushdown" if stats.pushdown
+        else "no pushdown (ranker has no score lower bound)"
+    )
+    try:
+        engine.search(
+            args.query, ranker=ranker, limits=limits,
+            semantics=args.semantics, pushdown=False,
+        )
+    except SearchLimitError as error:
+        print(f"# top-{args.top} {mode}: enumerated {enumerated} candidates; "
+              f"full enumeration exceeds the search budget ({error})",
+              file=out)
+        return
+    total = engine.last_stats.candidates
+    skipped = total - enumerated
+    print(f"# top-{args.top} {mode}: enumerated {enumerated} of {total} "
+          f"candidates (skipped {skipped})", file=out)
 
 
 def _cmd_search(args: argparse.Namespace, out) -> int:
@@ -137,6 +177,30 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
     )
     ranker = _RANKERS[args.ranker]()
     limits = SearchLimits(max_rdb_length=args.max_rdb)
+    if args.stream and (args.batch or args.group):
+        print("--stream cannot be combined with --batch or --group", file=out)
+        return 2
+    if args.stream:
+        answered = 0
+        for result in engine.search_stream(
+            args.query,
+            ranker=ranker,
+            limits=limits,
+            top_k=args.top,
+            semantics=args.semantics,
+        ):
+            answered += 1
+            if args.explain:
+                print(engine.explain(result), file=out)
+                print(file=out)
+            else:
+                _print_result_line(result, out)
+        if not answered:
+            print("no answers", file=out)
+            return 1
+        if args.top is not None:
+            _report_pushdown(engine, args, ranker, limits, out)
+        return 0
     if args.batch:
         queries = [part.strip() for part in args.query.split(";") if part.strip()]
         if not queries:
@@ -169,6 +233,8 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
         print("no answers", file=out)
         return 1
     _print_results(engine, results, args, out)
+    if args.top is not None and not args.group:
+        _report_pushdown(engine, args, ranker, limits, out)
     return 0
 
 

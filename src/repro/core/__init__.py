@@ -9,6 +9,10 @@
 * :mod:`repro.core.ranking` — ranking strategies, including the paper's
   closeness-first proposal and the instance-level refinement its future
   work sketches;
+* :mod:`repro.core.plan` — the query plan IR and planner (every query
+  shape compiles to one plan);
+* :mod:`repro.core.executor` — streaming plan execution with generalized
+  top-k pushdown and batch-level enumeration sharing;
 * :mod:`repro.core.engine` — the :class:`KeywordSearchEngine` facade.
 """
 
@@ -30,6 +34,8 @@ from repro.core.ranking import (
     WeightedRanker,
     rank_connections,
 )
+from repro.core.executor import ExecutionStats, Executor, SharedEnumerations
+from repro.core.plan import QueryPlan, lower_bound_for, plan_query
 from repro.core.engine import KeywordSearchEngine, SearchResult
 
 __all__ = [
@@ -39,16 +45,22 @@ __all__ = [
     "ConceptualStep",
     "Connection",
     "ErLengthRanker",
+    "ExecutionStats",
+    "Executor",
     "InstanceAmbiguityRanker",
     "KeywordMatch",
     "KeywordSearchEngine",
+    "QueryPlan",
     "Ranker",
     "RdbLengthRanker",
     "SearchResult",
+    "SharedEnumerations",
     "WeightedRanker",
     "classify_cardinalities",
     "classify_er_path",
     "loose_joints",
+    "lower_bound_for",
     "match_keywords",
+    "plan_query",
     "rank_connections",
 ]

@@ -14,45 +14,41 @@ Queries with two keywords produce path answers (the paper's connections);
 queries with one keyword produce the matching tuples; queries with three or
 more keywords produce joining networks.  All enumeration bounds live in
 :class:`~repro.core.search.SearchLimits`.
+
+Every query — AND or OR, any keyword count, with or without ``top_k`` —
+runs through one pipeline: :func:`~repro.core.plan.plan_query` compiles
+the resolved matches into a :class:`~repro.core.plan.QueryPlan` and a
+:class:`~repro.core.executor.Executor` streams its ranked answers.
+``search`` materialises the stream, :meth:`search_stream` exposes it
+incrementally, and ``search_batch`` additionally shares identical
+enumeration sub-plans between the queries of one batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.core.ambiguity import is_instance_close
 from repro.core.connections import Connection
-from repro.core.matching import KeywordMatch, match_keywords, parse_query
-from repro.core.ranking import ClosenessRanker, Ranker, rank_connections
-from repro.core.search import (
-    JoiningNetwork,
-    SearchLimits,
-    SingleTupleAnswer,
-    find_connections,
-    find_joining_networks,
+from repro.core.executor import (
+    ExecutionStats,
+    Executor,
+    SearchResult,
+    SharedEnumerations,
 )
+from repro.core.matching import KeywordMatch, match_keywords, parse_query
+from repro.core.plan import QueryPlan, plan_query
+from repro.core.ranking import ClosenessRanker, Ranker
+from repro.core.search import JoiningNetwork, SearchLimits, SingleTupleAnswer
 from repro.errors import QueryError
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import TraversalCache
-from repro.relational.database import Database, TupleId
+from repro.relational.database import Database
 from repro.relational.index import InvertedIndex
 
 __all__ = ["SearchResult", "KeywordSearchEngine"]
 
 AnswerType = Union[Connection, JoiningNetwork, SingleTupleAnswer]
-
-
-@dataclass(frozen=True)
-class SearchResult:
-    """One ranked answer: the answer object, its score and its rank."""
-
-    answer: AnswerType
-    score: tuple[float, ...]
-    rank: int
-
-    def render(self) -> str:
-        return self.answer.render()
 
 
 class KeywordSearchEngine:
@@ -72,6 +68,11 @@ class KeywordSearchEngine:
         self.limits = limits
         self.use_fast_traversal = use_fast_traversal
         self.traversal_cache = TraversalCache(self.data_graph)
+        #: Counters of the most recent search/stream/batch call (the
+        #: CLI's ``--top`` report and the pipeline benchmark read them).
+        self.last_stats = ExecutionStats()
+        #: Sub-plan sharing table of the most recent ``search_batch``.
+        self.last_shared = SharedEnumerations()
 
     # ------------------------------------------------------------------
     # querying
@@ -80,6 +81,25 @@ class KeywordSearchEngine:
         """Resolve a query's keywords without searching for connections."""
         return match_keywords(self.index, parse_query(query))
 
+    def plan(
+        self,
+        query: str,
+        top_k: Optional[int] = None,
+        semantics: str = "and",
+    ) -> QueryPlan:
+        """Compile a query into its :class:`~repro.core.plan.QueryPlan`."""
+        if semantics not in ("and", "or"):
+            raise QueryError("semantics must be 'and' or 'or'", got=semantics)
+        return plan_query(self.match(query), semantics=semantics, top_k=top_k)
+
+    def _executor(self, shared: Optional[SharedEnumerations] = None) -> Executor:
+        return Executor(
+            self.data_graph,
+            use_fast_traversal=self.use_fast_traversal,
+            cache=self.traversal_cache,
+            shared=shared,
+        )
+
     def search(
         self,
         query: str,
@@ -87,6 +107,7 @@ class KeywordSearchEngine:
         limits: Optional[SearchLimits] = None,
         top_k: Optional[int] = None,
         semantics: str = "and",
+        pushdown: Optional[bool] = None,
     ) -> list[SearchResult]:
         """Answer a keyword query, best answers first.
 
@@ -98,54 +119,57 @@ class KeywordSearchEngine:
         and networks add multi-keyword coverage.  Results are ordered by
         keyword coverage first (more covered keywords rank higher), the
         ranker's score second.
+
+        With ``top_k`` and a ranker that has a score lower bound, the
+        executor pushes the cut into enumeration and stops early — the
+        results stay bit-identical to enumerate-sort-cut, but a budget
+        that full enumeration would exceed may never be reached.  Pass
+        ``pushdown=False`` to force full enumeration (exact legacy
+        budget-error behaviour), ``True`` to force bound-ordered
+        streaming.
         """
-        if semantics not in ("and", "or"):
-            raise QueryError("semantics must be 'and' or 'or'", got=semantics)
-        ranker = ranker or self.ranker
-        limits = limits or self.limits
-        matches = self.match(query)
+        plan = self.plan(query, top_k=top_k, semantics=semantics)
+        executor = self._executor()
+        results = executor.run(
+            plan, ranker or self.ranker, limits or self.limits, pushdown=pushdown
+        )
+        self.last_stats = executor.stats
+        return results
 
-        if semantics == "or":
-            return self._search_or(matches, ranker, limits, top_k)
-        if any(match.is_empty for match in matches):
-            return []
+    def search_stream(
+        self,
+        query: str,
+        ranker: Optional[Ranker] = None,
+        limits: Optional[SearchLimits] = None,
+        top_k: Optional[int] = None,
+        semantics: str = "and",
+        pushdown: Optional[bool] = None,
+    ) -> Iterator[SearchResult]:
+        """Answer a query incrementally, yielding ranked answers as the
+        executor proves them final.
 
-        answers: list[AnswerType]
-        if len(matches) == 1:
-            answers = [
-                SingleTupleAnswer(
-                    self.data_graph, tid, frozenset((matches[0].keyword,))
-                )
-                for tid in matches[0].tuple_ids
-            ]
-        elif len(matches) == 2:
-            answers = list(
-                find_connections(
-                    self.data_graph,
-                    matches,
-                    limits,
-                    use_fast_traversal=self.use_fast_traversal,
-                    cache=self.traversal_cache,
-                )
-            )
-        else:
-            answers = list(
-                find_joining_networks(
-                    self.data_graph,
-                    matches,
-                    limits,
-                    use_fast_traversal=self.use_fast_traversal,
-                    cache=self.traversal_cache,
-                )
-            )
-
-        ranked = rank_connections(answers, ranker)
-        if top_k is not None:
-            ranked = ranked[:top_k]
-        return [
-            SearchResult(answer=answer, score=score, rank=position + 1)
-            for position, (answer, score) in enumerate(ranked)
-        ]
+        Identical results in identical order to :meth:`search`; with a
+        bounded ranker the first answers arrive before enumeration
+        finishes, and a ``top_k`` cut stops enumeration early.  Rankers
+        without a lower bound degrade to materialise-then-yield.
+        ``last_stats`` is final once the iterator is exhausted.
+        """
+        plan = self.plan(query, top_k=top_k, semantics=semantics)
+        executor = self._executor()
+        try:
+            for result in executor.stream(
+                plan,
+                ranker or self.ranker,
+                limits or self.limits,
+                pushdown=pushdown,
+            ):
+                self.last_stats = executor.stats
+                yield result
+        finally:
+            # Capture the run's counters even when the stream yields
+            # nothing or the consumer stops early (stream() replaces
+            # executor.stats once it starts running).
+            self.last_stats = executor.stats
 
     def search_batch(
         self,
@@ -154,98 +178,41 @@ class KeywordSearchEngine:
         limits: Optional[SearchLimits] = None,
         top_k: Optional[int] = None,
         semantics: str = "and",
+        pushdown: Optional[bool] = None,
     ) -> list[list[SearchResult]]:
         """Answer many queries, one result list per query (input order).
 
         Each query is answered exactly as :meth:`search` would — the win
-        is amortisation, not approximation: all queries share the
-        engine's :class:`~repro.graph.fast_traversal.TraversalCache`
-        (adjacency and distance maps survive across queries), and a query
-        text appearing several times is searched once with its result
-        list reused.
+        is amortisation, not approximation, on three levels: all queries
+        share the engine's
+        :class:`~repro.graph.fast_traversal.TraversalCache` (adjacency
+        and distance maps survive across queries); identical enumeration
+        sub-plans — the same (source, target) tuple pair or the same
+        required tuple set under the same limits — are executed once per
+        batch and their streams fanned out to every query that contains
+        them, even across different query texts; and a query text
+        appearing several times is searched once with its result list
+        reused.
         """
+        shared = SharedEnumerations()
+        stats = ExecutionStats()
         resolved: dict[str, list[SearchResult]] = {}
         batched = []
         for query in queries:
             if query not in resolved:
-                resolved[query] = self.search(
-                    query,
-                    ranker=ranker,
-                    limits=limits,
-                    top_k=top_k,
-                    semantics=semantics,
+                plan = self.plan(query, top_k=top_k, semantics=semantics)
+                executor = self._executor(shared)
+                resolved[query] = executor.run(
+                    plan,
+                    ranker or self.ranker,
+                    limits or self.limits,
+                    pushdown=pushdown,
                 )
+                stats.merge(executor.stats)
             batched.append(resolved[query])
+        self.last_stats = stats
+        self.last_shared = shared
         return batched
-
-    def _search_or(
-        self,
-        matches: Sequence[KeywordMatch],
-        ranker: Ranker,
-        limits: SearchLimits,
-        top_k: Optional[int],
-    ) -> list[SearchResult]:
-        """OR semantics: cover any keyword subset, coverage-major ranking."""
-        from itertools import combinations
-
-        populated = [match for match in matches if not match.is_empty]
-        if not populated:
-            return []
-
-        answers: list[AnswerType] = []
-        seen_singles: dict[object, set[str]] = {}
-        for match in populated:
-            for tid in match.tuple_ids:
-                seen_singles.setdefault(tid, set()).add(match.keyword)
-        for tid, keywords in seen_singles.items():
-            answers.append(
-                SingleTupleAnswer(self.data_graph, tid, frozenset(keywords))
-            )
-        if len(populated) >= 2:
-            for first, second in combinations(populated, 2):
-                answers.extend(
-                    answer
-                    for answer in find_connections(
-                        self.data_graph,
-                        (first, second),
-                        limits,
-                        include_single_tuples=False,
-                        use_fast_traversal=self.use_fast_traversal,
-                        cache=self.traversal_cache,
-                    )
-                )
-        if len(populated) >= 3:
-            answers.extend(
-                find_joining_networks(
-                    self.data_graph,
-                    populated,
-                    limits,
-                    use_fast_traversal=self.use_fast_traversal,
-                    cache=self.traversal_cache,
-                )
-            )
-
-        def coverage(answer: AnswerType) -> int:
-            if isinstance(answer, SingleTupleAnswer):
-                return len(answer.covered_keywords)
-            if isinstance(answer, JoiningNetwork):
-                return len(answer.covered_keywords)
-            covered: set[str] = set()
-            for keywords in answer.keyword_matches.values():
-                covered |= keywords
-            return len(covered)
-
-        scored = [
-            (answer, (-coverage(answer),) + ranker.score(answer))
-            for answer in answers
-        ]
-        scored.sort(key=lambda pair: (pair[1], pair[0].render()))
-        if top_k is not None:
-            scored = scored[:top_k]
-        return [
-            SearchResult(answer=answer, score=score, rank=position + 1)
-            for position, (answer, score) in enumerate(scored)
-        ]
 
     # ------------------------------------------------------------------
     # analysis helpers

@@ -1,0 +1,610 @@
+"""Plan execution: one streaming path for every query shape.
+
+The executor runs a :class:`~repro.core.plan.QueryPlan` and yields
+ranked :class:`SearchResult` objects.  Two modes share all enumeration
+machinery:
+
+* **Full mode** reproduces the pre-pipeline engine bit for bit: every
+  source is drained in plan order (the exact enumeration order the
+  legacy ``search`` / ``_search_or`` code paths had, including where a
+  :class:`~repro.errors.SearchLimitError` fires), then answers are
+  sorted by ``(score, rendered text)`` and cut.
+* **Pushdown mode** (a top-k cut plus a ranker with a registered lower
+  bound, see :func:`~repro.core.plan.lower_bound_for`) interleaves the
+  sources by their *score lower bounds* and stops enumerating as soon
+  as no unseen answer can still enter the result.  The output is
+  provably identical to full mode — same answers, same order, same
+  scores — because every source yields in non-decreasing bound order:
+  pair paths arrive by increasing RDB length (a heap merges the
+  per-tuple-pair streams), joining networks by increasing tuple count
+  (RDB length is ``|tuples| - 1``), and singles are exact-scored up
+  front.  Emission waits until the buffered best *strictly* beats every
+  remaining bound, so ties broken by rendered text can never be lost.
+  A budget error that full enumeration would hit may simply never be
+  reached — that laziness is the point of the pushdown.
+
+OR semantics ride the same machinery: the merge is *coverage-major*, so
+scores (and bounds) are prefixed with ``-covered_keywords`` — pair
+sources cover exactly their two keywords and networks cover every
+populated keyword, which keeps the prefix constant per source and the
+bounds monotone.
+
+**Plan sharing.**  All enumeration goes through a
+:class:`SharedEnumerations` table of
+:class:`~repro.graph.fast_traversal.SharedStream` objects keyed by the
+enumeration signature (tuple pair + limits for paths, required tuple
+sequence + limits for trees).  Identical sub-plans — across the sources
+of one query or across different query texts of a batch — execute once
+and fan out; ``KeywordSearchEngine.search_batch`` passes one table for
+the whole batch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.core.connections import Connection
+from repro.core.matching import KeywordMatch
+from repro.core.plan import (
+    NetworkGrowth,
+    PairPaths,
+    QueryPlan,
+    SingleScan,
+    lower_bound_for,
+)
+from repro.core.ranking import Ranker
+from repro.core.search import (
+    JoiningNetwork,
+    SearchLimits,
+    SingleTupleAnswer,
+    _keyword_map,
+)
+from repro.graph.data_graph import DataGraph
+from repro.graph.fast_traversal import (
+    SharedStream,
+    TraversalCache,
+    fast_enumerate_joining_trees,
+    fast_enumerate_simple_paths,
+)
+from repro.graph.traversal import (
+    enumerate_joining_trees,
+    enumerate_simple_paths,
+)
+from repro.relational.database import TupleId
+
+__all__ = [
+    "SearchResult",
+    "ExecutionStats",
+    "SharedEnumerations",
+    "Executor",
+]
+
+AnswerType = Union[Connection, JoiningNetwork, SingleTupleAnswer]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked answer: the answer object, its score and its rank."""
+
+    answer: AnswerType
+    score: tuple[float, ...]
+    rank: int
+
+    def render(self) -> str:
+        return self.answer.render()
+
+
+@dataclass
+class ExecutionStats:
+    """Observability for one plan execution.
+
+    ``candidates`` counts answers constructed and scored — in pushdown
+    mode this is how far enumeration actually ran before terminating,
+    the number benchmarks compare against a full run to measure skipped
+    work.  ``emitted`` counts results yielded; ``pushdown`` records
+    whether early termination was active.
+    """
+
+    candidates: int = 0
+    emitted: int = 0
+    pushdown: bool = False
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another run's counters in (batch aggregation)."""
+        self.candidates += other.candidates
+        self.emitted += other.emitted
+        self.pushdown = self.pushdown or other.pushdown
+
+
+class SharedEnumerations:
+    """Keyed table of shared enumeration streams (plan-level sharing).
+
+    ``hits`` counts sub-plan requests served by an existing stream —
+    enumerations that would have run again without sharing; ``misses``
+    counts streams actually created.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[tuple, SharedStream] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def stream(self, key: tuple, factory) -> SharedStream:
+        shared = self._streams.get(key)
+        if shared is None:
+            self.misses += 1
+            shared = SharedStream(factory)
+            self._streams[key] = shared
+        else:
+            self.hits += 1
+        return shared
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+
+def _coverage(answer: AnswerType) -> int:
+    """Distinct query keywords an answer covers (OR-semantics major key)."""
+    if isinstance(answer, (SingleTupleAnswer, JoiningNetwork)):
+        return len(answer.covered_keywords)
+    covered: set[str] = set()
+    for keywords in answer.keyword_matches.values():
+        covered |= keywords
+    return len(covered)
+
+
+class Executor:
+    """Runs query plans over one data graph, streaming ranked answers."""
+
+    def __init__(
+        self,
+        data_graph: DataGraph,
+        *,
+        use_fast_traversal: bool = True,
+        cache: Optional[TraversalCache] = None,
+        shared: Optional[SharedEnumerations] = None,
+    ) -> None:
+        self.data_graph = data_graph
+        self.use_fast_traversal = use_fast_traversal
+        if cache is None or cache.data_graph is not data_graph:
+            cache = TraversalCache(data_graph)
+        self.cache = cache
+        self.shared = shared if shared is not None else SharedEnumerations()
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: QueryPlan,
+        ranker: Ranker,
+        limits: Optional[SearchLimits] = None,
+        pushdown: Optional[bool] = None,
+    ) -> list[SearchResult]:
+        """Execute a plan to completion, best answers first."""
+        return list(self.stream(plan, ranker, limits, pushdown=pushdown))
+
+    def stream(
+        self,
+        plan: QueryPlan,
+        ranker: Ranker,
+        limits: Optional[SearchLimits] = None,
+        pushdown: Optional[bool] = None,
+    ) -> Iterator[SearchResult]:
+        """Execute a plan lazily, yielding ranked answers incrementally.
+
+        ``pushdown=None`` (auto) enables early termination when the plan
+        has a top-k cut and the ranker has a lower bound; ``True`` forces
+        bound-ordered streaming even without a cut (answers emerge as
+        soon as they are provably final); ``False`` forces the legacy
+        enumerate-sort-cut path.  Modes are bit-identical in output.
+        """
+        limits = limits or SearchLimits()
+        self.stats = stats = ExecutionStats()
+        bounded = lower_bound_for(ranker, 1) is not None
+        if pushdown is None:
+            use_pushdown = bounded and plan.cut.k is not None
+        else:
+            use_pushdown = pushdown and bounded
+        stats.pushdown = use_pushdown
+
+        if use_pushdown:
+            emitter = self._stream_pushdown(plan, ranker, limits)
+        else:
+            emitter = self._stream_full(plan, ranker, limits)
+        for position, (answer, score) in enumerate(emitter):
+            stats.emitted += 1
+            yield SearchResult(answer=answer, score=score, rank=position + 1)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def _score(
+        self, answer: AnswerType, ranker: Ranker, coverage_major: bool
+    ) -> tuple[float, ...]:
+        self.stats.candidates += 1
+        score = ranker.score(answer)
+        if coverage_major:
+            score = (-_coverage(answer),) + score
+        return score
+
+    # ------------------------------------------------------------------
+    # shared enumeration streams
+    # ------------------------------------------------------------------
+    def _path_stream(
+        self, source: TupleId, target: TupleId, limits: SearchLimits
+    ) -> SharedStream:
+        key = (
+            "paths",
+            source,
+            target,
+            limits.max_rdb_length,
+            limits.max_paths_per_pair,
+            self.use_fast_traversal,
+        )
+        if self.use_fast_traversal:
+            factory = lambda: fast_enumerate_simple_paths(
+                self.data_graph,
+                source,
+                target,
+                limits.max_rdb_length,
+                max_paths=limits.max_paths_per_pair,
+                cache=self.cache,
+            )
+        else:
+            factory = lambda: enumerate_simple_paths(
+                self.data_graph,
+                source,
+                target,
+                limits.max_rdb_length,
+                max_paths=limits.max_paths_per_pair,
+            )
+        return self.shared.stream(key, factory)
+
+    def _tree_stream(
+        self, required: tuple[TupleId, ...], limits: SearchLimits
+    ) -> SharedStream:
+        key = (
+            "trees",
+            required,
+            limits.max_tuples,
+            limits.max_networks,
+            self.use_fast_traversal,
+        )
+        if self.use_fast_traversal:
+            factory = lambda: fast_enumerate_joining_trees(
+                self.data_graph,
+                list(required),
+                limits.max_tuples,
+                max_results=limits.max_networks,
+                cache=self.cache,
+            )
+        else:
+            factory = lambda: enumerate_joining_trees(
+                self.data_graph,
+                list(required),
+                limits.max_tuples,
+                max_results=limits.max_networks,
+            )
+        return self.shared.stream(key, factory)
+
+    # ------------------------------------------------------------------
+    # source enumeration (legacy order — full mode)
+    # ------------------------------------------------------------------
+    def _iter_singles(
+        self, matches: Sequence[KeywordMatch], op: SingleScan
+    ) -> Iterator[SingleTupleAnswer]:
+        covered: dict[TupleId, set[str]] = {}
+        for index in op.indices:
+            match = matches[index]
+            for tid in match.tuple_ids:
+                covered.setdefault(tid, set()).add(match.keyword)
+        for tid, keywords in covered.items():
+            yield SingleTupleAnswer(self.data_graph, tid, frozenset(keywords))
+
+    def _pair_singles(
+        self, first: KeywordMatch, second: KeywordMatch
+    ) -> list[SingleTupleAnswer]:
+        """Tuples matching both keywords of a pair, in first-match order."""
+        second_set = set(second.tuple_ids)
+        return [
+            SingleTupleAnswer(
+                self.data_graph,
+                tid,
+                frozenset((first.keyword, second.keyword)),
+            )
+            for tid in first.tuple_ids
+            if tid in second_set
+        ]
+
+    def _iter_pair(
+        self, matches: Sequence[KeywordMatch], op: PairPaths, limits: SearchLimits
+    ) -> Iterator[Connection | SingleTupleAnswer]:
+        first, second = matches[op.first], matches[op.second]
+        if op.include_single_tuples:
+            yield from self._pair_singles(first, second)
+        pair = (first, second)
+        for source in first.tuple_ids:
+            for target in second.tuple_ids:
+                if source == target:
+                    continue
+                for steps in self._path_stream(source, target, limits):
+                    tids = [steps[0].source] + [s.target for s in steps]
+                    yield Connection(
+                        self.data_graph, steps, _keyword_map(pair, tids)
+                    )
+
+    def _network_assignments(
+        self, matches: Sequence[KeywordMatch], op: NetworkGrowth
+    ) -> Iterator[tuple[dict[str, TupleId], tuple[TupleId, ...]]]:
+        picked = [matches[index] for index in op.indices]
+        for assignment in product(*(match.tuple_ids for match in picked)):
+            keyword_tuples = {
+                match.keyword: tid for match, tid in zip(picked, assignment)
+            }
+            yield keyword_tuples, tuple(dict.fromkeys(assignment))
+
+    def _iter_networks(
+        self,
+        matches: Sequence[KeywordMatch],
+        op: NetworkGrowth,
+        limits: SearchLimits,
+    ) -> Iterator[JoiningNetwork]:
+        seen: set[tuple] = set()
+        for keyword_tuples, required in self._network_assignments(matches, op):
+            for tuple_set in self._tree_stream(required, limits):
+                key = (tuple_set, tuple(sorted(keyword_tuples.items())))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield JoiningNetwork(self.data_graph, tuple_set, keyword_tuples)
+
+    def _stream_full(
+        self, plan: QueryPlan, ranker: Ranker, limits: SearchLimits
+    ) -> Iterator[tuple[AnswerType, tuple[float, ...]]]:
+        coverage_major = plan.merge.coverage_major
+        answers: list[AnswerType] = []
+        for op in plan.sources:
+            if isinstance(op, SingleScan):
+                answers.extend(self._iter_singles(plan.matches, op))
+            elif isinstance(op, PairPaths):
+                answers.extend(self._iter_pair(plan.matches, op, limits))
+            else:
+                answers.extend(self._iter_networks(plan.matches, op, limits))
+        scored = [
+            (answer, self._score(answer, ranker, coverage_major))
+            for answer in answers
+        ]
+        scored.sort(key=lambda pair: (pair[1], pair[0].render()))
+        if plan.cut.k is not None:
+            scored = scored[: plan.cut.k]
+        yield from scored
+
+    # ------------------------------------------------------------------
+    # pushdown mode: bound-ordered streaming with early termination
+    # ------------------------------------------------------------------
+    def _scored_singles(self, answers, ranker, coverage_major):
+        scored = [
+            (self._score(answer, ranker, coverage_major), answer.render(), answer)
+            for answer in answers
+        ]
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return scored
+
+    def _make_state(self, plan, op, ranker, limits):
+        coverage_major = plan.merge.coverage_major
+        if isinstance(op, SingleScan):
+            return _SinglesState(
+                self._scored_singles(
+                    self._iter_singles(plan.matches, op), ranker, coverage_major
+                )
+            )
+        if isinstance(op, PairPaths):
+            return _PairState(self, plan, op, ranker, limits)
+        return _NetworkState(self, plan, op, ranker, limits)
+
+    def _stream_pushdown(
+        self, plan: QueryPlan, ranker: Ranker, limits: SearchLimits
+    ) -> Iterator[tuple[AnswerType, tuple[float, ...]]]:
+        k = plan.cut.k
+        if k is not None and k <= 0:
+            return
+        states = [
+            self._make_state(plan, op, ranker, limits) for op in plan.sources
+        ]
+        buffer: list[tuple] = []  # (score, render, sequence, answer)
+        sequence = 0
+        emitted = 0
+        while True:
+            best = None
+            best_bound = None
+            for state in states:
+                bound = state.bound()
+                if bound is None:
+                    continue
+                if best_bound is None or bound < best_bound:
+                    best_bound = bound
+                    best = state
+            # Everything buffered that strictly beats every remaining
+            # bound is final — equal bounds must wait, because an unseen
+            # answer could tie the score and win the render tie-break.
+            while buffer and (best_bound is None or buffer[0][0] < best_bound):
+                score, __, __, answer = heapq.heappop(buffer)
+                yield answer, score
+                emitted += 1
+                if k is not None and emitted >= k:
+                    return
+            if best is None:
+                return
+            pulled = best.pull()
+            if pulled is not None:
+                answer, score = pulled
+                heapq.heappush(buffer, (score, answer.render(), sequence, answer))
+                sequence += 1
+
+
+class _SinglesState:
+    """Exhaustively pre-scored single-tuple answers (cheap, no traversal)."""
+
+    def __init__(self, scored: list) -> None:
+        self._scored = scored
+        self._position = 0
+
+    def bound(self) -> Optional[tuple]:
+        if self._position >= len(self._scored):
+            return None
+        return self._scored[self._position][0]
+
+    def pull(self) -> Optional[tuple]:
+        score, __, answer = self._scored[self._position]
+        self._position += 1
+        return answer, score
+
+
+class _PairState:
+    """Pair-path source yielding connections by non-decreasing RDB length.
+
+    Single-tuple answers (AND two-keyword plans) are exact-scored up
+    front; they always bound below any path of length >= 1, so the path
+    heap — one entry per (source, target) tuple pair, merged by next
+    path length — is only initialised once the singles are drained.
+
+    After an entry is consumed its stream re-enters the heap as a
+    *placeholder* carrying the consumed length (per-pair streams are
+    non-decreasing, so that length stays an admissible bound) and is
+    only re-peeked when it reaches the top again — enumeration never
+    runs one item past what the emitted results needed, so a budget
+    error beyond the top-k is never touched.
+    """
+
+    def __init__(self, executor: Executor, plan, op, ranker, limits) -> None:
+        self._executor = executor
+        self._ranker = ranker
+        self._limits = limits
+        self._coverage_major = plan.merge.coverage_major
+        first, second = plan.matches[op.first], plan.matches[op.second]
+        self._matches = (first, second)
+        self._prefix = (-2,) if self._coverage_major else ()
+        singles = []
+        if op.include_single_tuples:
+            singles = executor._pair_singles(first, second)
+        self._singles = executor._scored_singles(
+            singles, ranker, self._coverage_major
+        )
+        self._singles_position = 0
+        self._heap: Optional[list] = None
+
+    def _ensure_heap(self) -> list:
+        if self._heap is None:
+            heap = []
+            first, second = self._matches
+            index = 0
+            for source in first.tuple_ids:
+                for target in second.tuple_ids:
+                    if source == target:
+                        continue
+                    stream = iter(
+                        self._executor._path_stream(source, target, self._limits)
+                    )
+                    steps = next(stream, None)
+                    if steps is not None:
+                        heap.append((len(steps), index, steps, stream))
+                    index += 1
+            heapq.heapify(heap)
+            self._heap = heap
+        return self._heap
+
+    def bound(self) -> Optional[tuple]:
+        if self._singles_position < len(self._singles):
+            return self._singles[self._singles_position][0]
+        heap = self._ensure_heap()
+        if not heap:
+            return None
+        return self._prefix + lower_bound_for(self._ranker, heap[0][0])
+
+    def pull(self) -> Optional[tuple]:
+        if self._singles_position < len(self._singles):
+            score, __, answer = self._singles[self._singles_position]
+            self._singles_position += 1
+            return answer, score
+        heap = self._ensure_heap()
+        length, index, steps, stream = heapq.heappop(heap)
+        if steps is None:  # placeholder: re-peek the stream now
+            steps = next(stream, None)
+            if steps is None:
+                return None
+            if len(steps) > length:
+                heapq.heappush(heap, (len(steps), index, steps, stream))
+                return None
+        heapq.heappush(heap, (len(steps), index, None, stream))
+        tids = [steps[0].source] + [s.target for s in steps]
+        answer = Connection(
+            self._executor.data_graph, steps, _keyword_map(self._matches, tids)
+        )
+        return answer, self._executor._score(
+            answer, self._ranker, self._coverage_major
+        )
+
+
+class _NetworkState:
+    """Network source yielding by non-decreasing tuple count.
+
+    One stream per keyword-tuple assignment (shared by required-tuple
+    signature), heap-merged on the size of each stream's next tuple set;
+    a network over ``s`` tuples has RDB length ``s - 1``, which drives
+    the bound.  Consumed streams re-enter as placeholders (see
+    :class:`_PairState`) so growth beyond the emitted top-k never runs.
+    """
+
+    def __init__(self, executor: Executor, plan, op, ranker, limits) -> None:
+        self._executor = executor
+        self._ranker = ranker
+        self._coverage_major = plan.merge.coverage_major
+        self._prefix = (-len(op.indices),) if self._coverage_major else ()
+        self._seen: set[tuple] = set()
+        heap = []
+        for index, (keyword_tuples, required) in enumerate(
+            executor._network_assignments(plan.matches, op)
+        ):
+            stream = iter(executor._tree_stream(required, limits))
+            tuple_set = next(stream, None)
+            if tuple_set is not None:
+                heap.append((len(tuple_set), index, tuple_set, stream, keyword_tuples))
+        heapq.heapify(heap)
+        self._heap = heap
+
+    def bound(self) -> Optional[tuple]:
+        if not self._heap:
+            return None
+        return self._prefix + lower_bound_for(self._ranker, self._heap[0][0] - 1)
+
+    def pull(self) -> Optional[tuple]:
+        size, index, tuple_set, stream, keyword_tuples = heapq.heappop(self._heap)
+        if tuple_set is None:  # placeholder: re-peek the stream now
+            tuple_set = next(stream, None)
+            if tuple_set is None:
+                return None
+            if len(tuple_set) > size:
+                heapq.heappush(
+                    self._heap,
+                    (len(tuple_set), index, tuple_set, stream, keyword_tuples),
+                )
+                return None
+        heapq.heappush(
+            self._heap,
+            (len(tuple_set), index, None, stream, keyword_tuples),
+        )
+        key = (tuple_set, tuple(sorted(keyword_tuples.items())))
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        answer = JoiningNetwork(
+            self._executor.data_graph, tuple_set, keyword_tuples
+        )
+        return answer, self._executor._score(
+            answer, self._ranker, self._coverage_major
+        )

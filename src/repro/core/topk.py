@@ -1,116 +1,48 @@
-"""Lazy top-k search with early termination.
+"""Lazy top-k search with early termination (legacy two-keyword API).
 
 Full enumeration (``find_connections``) materialises every connection up
 to the length bound and sorts afterwards — fine for reproduction tests,
-wasteful when only the best ``k`` answers matter.  This module exploits a
-structural property of the library's rankers:
+wasteful when only the best ``k`` answers matter.  This module's
+ranker-lower-bound trick —
 
     For :class:`~repro.core.ranking.RdbLengthRanker`,
     :class:`~repro.core.ranking.ErLengthRanker` and
-    :class:`~repro.core.ranking.ClosenessRanker`, the score of a
-    connection is bounded below by a function of its RDB length alone —
-    a path with more FK edges can never score better than
-    ``lower_bound(edges)``.
+    :class:`~repro.core.ranking.ClosenessRanker`, the score of an answer
+    is bounded below by a function of its RDB length alone — a path with
+    more FK edges can never score better than ``lower_bound(edges)``
 
-:func:`top_k_connections` therefore enumerates paths in increasing RDB
-length (the traversal layer already yields them that way per pair) and
-stops as soon as the ``k`` best answers found so far all score no worse
-than the lower bound of any answer still unseen.  The result provably
-equals "enumerate everything, sort, cut at k" (tested against it).
+— now lives in the query pipeline, generalised to every plan shape:
+:func:`~repro.core.plan.lower_bound_for` is the bound table and
+:class:`~repro.core.executor.Executor` applies it to pair paths, joining
+networks and OR coverage ordering alike.  :func:`top_k_connections` is
+kept as the paper-shaped two-keyword entry point and simply compiles to
+a single-source plan (pair paths, no single tuples) with a top-k cut;
+the result provably equals "enumerate everything, sort, cut at k"
+(tested against it).
 
-Lower bounds per ranker:
-
-* ``rdb-length`` — a path with ``n`` edges scores exactly ``(n,)``;
-* ``er-length`` — collapsing can halve the length: at least ``ceil(n/2)``;
-* ``closeness`` — joints >= 0 and ER length >= ``ceil(n/2)``, so
-  ``(0, ceil(n/2))``.
-
-Rankers without a registered bound (instance ambiguity, combined content
+Enumeration runs on the pruned bidirectional traversal core by default
+and can share the engine's
+:class:`~repro.graph.fast_traversal.TraversalCache`;
+``use_fast_traversal=False`` is the brute-force escape hatch.  Rankers
+without a registered bound (instance ambiguity, combined content
 scores) fall back to full enumeration — correctness over speed.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.connections import Connection
+from repro.core.executor import Executor
 from repro.core.matching import KeywordMatch
-from repro.core.ranking import (
-    ClosenessRanker,
-    ErLengthRanker,
-    Ranker,
-    RdbLengthRanker,
-    rank_connections,
-)
-from repro.core.search import SearchLimits, find_connections
+from repro.core.plan import Cut, Merge, PairPaths, QueryPlan, lower_bound_for
+from repro.core.ranking import Ranker
+from repro.core.search import SearchLimits
 from repro.errors import QueryError
 from repro.graph.data_graph import DataGraph
-from repro.graph.traversal import enumerate_simple_paths
+from repro.graph.fast_traversal import TraversalCache
 
 __all__ = ["lower_bound_for", "top_k_connections"]
-
-
-def lower_bound_for(ranker: Ranker, rdb_length: int) -> Optional[tuple[float, ...]]:
-    """Best possible score of any connection with ``rdb_length`` edges.
-
-    None means "no usable bound" and disables early termination.
-    """
-    if isinstance(ranker, RdbLengthRanker):
-        return (float(rdb_length),)
-    if isinstance(ranker, ErLengthRanker):
-        return (float(math.ceil(rdb_length / 2)),)
-    if isinstance(ranker, ClosenessRanker):
-        return (0.0, float(math.ceil(rdb_length / 2)))
-    return None
-
-
-def _keyword_map(matches, tids):
-    result = {}
-    for match in matches:
-        member_set = set(match.tuple_ids)
-        for tid in tids:
-            if tid in member_set:
-                result.setdefault(tid, set()).add(match.keyword)
-    return {tid: frozenset(kw) for tid, kw in result.items()}
-
-
-def _paths_by_length(
-    data_graph: DataGraph,
-    matches: Sequence[KeywordMatch],
-    limits: SearchLimits,
-) -> Iterator[Connection]:
-    """All pairwise connections, globally ordered by RDB length."""
-    first, second = matches
-    generators = []
-    for source in first.tuple_ids:
-        for target in second.tuple_ids:
-            if source == target:
-                continue
-            generators.append(
-                enumerate_simple_paths(
-                    data_graph,
-                    source,
-                    target,
-                    limits.max_rdb_length,
-                    max_paths=limits.max_paths_per_pair,
-                )
-            )
-    # Merge the per-pair (already length-ordered) streams by length.
-    heap = []
-    for index, generator in enumerate(generators):
-        step_list = next(generator, None)
-        if step_list is not None:
-            heap.append((len(step_list), index, step_list, generator))
-    heapq.heapify(heap)
-    while heap:
-        length, index, step_list, generator = heapq.heappop(heap)
-        tids = [step_list[0].source] + [s.target for s in step_list]
-        yield Connection(data_graph, step_list, _keyword_map(matches, tids))
-        following = next(generator, None)
-        if following is not None:
-            heapq.heappush(heap, (len(following), index, following, generator))
 
 
 def top_k_connections(
@@ -119,12 +51,20 @@ def top_k_connections(
     ranker: Ranker,
     k: int,
     limits: SearchLimits = SearchLimits(),
+    *,
+    use_fast_traversal: bool = True,
+    cache: Optional[TraversalCache] = None,
 ) -> list[tuple[Connection, tuple[float, ...]]]:
     """The best ``k`` connections under ``ranker``, with early termination.
 
     Equivalent to fully enumerating and sorting (same answers, same order)
     but stops once no unseen path can improve the current top-k.  Two
-    keywords only — the paper's query shape.
+    keywords only — the paper's query shape; the engine's pipeline serves
+    every other shape through the same executor.
+
+    Pass the engine's ``cache`` to reuse its distance maps across calls;
+    ``use_fast_traversal=False`` enumerates through the brute-force
+    networkx core instead (identical answers, no pruning).
     """
     if len(matches) != 2:
         raise QueryError(
@@ -136,27 +76,19 @@ def top_k_connections(
     if any(match.is_empty for match in matches):
         return []
 
-    bound_available = lower_bound_for(ranker, 1) is not None
-    if not bound_available:
-        answers = [
-            answer
-            for answer in find_connections(
-                data_graph, matches, limits, include_single_tuples=False
-            )
-            if isinstance(answer, Connection)
-        ]
-        return rank_connections(answers, ranker)[:k]
-
-    best: list[tuple[tuple[float, ...], str, Connection]] = []
-    for connection in _paths_by_length(data_graph, matches, limits):
-        bound = lower_bound_for(ranker, connection.rdb_length)
-        if len(best) >= k and bound is not None and bound > best[-1][0]:
-            # Every remaining path is at least this long, hence at least
-            # this badly scored: the top-k is final.
-            break
-        score = ranker.score(connection)
-        entry = (score, connection.render(), connection)
-        best.append(entry)
-        best.sort(key=lambda item: (item[0], item[1]))
-        del best[k:]
-    return [(connection, score) for score, __, connection in best]
+    matches = tuple(matches)
+    plan = QueryPlan(
+        keywords=tuple(match.keyword for match in matches),
+        semantics="and",
+        matches=matches,
+        sources=(PairPaths(0, 1, include_single_tuples=False),),
+        merge=Merge(coverage_major=False),
+        cut=Cut(k),
+    )
+    executor = Executor(
+        data_graph, use_fast_traversal=use_fast_traversal, cache=cache
+    )
+    return [
+        (result.answer, result.score)
+        for result in executor.run(plan, ranker, limits)
+    ]

@@ -43,12 +43,78 @@ from repro.graph.traversal import TuplePathStep, _sort_key
 from repro.relational.database import TupleId
 
 __all__ = [
+    "SharedStream",
     "TraversalCache",
     "fast_enumerate_simple_paths",
     "fast_enumerate_joining_trees",
 ]
 
 _UNREACHABLE = 1 << 30
+
+
+class SharedStream:
+    """Fan one single-pass enumeration out to many consumers.
+
+    Wraps a generator factory; the generator is started lazily on first
+    demand and advanced only as far as the furthest consumer has read.
+    Every consumer replays the buffered prefix in order, so interleaved
+    readers (several queries of a batch walking the same enumeration
+    sub-plan) each see the full stream while the underlying enumeration
+    runs **once**.  A consumer that stops early (top-k pushdown) leaves
+    the stream partially materialised; a later consumer extends it.
+
+    Budget errors are part of the stream: if the source raises (e.g.
+    :class:`~repro.errors.SearchLimitError`), the exception is recorded
+    after the items already produced and re-raised at the same position
+    for every consumer — sharing never changes what any one consumer
+    observes.
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._source = None
+        self._buffer: list = []
+        self._error: Optional[BaseException] = None
+        self._exhausted = False
+        #: Consumers served so far (observability for benchmarks).
+        self.consumers = 0
+
+    @property
+    def produced(self) -> int:
+        """Items materialised from the underlying enumeration so far."""
+        return len(self._buffer)
+
+    def _advance(self) -> bool:
+        """Pull one more item from the source; False when finished."""
+        if self._exhausted:
+            if self._error is not None:
+                raise self._error
+            return False
+        if self._source is None:
+            self._source = self._factory()
+        try:
+            self._buffer.append(next(self._source))
+        except StopIteration:
+            self._exhausted = True
+            self._source = None
+            return False
+        except BaseException as error:  # replayed for every consumer
+            self._exhausted = True
+            self._source = None
+            self._error = error
+            raise
+        return True
+
+    def __iter__(self):
+        self.consumers += 1
+        position = 0
+        while True:
+            if position < len(self._buffer):
+                yield self._buffer[position]
+                position += 1
+                continue
+            if not self._advance():
+                return
 
 
 class TraversalCache:
@@ -72,6 +138,11 @@ class TraversalCache:
         self._distances: dict[TupleId, dict[TupleId, int]] = {}
         self.hits = 0
         self.misses = 0
+        #: Enumeration counters: paths / joining trees yielded through this
+        #: cache.  Benchmarks compare them between pushdown and full runs
+        #: to observe how much enumeration early termination skipped.
+        self.paths_enumerated = 0
+        self.trees_enumerated = 0
 
     def invalidate(self) -> None:
         """Drop every cached structure (call after graph changes)."""
@@ -200,6 +271,7 @@ def fast_enumerate_simple_paths(
                             source=str(source),
                             target=str(target),
                         )
+                    cache.paths_enumerated += 1
                     yield path
                 continue
             if at == target and path:
@@ -269,6 +341,7 @@ def fast_enumerate_joining_trees(
                             "joining tree enumeration exceeded budget",
                             max_results=max_results,
                         )
+                    cache.trees_enumerated += 1
                     yield current
             if len(current) >= max_tuples:
                 continue

@@ -28,7 +28,56 @@ class TestSearchCommand:
     def test_top_k(self):
         code, output = run("search", "Smith XML", "--top", "2")
         assert code == 0
-        assert len(output.strip().splitlines()) == 2
+        lines = output.strip().splitlines()
+        assert len(lines) == 3  # two answers plus the pushdown report
+        assert lines[-1].startswith("# top-2 pushdown: enumerated ")
+
+    def test_top_k_report_counts_skipped_candidates(self):
+        __, output = run("search", "Smith XML", "--top", "1", "--max-rdb", "4")
+        report = output.strip().splitlines()[-1]
+        assert "candidates (skipped" in report
+        enumerated = int(report.split("enumerated ")[1].split(" ")[0])
+        total = int(report.split(" of ")[1].split(" ")[0])
+        assert enumerated < total
+
+    def test_top_k_report_unbounded_ranker(self):
+        __, output = run(
+            "search", "Smith XML", "--top", "2", "--ranker", "ambiguity"
+        )
+        assert "no pushdown (ranker has no score lower bound)" in output
+
+    def test_top_k_report_survives_budget_overrun(self):
+        """Counting full enumeration may hit a budget the lazy top-k
+        run skipped — the report must say so, not crash."""
+        import argparse
+
+        from repro.cli import _report_pushdown
+        from repro.core.engine import KeywordSearchEngine
+        from repro.core.ranking import ClosenessRanker
+        from repro.core.search import SearchLimits
+        from repro.datasets.synthetic import SyntheticConfig, generate_company_like
+        from repro.datasets.workload import WorkloadConfig, generate_workload
+
+        database = generate_company_like(
+            SyntheticConfig(
+                departments=8, projects_per_department=3,
+                employees_per_department=8, works_on_per_employee=3, seed=17,
+            )
+        )
+        query = generate_workload(
+            database,
+            WorkloadConfig(queries=1, keywords_per_query=2,
+                           matches_per_keyword=3, seed=13),
+        )[0].text
+        engine = KeywordSearchEngine(database)
+        limits = SearchLimits(max_rdb_length=6, max_paths_per_pair=5)
+        ranker = ClosenessRanker()
+        results = engine.search(query, ranker=ranker, limits=limits, top_k=2)
+        assert results  # the lazy top-k never reaches the budget
+        out = io.StringIO()
+        args = argparse.Namespace(query=query, top=2, semantics="and")
+        _report_pushdown(engine, args, ranker, limits, out)
+        assert "full enumeration exceeds the search budget" in out.getvalue()
 
     def test_explain_mode(self):
         code, output = run("search", "Smith XML", "--explain")
@@ -154,3 +203,43 @@ class TestBatchFlag:
         code, output = run("search", ";;;", "--batch")
         assert code == 1
         assert "no queries" in output
+
+
+class TestStreamFlag:
+    def test_stream_matches_plain_search(self):
+        __, plain = run("search", "Smith XML")
+        __, streamed = run("search", "Smith XML", "--stream")
+        assert streamed == plain
+
+    def test_stream_with_top_k(self):
+        code, output = run("search", "Smith XML", "--stream", "--top", "2")
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("# top-2 pushdown: ")
+
+    def test_stream_no_answers_exit_code(self):
+        code, output = run("search", "unicorn rainbow", "--stream")
+        assert code == 1
+        assert "no answers" in output
+
+    def test_stream_explain(self):
+        code, output = run("search", "Smith XML", "--stream", "--explain")
+        assert code == 0
+        assert "verdict" in output
+
+    def test_stream_rejects_batch(self):
+        code, output = run("search", "Smith XML; John Smith",
+                           "--batch", "--stream")
+        assert code == 2
+        assert "--stream cannot be combined" in output
+
+    def test_stream_rejects_group(self):
+        code, output = run("search", "Smith XML", "--group", "--stream")
+        assert code == 2
+
+    def test_stream_slow_core_same_answers(self):
+        __, fast = run("search", "Smith XML", "--stream", "--top", "3")
+        __, slow = run("search", "Smith XML", "--stream", "--top", "3",
+                       "--slow")
+        assert fast == slow

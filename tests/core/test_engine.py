@@ -161,6 +161,55 @@ class TestSearchBatch:
         assert engine.traversal_cache.hits > 0
 
 
+class TestSearchStream:
+    def test_stream_matches_search(self, engine):
+        streamed = list(engine.search_stream("Smith XML"))
+        materialised = engine.search("Smith XML")
+        assert [(r.render(), r.score, r.rank) for r in streamed] == [
+            (r.render(), r.score, r.rank) for r in materialised
+        ]
+
+    def test_stream_with_top_k(self, engine):
+        results = list(engine.search_stream("Smith XML", top_k=2))
+        assert len(results) == 2
+        assert [r.rank for r in results] == [1, 2]
+
+    def test_stream_or_semantics(self, engine):
+        streamed = list(engine.search_stream("Smith unicorn", semantics="or"))
+        assert streamed
+        assert [(r.render(), r.score) for r in streamed] == [
+            (r.render(), r.score)
+            for r in engine.search("Smith unicorn", semantics="or")
+        ]
+
+    def test_stream_empty_query_result(self, engine):
+        assert list(engine.search_stream("unicorn rainbow")) == []
+
+
+class TestPlanEntryPoint:
+    def test_plan_describes_query(self, engine):
+        plan = engine.plan("Smith XML", top_k=3)
+        assert not plan.is_empty
+        assert "top-3" in plan.describe()
+
+    def test_plan_validates_semantics(self, engine):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            engine.plan("Smith XML", semantics="xor")
+
+    def test_last_stats_tracks_runs(self, engine):
+        results = engine.search("Smith XML")
+        assert engine.last_stats.emitted == len(results)
+
+    def test_batch_aggregates_stats_and_sharing(self, engine):
+        engine.search_batch(["Smith XML", "SMITH xml"])
+        # Distinct texts, same keyword-tuple pairs: the second query's
+        # enumeration sub-plans are served from the first query's streams.
+        assert engine.last_shared.hits > 0
+        assert engine.last_stats.emitted > 0
+
+
 class TestFastTraversalFlag:
     def test_flag_defaults_on(self, engine):
         assert engine.use_fast_traversal is True

@@ -128,3 +128,41 @@ class TestBasics:
         )
         scores = [score for __, score in results]
         assert scores == sorted(scores)
+
+
+class TestTraversalCoreRouting:
+    """Top-k enumerates through the fast core (with an escape hatch)."""
+
+    @pytest.mark.parametrize(
+        "ranker",
+        [RdbLengthRanker(), ErLengthRanker(), ClosenessRanker()],
+        ids=lambda r: r.name,
+    )
+    def test_slow_core_identical(self, data_graph, smith_xml, ranker):
+        limits = SearchLimits(max_rdb_length=4)
+        fast = top_k_connections(data_graph, smith_xml, ranker, 5, limits)
+        slow = top_k_connections(
+            data_graph, smith_xml, ranker, 5, limits,
+            use_fast_traversal=False,
+        )
+        assert [(c.render(), s) for c, s in fast] == [
+            (c.render(), s) for c, s in slow
+        ]
+
+    def test_engine_cache_is_reused(self, engine, smith_xml):
+        engine.search("Smith XML")  # warm the cache
+        hits_before = engine.traversal_cache.hits
+        top_k_connections(
+            engine.data_graph, smith_xml, ClosenessRanker(), 3,
+            SearchLimits(max_rdb_length=4), cache=engine.traversal_cache,
+        )
+        assert engine.traversal_cache.hits > hits_before
+
+    def test_engine_top_k_uses_pushdown(self, engine):
+        """engine.search(top_k=...) rides the pushdown path end to end."""
+        engine.search("Smith XML", top_k=2,
+                      limits=SearchLimits(max_rdb_length=4))
+        assert engine.last_stats.pushdown
+        pushdown_candidates = engine.last_stats.candidates
+        engine.search("Smith XML", limits=SearchLimits(max_rdb_length=4))
+        assert pushdown_candidates < engine.last_stats.candidates
