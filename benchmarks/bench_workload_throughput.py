@@ -72,8 +72,9 @@ def _rendered(results):
 def company_pair():
     database = build_company_database()
     return (
-        KeywordSearchEngine(database),
-        KeywordSearchEngine(database, use_fast_traversal=False),
+        KeywordSearchEngine(database, result_cache_entries=0),
+        KeywordSearchEngine(database, use_fast_traversal=False,
+                            result_cache_entries=0),
     )
 
 
@@ -82,8 +83,9 @@ def synthetic_setup():
     database = _synthetic_database()
     texts = _workload(database)
     return (
-        KeywordSearchEngine(database),
-        KeywordSearchEngine(database, use_fast_traversal=False),
+        KeywordSearchEngine(database, result_cache_entries=0),
+        KeywordSearchEngine(database, use_fast_traversal=False,
+                            result_cache_entries=0),
         texts,
     )
 
@@ -146,8 +148,9 @@ def _time(callable_, rounds: int) -> float:
 
 
 def _report_dataset(name, database, texts, limits, rounds, out):
-    fast = KeywordSearchEngine(database)
-    slow = KeywordSearchEngine(database, use_fast_traversal=False)
+    fast = KeywordSearchEngine(database, result_cache_entries=0)
+    slow = KeywordSearchEngine(database, use_fast_traversal=False,
+                               result_cache_entries=0)
 
     batched_fast = fast.search_batch(texts, limits=limits)
     batched_slow = [slow.search(text, limits=limits) for text in texts]

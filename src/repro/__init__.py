@@ -50,6 +50,8 @@ from repro.datasets.company import (
 )
 from repro.er.cardinality import Cardinality
 from repro.graph.fast_traversal import TraversalCache
+from repro.live.changes import ChangeSet, Delete, Insert, Update
+from repro.live.result_cache import ResultCache
 from repro.relational.database import Database
 from repro.relational.statistics import DatabaseStatistics
 
@@ -59,20 +61,25 @@ __all__ = [
     "AssociationKind",
     "AssociationVerdict",
     "Cardinality",
+    "ChangeSet",
     "ClosenessRanker",
     "CombinedRanker",
     "Connection",
     "Database",
     "DatabaseStatistics",
+    "Delete",
     "ErLengthRanker",
     "InstanceAmbiguityRanker",
+    "Insert",
     "KeywordSearchEngine",
     "RdbLengthRanker",
+    "ResultCache",
     "SchemaAnalyzer",
     "SearchLimits",
     "SearchResult",
     "TfIdfScorer",
     "TraversalCache",
+    "Update",
     "WeightedRanker",
     "analyze_relational_schema",
     "build_company_database",

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro search "Smith XML" --ranker rdb
     python -m repro search "Smith XML" --top 3 --stream
     python -m repro search "Smith XML; Brown CS; Smith Brown" --batch
+    python -m repro search "Smith XML" --mutations updates.json
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
     python -m repro mtjnt "Smith XML"
@@ -84,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--slow", action="store_true",
                         help="use the brute-force networkx traversal instead "
                              "of the pruned fast path (for comparison)")
+    search.add_argument("--mutations", metavar="FILE",
+                        help="JSON mutation batches replayed through "
+                             "engine.apply between two runs of QUERY; prints "
+                             "a live-update and answer-cache report "
+                             "(incompatible with --batch/--stream)")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -171,6 +177,43 @@ def _report_pushdown(engine, args, ranker, limits, out) -> None:
           f"candidates (skipped {skipped})", file=out)
 
 
+def _search_with_mutations(engine, args, ranker, limits, out) -> int:
+    """Replay mutation batches around a query and report cache behaviour.
+
+    Runs the query cold (priming the answer cache), applies every batch
+    through ``engine.apply`` — which invalidates exactly the affected
+    cache entries — then answers the query again and prints what the
+    replay did to the engine and its caches.
+    """
+    from repro.live.changes import load_mutation_batches
+
+    batches = load_mutation_batches(args.mutations)
+    engine.search(
+        args.query, ranker=ranker, limits=limits,
+        top_k=args.top, semantics=args.semantics,
+    )
+    added = removed = updated = 0
+    for batch in batches:
+        changeset = engine.apply(batch)
+        added += len(changeset.tuples_added)
+        removed += len(changeset.tuples_removed)
+        updated += len(changeset.tuples_updated) + len(changeset.tuples_replaced)
+    results = engine.search(
+        args.query, ranker=ranker, limits=limits,
+        top_k=args.top, semantics=args.semantics,
+    )
+    if not results:
+        print("no answers", file=out)
+    else:
+        _print_results(engine, results, args, out)
+    stats = engine.result_cache.stats
+    print(f"# live: {len(batches)} batches "
+          f"(+{added} -{removed} ~{updated} tuples), "
+          f"engine version {engine.version}; "
+          f"answer cache {stats.describe()}", file=out)
+    return 0 if results else 1
+
+
 def _cmd_search(args: argparse.Namespace, out) -> int:
     engine = KeywordSearchEngine(
         _load_database(args.db), use_fast_traversal=not args.slow
@@ -180,6 +223,12 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
     if args.stream and (args.batch or args.group):
         print("--stream cannot be combined with --batch or --group", file=out)
         return 2
+    if args.mutations and (args.batch or args.stream):
+        print("--mutations cannot be combined with --batch or --stream",
+              file=out)
+        return 2
+    if args.mutations:
+        return _search_with_mutations(engine, args, ranker, limits, out)
     if args.stream:
         answered = 0
         for result in engine.search_stream(

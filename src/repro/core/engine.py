@@ -22,11 +22,19 @@ the resolved matches into a :class:`~repro.core.plan.QueryPlan` and a
 ``search`` materialises the stream, :meth:`search_stream` exposes it
 incrementally, and ``search_batch`` additionally shares identical
 enumeration sub-plans between the queries of one batch.
+
+The engine is live-updatable: :meth:`apply` routes a validated mutation
+batch through :mod:`repro.live`, patching the index, graph and caches
+in place and invalidating exactly the affected entries of the
+dependency-tracked answer cache (:attr:`result_cache`); results stay
+bit-identical to a freshly rebuilt engine, and :meth:`rebuild` remains
+the escape hatch.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Hashable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.ambiguity import is_instance_close
 from repro.core.connections import Connection
@@ -40,9 +48,12 @@ from repro.core.matching import KeywordMatch, match_keywords, parse_query
 from repro.core.plan import QueryPlan, plan_query
 from repro.core.ranking import ClosenessRanker, Ranker
 from repro.core.search import JoiningNetwork, SearchLimits, SingleTupleAnswer
-from repro.errors import QueryError
+from repro.errors import MutationError, QueryError
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import TraversalCache
+from repro.live.changes import ChangeSet, Mutation, apply_to_database
+from repro.live.maintain import affected_tuples, apply_changeset
+from repro.live.result_cache import CacheEntry, ResultCache
 from repro.relational.database import Database
 from repro.relational.index import InvertedIndex
 
@@ -60,6 +71,7 @@ class KeywordSearchEngine:
         ranker: Optional[Ranker] = None,
         limits: SearchLimits = SearchLimits(),
         use_fast_traversal: bool = True,
+        result_cache_entries: int = 256,
     ) -> None:
         self.database = database
         self.data_graph = DataGraph(database)
@@ -73,6 +85,14 @@ class KeywordSearchEngine:
         self.last_stats = ExecutionStats()
         #: Sub-plan sharing table of the most recent ``search_batch``.
         self.last_shared = SharedEnumerations()
+        #: Monotonically increasing engine state version; every
+        #: :meth:`apply` batch and every :meth:`rebuild` bumps it.
+        self.version = 0
+        #: Dependency-tracked answer cache consulted by ``search``,
+        #: ``search_batch`` and ``search_stream``; ``apply`` invalidates
+        #: exactly the entries a changeset can affect.  Pass
+        #: ``result_cache_entries=0`` to disable.
+        self.result_cache = ResultCache(result_cache_entries)
 
     # ------------------------------------------------------------------
     # querying
@@ -88,9 +108,16 @@ class KeywordSearchEngine:
         semantics: str = "and",
     ) -> QueryPlan:
         """Compile a query into its :class:`~repro.core.plan.QueryPlan`."""
+        plan, __ = self._plan(query, top_k, semantics)
+        return plan
+
+    def _plan(
+        self, query: str, top_k: Optional[int], semantics: str
+    ) -> tuple[QueryPlan, tuple[KeywordMatch, ...]]:
         if semantics not in ("and", "or"):
             raise QueryError("semantics must be 'and' or 'or'", got=semantics)
-        return plan_query(self.match(query), semantics=semantics, top_k=top_k)
+        matches = self.match(query)
+        return plan_query(matches, semantics=semantics, top_k=top_k), matches
 
     def _executor(self, shared: Optional[SharedEnumerations] = None) -> Executor:
         return Executor(
@@ -98,6 +125,73 @@ class KeywordSearchEngine:
             use_fast_traversal=self.use_fast_traversal,
             cache=self.traversal_cache,
             shared=shared,
+        )
+
+    # ------------------------------------------------------------------
+    # answer cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self,
+        query: str,
+        ranker: Ranker,
+        limits: SearchLimits,
+        top_k: Optional[int],
+        semantics: str,
+        pushdown: Optional[bool],
+    ) -> Optional[Hashable]:
+        # SearchLimits is a frozen dataclass, so the whole value is the
+        # key component — a future budget field can never be silently
+        # missing.  The built-in rankers are value-repr'd dataclasses,
+        # so equal configurations share entries while differently-
+        # parameterised ones never collide; a ranker whose repr leaks an
+        # object address (default object repr — e.g. a held TfIdfScorer)
+        # has no stable value identity, and an id-based key could collide
+        # with a later object at a recycled address, so such queries stay
+        # uncached (None key).
+        if self.result_cache.max_entries <= 0:
+            return None
+        if getattr(ranker, "uses_corpus_stats", False):
+            # Scores move with corpus-wide statistics; any changeset would
+            # drop the entry anyway, so skip caching (and skip the repr,
+            # which for such rankers can serialize held match sets).
+            return None
+        identity = repr(ranker)
+        if " at 0x" in identity:
+            return None
+        return (
+            query,
+            semantics,
+            top_k,
+            pushdown,
+            limits,
+            getattr(ranker, "name", type(ranker).__name__),
+            identity,
+        )
+
+    def _cache_store(
+        self,
+        key: Hashable,
+        ranker: Ranker,
+        matches: Sequence[KeywordMatch],
+        results: Sequence[SearchResult],
+        stats: ExecutionStats,
+    ) -> None:
+        footprint: set = set()
+        for match in matches:
+            footprint.update(match.tuple_ids)
+        for result in results:
+            footprint.update(result.answer.tuple_ids())
+        # Corpus-stats rankers never reach here — _cache_key already
+        # declared them uncacheable — so entries are never volatile.
+        self.result_cache.store(
+            key,
+            CacheEntry(
+                results=tuple(results),
+                stats=replace(stats),
+                keywords=tuple(match.keyword for match in matches),
+                footprint=frozenset(footprint),
+                fingerprint=tuple(match.tuple_ids for match in matches),
+            ),
         )
 
     def search(
@@ -127,13 +221,25 @@ class KeywordSearchEngine:
         ``pushdown=False`` to force full enumeration (exact legacy
         budget-error behaviour), ``True`` to force bound-ordered
         streaming.
+
+        Results are served from :attr:`result_cache` when a live entry
+        exists for the exact query identity; ``apply`` keeps the cache
+        consistent, so a hit is always bit-identical to a fresh run.
         """
-        plan = self.plan(query, top_k=top_k, semantics=semantics)
+        ranker = ranker or self.ranker
+        limits = limits or self.limits
+        key = self._cache_key(query, ranker, limits, top_k, semantics, pushdown)
+        entry = self.result_cache.lookup(key) if key is not None else None
+        if entry is not None:
+            self.last_stats = replace(entry.stats)
+            return list(entry.results)
+        plan, matches = self._plan(query, top_k, semantics)
+        version = self.version
         executor = self._executor()
-        results = executor.run(
-            plan, ranker or self.ranker, limits or self.limits, pushdown=pushdown
-        )
+        results = executor.run(plan, ranker, limits, pushdown=pushdown)
         self.last_stats = executor.stats
+        if key is not None and self.version == version:
+            self._cache_store(key, ranker, matches, results, executor.stats)
         return results
 
     def search_stream(
@@ -153,23 +259,67 @@ class KeywordSearchEngine:
         finishes, and a ``top_k`` cut stops enumeration early.  Rankers
         without a lower bound degrade to materialise-then-yield.
         ``last_stats`` is final once the iterator is exhausted.
+
+        A live answer-cache entry replays instantly; a fully consumed
+        stream populates the cache (an abandoned one does not — its
+        enumeration may be incomplete).
         """
-        plan = self.plan(query, top_k=top_k, semantics=semantics)
+        ranker = ranker or self.ranker
+        limits = limits or self.limits
+        key = self._cache_key(query, ranker, limits, top_k, semantics, pushdown)
+        version = self.version
+        entry = self.result_cache.lookup(key) if key is not None else None
+        if entry is not None:
+            self.last_stats = replace(entry.stats)
+            for result in entry.results:
+                self._check_stream_version(version)
+                yield result
+            return
+        plan, matches = self._plan(query, top_k, semantics)
         executor = self._executor()
+        # Buffered only while a cache store is still possible — an
+        # uncacheable query keeps the O(1) streaming memory profile.
+        collected: Optional[list[SearchResult]] = (
+            [] if key is not None else None
+        )
+        stream = executor.stream(plan, ranker, limits, pushdown=pushdown)
         try:
-            for result in executor.stream(
-                plan,
-                ranker or self.ranker,
-                limits or self.limits,
-                pushdown=pushdown,
-            ):
+            while True:
+                # Checked on every resume, before the executor touches
+                # state an interleaved apply() may have mutated.
+                self._check_stream_version(version)
+                try:
+                    result = next(stream)
+                except StopIteration:
+                    break
                 self.last_stats = executor.stats
+                if collected is not None:
+                    collected.append(result)
                 yield result
         finally:
             # Capture the run's counters even when the stream yields
             # nothing or the consumer stops early (stream() replaces
             # executor.stats once it starts running).
             self.last_stats = executor.stats
+        if collected is not None and self.version == version:
+            self._cache_store(key, ranker, matches, collected, executor.stats)
+
+    def _check_stream_version(self, version: int) -> None:
+        """Refuse to keep streaming across an interleaved mutation.
+
+        A live ``search_stream`` iterator enumerates against the engine
+        state it started from; once ``apply`` (or ``rebuild``) has run,
+        continuing could yield answers referencing deleted tuples — the
+        opposite of the bit-identical-to-rebuilt contract.  Restart the
+        stream after mutating.
+        """
+        if self.version != version:
+            raise MutationError(
+                "engine mutated while a search stream was being consumed; "
+                "restart the stream",
+                started_at_version=version,
+                engine_version=self.version,
+            )
 
     def search_batch(
         self,
@@ -194,25 +344,78 @@ class KeywordSearchEngine:
         appearing several times is searched once with its result list
         reused.
         """
+        ranker = ranker or self.ranker
+        limits = limits or self.limits
         shared = SharedEnumerations()
         stats = ExecutionStats()
         resolved: dict[str, list[SearchResult]] = {}
         batched = []
         for query in queries:
             if query not in resolved:
-                plan = self.plan(query, top_k=top_k, semantics=semantics)
-                executor = self._executor(shared)
-                resolved[query] = executor.run(
-                    plan,
-                    ranker or self.ranker,
-                    limits or self.limits,
-                    pushdown=pushdown,
+                key = self._cache_key(
+                    query, ranker, limits, top_k, semantics, pushdown
                 )
-                stats.merge(executor.stats)
+                entry = (
+                    self.result_cache.lookup(key) if key is not None else None
+                )
+                if entry is not None:
+                    resolved[query] = list(entry.results)
+                    stats.merge(entry.stats)
+                else:
+                    plan, matches = self._plan(query, top_k, semantics)
+                    version = self.version
+                    executor = self._executor(shared)
+                    resolved[query] = executor.run(
+                        plan, ranker, limits, pushdown=pushdown
+                    )
+                    stats.merge(executor.stats)
+                    if key is not None and self.version == version:
+                        self._cache_store(
+                            key, ranker, matches,
+                            resolved[query], executor.stats,
+                        )
             batched.append(resolved[query])
         self.last_stats = stats
         self.last_shared = shared
         return batched
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply(self, mutations: Iterable[Mutation]) -> ChangeSet:
+        """Apply one mutation batch and keep every derived structure live.
+
+        The batch (``Insert`` / ``Update`` / ``Delete`` from
+        :mod:`repro.live.changes`) is validated against key and
+        foreign-key constraints and applied atomically — on failure the
+        database rolls back and nothing else changes.  On success the
+        net :class:`~repro.live.changes.ChangeSet` is applied in place
+        to the inverted index, the data graph and the traversal cache
+        (fine-grained: only touched components drop), the answer cache
+        invalidates exactly the affected entries, and the engine
+        :attr:`version` is bumped and stamped onto the returned
+        changeset.  Results after ``apply`` are bit-identical to a
+        freshly rebuilt engine; ``rebuild()`` stays available as the
+        escape hatch.
+        """
+        changeset = apply_to_database(self.database, mutations)
+        if not changeset.is_empty():
+            apply_changeset(
+                changeset,
+                self.database,
+                index=self.index,
+                data_graph=self.data_graph,
+                traversal_cache=self.traversal_cache,
+            )
+            if len(self.result_cache):
+                # Component tainting costs a BFS; with no live entries
+                # there is nothing it could invalidate.
+                self.result_cache.invalidate(
+                    affected_tuples(self.data_graph, changeset), self.index
+                )
+        self.version += 1
+        changeset.version = self.version
+        return changeset
 
     # ------------------------------------------------------------------
     # analysis helpers
@@ -241,14 +444,24 @@ class KeywordSearchEngine:
         return "\n".join(lines)
 
     def rebuild(self) -> None:
-        """Refresh derived structures after database mutations.
+        """Refresh derived structures after direct database mutations.
 
         The traversal cache is bound to the discarded data graph, so a
-        fresh one replaces it.
+        fresh one replaces it.  All pipeline state is reset too: the
+        answer cache (its entries reference the old graph), the last-run
+        diagnostics (``last_stats``) and any retained ``search_batch``
+        sharing table with its ``SharedStream`` fan-outs — nothing stale
+        survives a rebuild.  :meth:`apply` is the incremental
+        alternative; ``rebuild()`` is the escape hatch and the
+        differential oracle the live subsystem is tested against.
         """
         self.data_graph = DataGraph(self.database)
         self.index.build()
         self.traversal_cache = TraversalCache(self.data_graph)
+        self.result_cache.clear()
+        self.last_stats = ExecutionStats()
+        self.last_shared = SharedEnumerations()
+        self.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

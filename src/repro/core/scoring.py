@@ -116,6 +116,11 @@ class CombinedRanker:
     w_content: float = 0.25
     name: str = "combined"
 
+    # Scores shift whenever corpus-wide statistics do (IDF, collection
+    # size), so the live answer cache must not keep entries built with
+    # this ranker across any content change.
+    uses_corpus_stats = True
+
     @classmethod
     def for_query(
         cls,

@@ -3,6 +3,11 @@
 A workload is a list of queries whose keywords are *planted* into the
 database with known match counts, so benchmark sweeps can vary exactly one
 variable at a time (number of keywords, selectivity, relation distance).
+
+:func:`generate_mixed_workload` turns a planted query workload into a
+mixed read/write operation stream — skewed repeated searches interleaved
+with mutation batches for ``engine.apply`` — the shape the live-update
+subsystem (:mod:`repro.live`) is benchmarked under.
 """
 
 from __future__ import annotations
@@ -10,14 +15,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.datasets import text as text_module
 from repro.datasets.synthetic import plant
-from repro.relational.database import Database
+from repro.live.changes import Delete, Insert, Mutation, Update
+from repro.relational.database import Database, TupleId
 
 __all__ = [
     "WorkloadConfig",
     "WorkloadQuery",
+    "MixedWorkloadConfig",
+    "MixedOperation",
     "batch_texts",
     "generate_workload",
+    "generate_mixed_workload",
 ]
 
 #: Relations and text attributes that keywords may be planted into.
@@ -59,6 +69,100 @@ def batch_texts(
     """
     texts = [query.text for query in queries]
     return texts * max(1, repeats)
+
+
+@dataclass(frozen=True)
+class MixedWorkloadConfig:
+    """Shape of a mixed read/write operation stream.
+
+    ``update_ratio`` is the probability an operation is a mutation batch
+    rather than a search; ``skew`` is the Zipf-style exponent of query
+    popularity (0 = uniform — higher values concentrate reads on the
+    first queries, which is what makes an answer cache pay off).
+    """
+
+    operations: int = 40
+    update_ratio: float = 0.25
+    mutations_per_batch: int = 4
+    skew: float = 1.0
+    seed: int = 29
+
+
+@dataclass(frozen=True)
+class MixedOperation:
+    """One step of a mixed workload: a search or a mutation batch."""
+
+    kind: str  # "search" | "apply"
+    query: str = ""
+    mutations: tuple[Mutation, ...] = ()
+
+
+def generate_mixed_workload(
+    database: Database,
+    queries: list[WorkloadQuery],
+    config: MixedWorkloadConfig = MixedWorkloadConfig(),
+) -> list[MixedOperation]:
+    """Interleave skewed searches with mutation batches, deterministically.
+
+    Mutation batches mix the three shapes the live subsystem must stay
+    exact under: inserts of ``DEPENDENT`` tuples referencing random
+    employees (sometimes carrying a workload keyword, so keyword match
+    sets change), description updates on ``DEPARTMENT`` tuples, and
+    deletes of dependents this workload inserted earlier.  All draws
+    flow from ``config.seed``.
+    """
+    if not queries:
+        raise ValueError("mixed workload needs at least one query")
+    rng = random.Random(config.seed)
+    weights = [
+        1.0 / (rank + 1) ** config.skew for rank in range(len(queries))
+    ]
+    employees = [record.tid for record in database.tuples("EMPLOYEE")]
+    departments = [record.tid for record in database.tuples("DEPARTMENT")]
+    keywords = [kw for query in queries for kw in query.keywords]
+    live_dependents: list[str] = []
+    counter = 0
+    operations: list[MixedOperation] = []
+    for __ in range(config.operations):
+        if rng.random() >= config.update_ratio:
+            chosen = rng.choices(queries, weights=weights)[0]
+            operations.append(MixedOperation("search", query=chosen.text))
+            continue
+        batch: list[Mutation] = []
+        for __ in range(config.mutations_per_batch):
+            roll = rng.random()
+            if roll < 0.5 or not live_dependents:
+                counter += 1
+                name = (
+                    rng.choice(keywords)
+                    if keywords and rng.random() < 0.3
+                    else text_module.make_description(rng, 1)
+                )
+                essn = rng.choice(employees).key[0]
+                key = f"lw{counter}"
+                batch.append(
+                    Insert(
+                        "DEPENDENT",
+                        {"ID": key, "ESSN": essn, "DEPENDENT_NAME": name},
+                    )
+                )
+                live_dependents.append(key)
+            elif roll < 0.8:
+                words = text_module.make_description(rng, 6)
+                if keywords and rng.random() < 0.3:
+                    words = f"{words} {rng.choice(keywords)}"
+                batch.append(
+                    Update(
+                        rng.choice(departments), {"D_DESCRIPTION": words}
+                    )
+                )
+            else:
+                key = live_dependents.pop(
+                    rng.randrange(len(live_dependents))
+                )
+                batch.append(Delete(TupleId("DEPENDENT", (key,))))
+        operations.append(MixedOperation("apply", mutations=tuple(batch)))
+    return operations
 
 
 def generate_workload(

@@ -64,6 +64,10 @@ class MappingError(ReproError):
     """ER <-> relational mapping failed or is ambiguous."""
 
 
+class MutationError(ReproError):
+    """A live-update mutation batch is malformed or cannot be applied."""
+
+
 class QueryError(ReproError):
     """A keyword query is malformed or uses unsupported options."""
 

@@ -53,6 +53,56 @@ class DataGraph:
                 )
         self._graph = graph
         self._conceptual: Optional[nx.MultiGraph] = None
+        #: Monotonically increasing mutation stamp.  Every structural
+        #: change (node/edge patch, cache invalidation) bumps it, so
+        #: callers holding a derived view can detect staleness.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop cached derived views (the conceptual graph) and bump
+        :attr:`version`.
+
+        Call after mutating the graph (or the underlying database) so a
+        stale cached conceptual view can never be served.  The patching
+        methods below call it themselves.
+        """
+        self._conceptual = None
+        self.version += 1
+
+    def add_tuple_node(self, record: Tuple) -> None:
+        """Add one tuple as a node (exactly as construction would)."""
+        self._graph.add_node(record.tid, relation=record.relation)
+        self.invalidate_caches()
+
+    def remove_tuple_node(self, tid: TupleId) -> None:
+        """Remove one tuple's node together with any incident edges."""
+        if tid in self._graph:
+            self._graph.remove_node(tid)
+        self.invalidate_caches()
+
+    def add_fk_edge(
+        self, referencing: TupleId, referenced: TupleId, foreign_key: ForeignKey
+    ) -> None:
+        """Add the edge of one stored foreign-key reference."""
+        self._graph.add_edge(
+            referencing,
+            referenced,
+            key=foreign_key.name,
+            foreign_key=foreign_key,
+            referencing=referencing,
+        )
+        self.invalidate_caches()
+
+    def remove_fk_edge(
+        self, referencing: TupleId, referenced: TupleId, foreign_key_name: str
+    ) -> None:
+        """Remove one foreign-key edge (no-op when absent)."""
+        if self._graph.has_edge(referencing, referenced, key=foreign_key_name):
+            self._graph.remove_edge(referencing, referenced, key=foreign_key_name)
+        self.invalidate_caches()
 
     # ------------------------------------------------------------------
     # basic structure
@@ -137,8 +187,9 @@ class DataGraph:
         Every middle tuple ``m`` referencing tuples ``a`` and ``b`` (via two
         different foreign keys) becomes a direct ``a -- b`` edge with
         ``middle=m`` and many-to-many semantics.  Non-middle edges are kept
-        as-is.  The result is cached; rebuild the :class:`DataGraph` after
-        database mutations.
+        as-is.  The result is cached; the patching methods (and
+        :meth:`invalidate_caches`) drop the cache, so mutation through them
+        can never serve a stale view.
         """
         if self._conceptual is not None:
             return self._conceptual

@@ -28,14 +28,16 @@ while cutting the work three ways:
 
 One :class:`TraversalCache` is owned by
 :class:`~repro.core.engine.KeywordSearchEngine` and dropped by
-``rebuild()``; the cache never observes database mutations on its own,
-so callers that mutate tuples must rebuild (the same contract the data
-graph and inverted index already have).
+``rebuild()``; the cache never observes database mutations on its own.
+Callers that mutate tuples either rebuild, or route mutations through
+``engine.apply`` — the live-update subsystem (:mod:`repro.live`) then
+calls :meth:`TraversalCache.invalidate_tuples` so only entries in
+touched connected components are dropped.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SearchLimitError
 from repro.graph.data_graph import DataGraph
@@ -149,6 +151,36 @@ class TraversalCache:
         self._expansions.clear()
         self._neighbours.clear()
         self._distances.clear()
+
+    def invalidate_tuples(self, changed: Iterable[TupleId]) -> int:
+        """Drop only the entries a changeset can have made stale.
+
+        ``changed`` is the set of tuples touched by a mutation batch:
+        inserted, deleted and updated tuples plus both endpoints of every
+        added or removed edge.  Adjacency is local, so expansion and
+        neighbour lists are dropped for the changed tuples only.  A
+        distance map is global within its connected component: the map
+        keyed by ``t`` is dropped when ``t`` itself changed or when any
+        changed tuple appears in the map (i.e. was reachable from ``t`` —
+        which covers every tuple of ``t``'s pre-change component, and,
+        because edge endpoints are changed tuples, any component newly
+        merged into it).  Maps of untouched components survive.  Returns
+        the number of distance maps dropped.
+        """
+        changed = set(changed)
+        if not changed:
+            return 0
+        for tid in changed:
+            self._expansions.pop(tid, None)
+            self._neighbours.pop(tid, None)
+        stale = [
+            tid
+            for tid, distances in self._distances.items()
+            if tid in changed or not changed.isdisjoint(distances)
+        ]
+        for tid in stale:
+            del self._distances[tid]
+        return len(stale)
 
     def expansions(self, tid: TupleId) -> tuple:
         """``(other, edge_key, edge_data)`` triples incident to ``tid``.

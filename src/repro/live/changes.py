@@ -1,0 +1,353 @@
+"""Change-log / transaction layer: validated mutation batches → changesets.
+
+A mutation batch is an ordered sequence of :class:`Insert`,
+:class:`Update` and :class:`Delete` operations.  :func:`apply_to_database`
+applies one batch **atomically**: every operation is validated against
+the schema's key and foreign-key constraints as it runs (foreign-key
+enforcement is forced on for the duration, whatever the database's bulk
+setting), and any failure rolls the already-applied prefix back in
+reverse order, leaving the database exactly as it was.
+
+The result of a successful batch is a :class:`ChangeSet` — the *net*
+delta: tuples added/removed/updated and FK edges added/removed, with
+intra-batch churn cancelled (insert-then-delete nets to nothing,
+delete-then-reinsert of one key nets to a *replace* — identity kept,
+store position re-derived).  Changesets are what
+the incremental maintainers in :mod:`repro.live.maintain` and the
+dependency-tracked answer cache consume, and what
+``KeywordSearchEngine.apply`` stamps with the engine's monotonically
+increasing version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.errors import MutationError
+from repro.relational.database import Database, Tuple, TupleId
+from repro.relational.schema import ForeignKey
+
+__all__ = [
+    "Insert",
+    "Update",
+    "Delete",
+    "Mutation",
+    "EdgeChange",
+    "ChangeSet",
+    "apply_to_database",
+    "mutation_from_json",
+    "load_mutation_batches",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert one tuple into ``relation``."""
+
+    relation: str
+    values: Mapping[str, object]
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Update:
+    """Set the given attributes of one existing tuple (PK may not change)."""
+
+    tid: TupleId
+    values: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete one tuple (rejected while other tuples reference it)."""
+
+    tid: TupleId
+
+
+Mutation = Union[Insert, Update, Delete]
+
+
+@dataclass(frozen=True)
+class EdgeChange:
+    """One FK edge gained or lost by a changeset."""
+
+    referencing: TupleId
+    referenced: TupleId
+    foreign_key: ForeignKey
+
+    @property
+    def key(self) -> tuple[TupleId, TupleId, str]:
+        return (self.referencing, self.referenced, self.foreign_key.name)
+
+
+@dataclass
+class ChangeSet:
+    """Net effect of one applied mutation batch.
+
+    ``version`` is stamped by ``KeywordSearchEngine.apply`` — the engine
+    version the batch produced; ``None`` for changesets applied straight
+    to a database.
+    """
+
+    tuples_added: tuple[TupleId, ...] = ()
+    tuples_removed: tuple[TupleId, ...] = ()
+    tuples_updated: tuple[TupleId, ...] = ()
+    #: Delete-then-reinsert of one key within the batch: the tuple's
+    #: identity survives (graph node kept, edge deltas netted) but its
+    #: store *position* moved to the relation tail, so index maintenance
+    #: must re-derive its posting position instead of keeping it.
+    tuples_replaced: tuple[TupleId, ...] = ()
+    edges_added: tuple[EdgeChange, ...] = ()
+    edges_removed: tuple[EdgeChange, ...] = ()
+    version: Optional[int] = None
+
+    def is_empty(self) -> bool:
+        return not (
+            self.tuples_added
+            or self.tuples_removed
+            or self.tuples_updated
+            or self.tuples_replaced
+            or self.edges_added
+            or self.edges_removed
+        )
+
+    def structural_tuples(self) -> frozenset[TupleId]:
+        """Tuples whose graph neighbourhood changed: added/removed tuples
+        plus both endpoints of every added or removed FK edge.  Value-only
+        updates are excluded — they change postings and renderings, never
+        adjacency or distances."""
+        structural = set(self.tuples_added)
+        structural.update(self.tuples_removed)
+        for edge in self.edges_added:
+            structural.add(edge.referencing)
+            structural.add(edge.referenced)
+        for edge in self.edges_removed:
+            structural.add(edge.referencing)
+            structural.add(edge.referenced)
+        return frozenset(structural)
+
+    def touched(self) -> frozenset[TupleId]:
+        """Every tuple the batch touched: mutated tuples + edge endpoints."""
+        return (
+            self.structural_tuples()
+            | frozenset(self.tuples_updated)
+            | frozenset(self.tuples_replaced)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"+{len(self.tuples_added)} -{len(self.tuples_removed)} "
+            f"~{len(self.tuples_updated) + len(self.tuples_replaced)} tuples, "
+            f"+{len(self.edges_added)} -{len(self.edges_removed)} edges"
+        )
+
+
+def _outgoing_edges(database: Database, record: Tuple) -> list[EdgeChange]:
+    """The FK edges this tuple contributes to the data graph right now."""
+    edges = []
+    for foreign_key in database.schema.foreign_keys_from(record.relation):
+        target = database.referenced_tuple(record, foreign_key)
+        if target is not None:
+            edges.append(EdgeChange(record.tid, target.tid, foreign_key))
+    return edges
+
+
+class _Builder:
+    """Accumulates the net delta while a batch applies."""
+
+    def __init__(self) -> None:
+        self.added: dict[TupleId, None] = {}
+        self.removed: dict[TupleId, None] = {}
+        self.updated: dict[TupleId, None] = {}
+        self.replaced: dict[TupleId, None] = {}
+        self.edges_added: dict[tuple, EdgeChange] = {}
+        self.edges_removed: dict[tuple, EdgeChange] = {}
+
+    def note_insert(self, tid: TupleId) -> None:
+        if tid in self.removed:
+            # Delete-then-reinsert of the same key: the identity
+            # survives, but the store position moved to the tail.
+            del self.removed[tid]
+            self.replaced[tid] = None
+        else:
+            self.added[tid] = None
+
+    def note_delete(self, tid: TupleId) -> None:
+        if tid in self.added:
+            del self.added[tid]
+        else:
+            self.updated.pop(tid, None)
+            self.replaced.pop(tid, None)
+            self.removed[tid] = None
+
+    def note_update(self, tid: TupleId) -> None:
+        if tid not in self.added and tid not in self.replaced:
+            self.updated.setdefault(tid, None)
+
+    def note_edge_added(self, edge: EdgeChange) -> None:
+        if edge.key in self.edges_removed:
+            del self.edges_removed[edge.key]
+        else:
+            self.edges_added[edge.key] = edge
+
+    def note_edge_removed(self, edge: EdgeChange) -> None:
+        if edge.key in self.edges_added:
+            del self.edges_added[edge.key]
+        else:
+            self.edges_removed[edge.key] = edge
+
+    def changeset(self) -> ChangeSet:
+        return ChangeSet(
+            tuples_added=tuple(self.added),
+            tuples_removed=tuple(self.removed),
+            tuples_updated=tuple(self.updated),
+            tuples_replaced=tuple(self.replaced),
+            edges_added=tuple(self.edges_added.values()),
+            edges_removed=tuple(self.edges_removed.values()),
+        )
+
+
+def apply_to_database(
+    database: Database, mutations: Iterable[Mutation]
+) -> ChangeSet:
+    """Apply one mutation batch atomically and return its net changeset.
+
+    Foreign-key enforcement is forced on while the batch runs, so every
+    insert/update validates its references and deletes of referenced
+    tuples are rejected.  On any failure the already-applied prefix is
+    rolled back in reverse order and the error re-raised — the database
+    is never left half-mutated.
+    """
+    builder = _Builder()
+    undo: list[tuple] = []
+    #: Store order per relation, captured before that relation's first
+    #: delete.  A rollback re-insert appends at the store tail, so the
+    #: order — which is observable through index posting order and
+    #: answer enumeration — must be restored explicitly.
+    key_orders: dict[str, tuple] = {}
+    previous_enforcement = database.enforce_foreign_keys
+    database.enforce_foreign_keys = True
+    try:
+        for mutation in mutations:
+            if isinstance(mutation, Insert):
+                record = database.insert(
+                    mutation.relation, mutation.values, label=mutation.label
+                )
+                undo.append(("delete", record.tid))
+                builder.note_insert(record.tid)
+                for edge in _outgoing_edges(database, record):
+                    builder.note_edge_added(edge)
+            elif isinstance(mutation, Delete):
+                record = database.tuple(mutation.tid)
+                old_values = dict(record.values)
+                old_label = record.label
+                old_edges = _outgoing_edges(database, record)
+                if mutation.tid.relation not in key_orders:
+                    key_orders[mutation.tid.relation] = (
+                        database.relation_key_order(mutation.tid.relation)
+                    )
+                database.delete(mutation.tid)
+                undo.append(
+                    ("insert", mutation.tid.relation, old_values, old_label)
+                )
+                builder.note_delete(mutation.tid)
+                for edge in old_edges:
+                    builder.note_edge_removed(edge)
+            elif isinstance(mutation, Update):
+                record = database.tuple(mutation.tid)
+                old_values = dict(record.values)
+                old_edges = _outgoing_edges(database, record)
+                database.update(mutation.tid, mutation.values)
+                undo.append(("restore", mutation.tid, old_values))
+                builder.note_update(mutation.tid)
+                new_edges = _outgoing_edges(database, record)
+                old_keys = {edge.key: edge for edge in old_edges}
+                new_keys = {edge.key: edge for edge in new_edges}
+                for key, edge in old_keys.items():
+                    if key not in new_keys:
+                        builder.note_edge_removed(edge)
+                for key, edge in new_keys.items():
+                    if key not in old_keys:
+                        builder.note_edge_added(edge)
+            else:
+                raise MutationError(
+                    "unknown mutation type", got=type(mutation).__name__
+                )
+    except BaseException:
+        # Undo in reverse order: later mutations may depend on earlier
+        # ones (a batch inserts a target then tuples referencing it), so
+        # reversing keeps every undo step consistent.  Enforcement is
+        # switched off for the replay — each step restores state that
+        # existed before the batch, and re-validating it could spuriously
+        # fail (e.g. re-inserting a tuple whose dangling FK was legal on
+        # an enforcement-off database), masking the original error.
+        database.enforce_foreign_keys = False
+        for action in reversed(undo):
+            if action[0] == "delete":
+                database.delete(action[1])
+            elif action[0] == "insert":
+                __, relation, values, label = action
+                database.insert(relation, values, label=label)
+            else:  # restore
+                __, tid, values = action
+                database.update(tid, values)
+        for relation, keys in key_orders.items():
+            database.restore_key_order(relation, keys)
+        raise
+    finally:
+        database.enforce_foreign_keys = previous_enforcement
+    return builder.changeset()
+
+
+# ----------------------------------------------------------------------
+# replay files (the CLI's ``--mutations``)
+# ----------------------------------------------------------------------
+def mutation_from_json(obj: Mapping) -> Mutation:
+    """Decode one mutation from its JSON object form.
+
+    ``{"op": "insert", "relation": R, "values": {...}, "label": ...}``,
+    ``{"op": "update", "relation": R, "key": [...], "values": {...}}`` or
+    ``{"op": "delete", "relation": R, "key": [...]}``.
+    """
+    op = obj.get("op")
+    try:
+        if op == "insert":
+            return Insert(
+                obj["relation"], dict(obj["values"]), obj.get("label")
+            )
+        if op == "update":
+            return Update(
+                TupleId(obj["relation"], tuple(obj["key"])),
+                dict(obj["values"]),
+            )
+        if op == "delete":
+            return Delete(TupleId(obj["relation"], tuple(obj["key"])))
+    except (KeyError, TypeError) as error:
+        raise MutationError(
+            "malformed mutation object", op=op, problem=str(error)
+        ) from None
+    raise MutationError("unknown mutation op", op=op)
+
+
+def load_mutation_batches(path: str) -> list[list[Mutation]]:
+    """Load a replay file: a JSON list of batches (or one flat batch)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise MutationError("mutation file must hold a JSON list", path=path)
+    if data and all(isinstance(item, Mapping) for item in data):
+        data = [data]
+    for position, batch in enumerate(data):
+        if not isinstance(batch, list) or not all(
+            isinstance(item, Mapping) for item in batch
+        ):
+            raise MutationError(
+                "each batch must be a JSON list of mutation objects",
+                path=path,
+                batch=position,
+            )
+    return [
+        [mutation_from_json(item) for item in batch] for batch in data
+    ]

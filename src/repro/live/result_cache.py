@@ -1,0 +1,144 @@
+"""Dependency-tracked answer cache: LRU with precise invalidation.
+
+Entries are keyed by the full query identity — query text, semantics,
+limits, ``top_k``, pushdown mode and ranker — and record two dependency
+sets alongside the materialised results:
+
+* **footprint** — every tuple the entry's answers depend on: all tuples
+  matched by the query's keywords plus all tuples appearing in answers.
+  A changeset whose :func:`~repro.live.maintain.affected_tuples` set
+  intersects the footprint drops the entry (structural changes taint
+  whole components; the intersection test is what makes entries in
+  untouched components survive).
+* **fingerprint** — the per-keyword match tuple lists at store time.  A
+  changeset can create or destroy keyword matches *outside* every
+  cached component (a new matching tuple in a different component still
+  changes the answer set), so after index maintenance the fingerprints
+  of surviving entries are re-derived and compared.
+
+Rankers that score against corpus-wide statistics (``uses_corpus_stats``
+— e.g. TF–IDF) never enter the engine's cache at all; the *volatile*
+entry flag remains for direct integrations that want cached-but-drop-
+on-any-change semantics instead.
+
+The cache never changes observable behaviour: a hit replays exactly the
+results (and execution counters) the underlying run produced, queries
+that raise are never cached, and the differential property tests assert
+bit-identity against a rebuilt engine across mutation interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import AbstractSet, Hashable, Optional
+
+from repro.core.matching import match_keywords
+from repro.relational.database import TupleId
+from repro.relational.index import InvertedIndex
+
+__all__ = ["CacheStats", "CacheEntry", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+    evicted: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"hits {self.hits} misses {self.misses} stores {self.stores} "
+            f"invalidated {self.invalidated} evicted {self.evicted}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached answer list plus its dependency record."""
+
+    results: tuple
+    stats: object  # ExecutionStats of the producing run (kept opaque)
+    keywords: tuple[str, ...]
+    footprint: frozenset[TupleId]
+    fingerprint: tuple[tuple[TupleId, ...], ...]
+    volatile: bool = False
+
+
+class ResultCache:
+    """LRU answer cache with changeset-driven invalidation.
+
+    ``max_entries <= 0`` disables the cache entirely (every lookup
+    misses, stores are dropped) — benchmarks use that to measure the
+    cold path.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Optional[CacheEntry]:
+        """The live entry for a key, refreshed as most recently used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: Hashable, entry: CacheEntry) -> None:
+        if self.max_entries <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evicted += 1
+
+    def invalidate(
+        self, affected: AbstractSet[TupleId], index: InvertedIndex
+    ) -> int:
+        """Drop exactly the entries a changeset may have made stale.
+
+        ``affected`` is :func:`~repro.live.maintain.affected_tuples` for
+        the changeset; ``index`` must already be maintained so keyword
+        fingerprints re-derive against the post-change match sets.
+        Returns the number of entries dropped.
+        """
+        dropped = []
+        fingerprints: dict[tuple[str, ...], tuple] = {}
+        for key, entry in self._entries.items():
+            if entry.volatile or not affected.isdisjoint(entry.footprint):
+                dropped.append(key)
+                continue
+            current = fingerprints.get(entry.keywords)
+            if current is None:
+                current = tuple(
+                    match.tuple_ids
+                    for match in match_keywords(index, entry.keywords)
+                )
+                fingerprints[entry.keywords] = current
+            if current != entry.fingerprint:
+                dropped.append(key)
+        for key in dropped:
+            del self._entries[key]
+        self.stats.invalidated += len(dropped)
+        return len(dropped)
+
+    def clear(self) -> None:
+        """Drop every entry (rebuild, or an untracked external mutation)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(entries={len(self._entries)}, {self.stats.describe()})"

@@ -155,6 +155,43 @@ class Database:
         """Insert several tuples; convenience for loaders and generators."""
         return [self.insert(relation_name, row) for row in rows]
 
+    def update(self, tid: TupleId, values: Mapping[str, object]) -> Tuple:
+        """Update attribute values of one tuple in place and return it.
+
+        Only the given attributes change; they are coerced to their
+        declared types.  Primary-key columns may not change (delete and
+        re-insert instead — the tuple's identity is its key).  Changed
+        foreign-key columns are validated immediately when the database
+        enforces foreign keys.
+        """
+        record = self.tuple(tid)
+        relation = self.schema.relation(tid.relation)
+        coerced: dict[str, object] = {}
+        for name in values:
+            if not relation.has_attribute(name):
+                raise UnknownAttributeError(
+                    "update uses unknown attribute",
+                    relation=tid.relation,
+                    attribute=name,
+                )
+            coerced[name] = coerce_value(
+                values[name], relation.attribute(name).data_type
+            )
+        for column in relation.primary_key:
+            if column in coerced and coerced[column] != record.values[column]:
+                raise PrimaryKeyError(
+                    "primary key columns cannot be updated",
+                    relation=tid.relation,
+                    attribute=column,
+                )
+        if self.enforce_foreign_keys:
+            candidate = Tuple(tid, {**record.values, **coerced})
+            for foreign_key in self.schema.foreign_keys_from(tid.relation):
+                if any(c in coerced for c in foreign_key.source_columns):
+                    self._check_reference(candidate, foreign_key)
+        record.values.update(coerced)
+        return record
+
     def delete(self, tid: TupleId) -> None:
         """Delete a tuple; rejects when other tuples still reference it."""
         record = self.tuple(tid)
@@ -194,6 +231,44 @@ class Database:
         if store is None:
             raise UnknownRelationError("no such relation", relation=relation_name)
         return tuple(store.values())
+
+    def relation_key_order(self, relation_name: str) -> tuple[tuple, ...]:
+        """The relation's primary keys in store order (rollback bookkeeping)."""
+        store = self._tuples.get(relation_name)
+        if store is None:
+            raise UnknownRelationError("no such relation", relation=relation_name)
+        return tuple(store)
+
+    def restore_key_order(self, relation_name: str, keys: Sequence[tuple]) -> None:
+        """Reorder a relation's store to a recorded key sequence.
+
+        Store order is observable (``tuples``/``all_tuples`` feed index
+        posting order and answer enumeration), so a transaction rollback
+        must restore it, not just the tuple set.  Keys absent from the
+        store are skipped; keys not in the recording keep their relative
+        order at the end.
+        """
+        store = self._tuples.get(relation_name)
+        if store is None:
+            raise UnknownRelationError("no such relation", relation=relation_name)
+        ordered = {key: store[key] for key in keys if key in store}
+        for key, record in store.items():
+            if key not in ordered:
+                ordered[key] = record
+        self._tuples[relation_name] = ordered
+
+    def last_tuple(self, relation_name: str) -> Optional[Tuple]:
+        """The relation's last tuple in store order (None when empty).
+
+        O(1); incremental index maintenance uses it to recognise
+        appended tuples without scanning the relation.
+        """
+        store = self._tuples.get(relation_name)
+        if store is None:
+            raise UnknownRelationError("no such relation", relation=relation_name)
+        if not store:
+            return None
+        return store[next(reversed(store))]
 
     def all_tuples(self) -> Iterator[Tuple]:
         """Every tuple in the database, relation by relation."""

@@ -15,6 +15,7 @@ database, and :meth:`InvertedIndex.build` performs a full (re)build.
 from __future__ import annotations
 
 import re
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
@@ -65,6 +66,21 @@ class InvertedIndex:
         self._database = database
         self._postings: dict[str, list[Posting]] = defaultdict(list)
         self._indexed: set[TupleId] = set()
+        #: Database order of every indexed tuple: (relation position in the
+        #: schema, position in the relation's store).  Posting lists are
+        #: kept sorted by this key, which is exactly the order a fresh
+        #: ``build()`` appends in — so incremental ``add_tuple`` /
+        #: ``remove_tuple`` leave the index bit-identical (posting order
+        #: included) to a from-scratch build over the same database.
+        self._order: dict[TupleId, tuple[int, int]] = {}
+        self._relation_position = {
+            relation.name: position
+            for position, relation in enumerate(database.schema.relations)
+        }
+        #: Next order position per relation — lets an appended tuple get
+        #: its key in O(1); anything else falls back to a relation scan.
+        self._relation_tail: dict[str, int] = {}
+        self._tokens_by_tid: dict[TupleId, tuple[str, ...]] = {}
         self.build()
 
     # ------------------------------------------------------------------
@@ -74,14 +90,44 @@ class InvertedIndex:
         """Discard and rebuild the whole index from the database."""
         self._postings.clear()
         self._indexed.clear()
-        for record in self._database.all_tuples():
-            self.add_tuple(record)
+        self._order.clear()
+        self._relation_tail.clear()
+        self._tokens_by_tid.clear()
+        for relation in self._database.schema.relations:
+            self._refresh_order(relation.name)
+            for record in self._database.tuples(relation.name):
+                self._index_record(record)
 
-    def add_tuple(self, record: Tuple) -> None:
-        """Index one tuple (no-op if already indexed)."""
-        if record.tid in self._indexed:
-            return
+    def _refresh_order(self, relation_name: str) -> None:
+        """Re-derive database order for one relation's tuples.
+
+        Store positions shift when earlier tuples are deleted, but the
+        *relative* order of survivors never changes, so posting lists stay
+        sorted; refreshing here re-anchors absolute positions before an
+        insertion needs to compare against them.
+        """
+        position = self._relation_position[relation_name]
+        store_position = -1
+        for store_position, record in enumerate(
+            self._database.tuples(relation_name)
+        ):
+            self._order[record.tid] = (position, store_position)
+        self._relation_tail[relation_name] = store_position + 1
+
+    def _index_record(self, record: Tuple) -> None:
         relation = self._database.schema.relation(record.relation)
+        order = self._order.get(record.tid)
+        if order is None:
+            # Tuple not (yet) in the database store: place it after every
+            # stored tuple of its relation.
+            position = self._relation_position[record.relation]
+            tail = self._relation_tail.get(
+                record.relation, self._database.count(record.relation)
+            )
+            order = (position, tail)
+            self._order[record.tid] = order
+            self._relation_tail[record.relation] = tail + 1
+        tokens: dict[str, None] = {}
         for attribute in relation.attributes:
             value = record.values.get(attribute.name)
             if value is None:
@@ -93,29 +139,74 @@ class InvertedIndex:
                 if token in seen:
                     continue
                 seen.add(token)
-                self._postings[token].append(
-                    Posting(record.tid, attribute.name, whole_value=(token == whole))
+                tokens.setdefault(token, None)
+                self._insert_posting(
+                    token,
+                    Posting(record.tid, attribute.name, whole_value=(token == whole)),
                 )
             if whole and whole not in seen:
                 # Values that tokenise away entirely (e.g. punctuation-only)
                 # are still matchable as whole values.
-                self._postings[whole].append(
-                    Posting(record.tid, attribute.name, whole_value=True)
+                tokens.setdefault(whole, None)
+                self._insert_posting(
+                    whole, Posting(record.tid, attribute.name, whole_value=True)
                 )
+        self._tokens_by_tid[record.tid] = tuple(tokens)
         self._indexed.add(record.tid)
+
+    def _insert_posting(self, token: str, posting: Posting) -> None:
+        # insort places equal keys to the right, so the several postings of
+        # one tuple keep their attribute order.
+        insort(self._postings[token], posting, key=lambda p: self._order[p.tid])
+
+    def add_tuple(self, record: Tuple) -> None:
+        """Index one tuple (no-op if already indexed).
+
+        Postings land at the tuple's database-order position, so the index
+        stays equal to a fresh :meth:`build` over the current database.
+        A tuple sitting at the end of its relation's store — the normal
+        insert-then-index flow — gets its position in O(1); re-adding a
+        tuple from the middle of the store (the remove/re-add round trip)
+        re-derives the relation's order with one scan.
+        """
+        if record.tid in self._indexed:
+            return
+        if record.tid not in self._order:
+            # A cached order key (from a refresh, or preserved across a
+            # value-update reindex) is still relatively correct — only a
+            # keyless mid-store tuple needs the relation rescanned.
+            last = self._database.last_tuple(record.relation)
+            if last is None or last.tid != record.tid:
+                self._refresh_order(record.relation)
+            # else: _index_record appends at the relation tail in O(1).
+        self._index_record(record)
+
+    def reindex_tuple(self, record: Tuple) -> None:
+        """Refresh one tuple's postings after a value update.
+
+        The tuple's store position is unchanged by an update, so its
+        order key is preserved across the remove/re-add — no relation
+        scan, and posting order stays equal to a fresh build.
+        """
+        order = self._order.get(record.tid)
+        self.remove_tuple(record.tid)
+        if order is not None:
+            self._order[record.tid] = order
+        self.add_tuple(record)
 
     def remove_tuple(self, tid: TupleId) -> None:
         """Drop all postings of one tuple."""
         if tid not in self._indexed:
             return
-        empty_keys = []
-        for token, postings in self._postings.items():
+        for token in self._tokens_by_tid.pop(tid, ()):
+            postings = self._postings.get(token)
+            if postings is None:
+                continue
             postings[:] = [p for p in postings if p.tid != tid]
             if not postings:
-                empty_keys.append(token)
-        for token in empty_keys:
-            del self._postings[token]
+                del self._postings[token]
         self._indexed.discard(tid)
+        self._order.pop(tid, None)
 
     # ------------------------------------------------------------------
     # lookup

@@ -243,3 +243,60 @@ class TestStreamFlag:
         __, slow = run("search", "Smith XML", "--stream", "--top", "3",
                        "--slow")
         assert fast == slow
+
+
+class TestMutationsFlag:
+    def write_batches(self, tmp_path):
+        import json
+
+        path = tmp_path / "mutations.json"
+        path.write_text(json.dumps([
+            [
+                {"op": "insert", "relation": "DEPENDENT",
+                 "values": {"ID": "t9", "ESSN": "e1",
+                            "DEPENDENT_NAME": "Smith"}},
+            ],
+            [
+                {"op": "update", "relation": "DEPARTMENT", "key": ["d2"],
+                 "values": {"D_DESCRIPTION": "XML retrieval lab"}},
+                {"op": "delete", "relation": "DEPENDENT", "key": ["t9"]},
+            ],
+        ]))
+        return str(path)
+
+    def test_replay_reports_live_summary(self, tmp_path):
+        code, output = run(
+            "search", "Smith XML", "--mutations", self.write_batches(tmp_path)
+        )
+        assert code == 0
+        assert "# live: 2 batches" in output
+        assert "engine version 2" in output
+        assert "answer cache" in output
+
+    def test_replay_results_match_fresh_engine(self, tmp_path):
+        from repro.core.engine import KeywordSearchEngine
+        from repro.datasets.company import build_company_database
+        from repro.live.changes import load_mutation_batches
+
+        from repro.core.search import SearchLimits
+
+        path = self.write_batches(tmp_path)
+        code, output = run("search", "Smith XML", "--mutations", path)
+        database = build_company_database()
+        for batch in load_mutation_batches(path):
+            from repro.live.changes import apply_to_database
+
+            apply_to_database(database, batch)
+        expected = KeywordSearchEngine(database).search(
+            "Smith XML", limits=SearchLimits(max_rdb_length=3)
+        )
+        for result in expected:
+            assert result.answer.render() in output
+
+    def test_incompatible_with_batch(self, tmp_path):
+        code, output = run(
+            "search", "Smith XML; Brown CS", "--batch",
+            "--mutations", self.write_batches(tmp_path),
+        )
+        assert code == 2
+        assert "--mutations" in output

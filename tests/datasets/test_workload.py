@@ -89,3 +89,72 @@ class TestBatchTexts:
 
         workload = generate_workload(database, WorkloadConfig(queries=2))
         assert batch_texts(workload, repeats=0) == [q.text for q in workload]
+
+
+class TestMixedWorkload:
+    def test_deterministic(self, database):
+        from repro.datasets.workload import (
+            MixedWorkloadConfig,
+            generate_mixed_workload,
+        )
+
+        queries = generate_workload(database, WorkloadConfig(queries=3))
+        config = MixedWorkloadConfig(operations=20, seed=5)
+        first = generate_mixed_workload(database, queries, config)
+        second = generate_mixed_workload(database, queries, config)
+        assert first == second
+
+    def test_update_ratio_zero_is_read_only(self, database):
+        from repro.datasets.workload import (
+            MixedWorkloadConfig,
+            generate_mixed_workload,
+        )
+
+        queries = generate_workload(database, WorkloadConfig(queries=3))
+        stream = generate_mixed_workload(
+            database, queries, MixedWorkloadConfig(operations=15, update_ratio=0.0)
+        )
+        assert all(op.kind == "search" for op in stream)
+
+    def test_mutation_batches_apply_cleanly(self, database):
+        from repro.core.engine import KeywordSearchEngine
+        from repro.datasets.workload import (
+            MixedWorkloadConfig,
+            generate_mixed_workload,
+        )
+
+        queries = generate_workload(database, WorkloadConfig(queries=3))
+        stream = generate_mixed_workload(
+            database,
+            queries,
+            MixedWorkloadConfig(operations=20, update_ratio=0.5, seed=11),
+        )
+        engine = KeywordSearchEngine(database)
+        applies = [op for op in stream if op.kind == "apply"]
+        assert applies
+        for op in applies:
+            engine.apply(op.mutations)
+        fresh = KeywordSearchEngine(database)
+        for query in queries:
+            assert [r.render() for r in engine.search(query.text)] == [
+                r.render() for r in fresh.search(query.text)
+            ]
+
+    def test_skew_concentrates_reads(self, database):
+        from collections import Counter
+
+        from repro.datasets.workload import (
+            MixedWorkloadConfig,
+            generate_mixed_workload,
+        )
+
+        queries = generate_workload(database, WorkloadConfig(queries=4))
+        stream = generate_mixed_workload(
+            database,
+            queries,
+            MixedWorkloadConfig(
+                operations=200, update_ratio=0.0, skew=2.5, seed=3
+            ),
+        )
+        counts = Counter(op.query for op in stream)
+        assert counts[queries[0].text] > counts[queries[-1].text]

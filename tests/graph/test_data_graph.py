@@ -158,3 +158,40 @@ class TestConceptualGraph:
         # 9 plain FK edges (3 project + 4 employee + 2 dependent) + 4
         # collapsed works-on edges.
         assert collapsed.number_of_edges() == 13
+
+
+class TestLivePatching:
+    """Satellite of the live-update subsystem: no stale conceptual views."""
+
+    def test_invalidate_caches_drops_conceptual_view(self, data_graph):
+        stale = data_graph.conceptual_graph()
+        version = data_graph.version
+        data_graph.invalidate_caches()
+        assert data_graph.version == version + 1
+        assert data_graph.conceptual_graph() is not stale
+
+    def test_patch_methods_bump_version(self, company_db, data_graph):
+        version = data_graph.version
+        record = company_db.insert(
+            "DEPENDENT", {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Nora"}
+        )
+        data_graph.add_tuple_node(record)
+        assert data_graph.version == version + 1
+        data_graph.remove_tuple_node(record.tid)
+        assert data_graph.version == version + 2
+
+    def test_direct_patch_cannot_serve_stale_conceptual_view(
+        self, company_db, data_graph
+    ):
+        before = data_graph.conceptual_graph()
+        assert not before.has_edge(tid("EMPLOYEE", "e3"), tid("PROJECT", "p1"))
+        record = company_db.insert(
+            "WORKS_FOR", {"ESSN": "e3", "P_ID": "p1", "HOURS": 5}
+        )
+        data_graph.add_tuple_node(record)
+        for fk in company_db.schema.foreign_keys_from("WORKS_FOR"):
+            target = company_db.referenced_tuple(record, fk)
+            data_graph.add_fk_edge(record.tid, target.tid, fk)
+        after = data_graph.conceptual_graph()
+        assert after is not before
+        assert after.has_edge(tid("EMPLOYEE", "e3"), tid("PROJECT", "p1"))

@@ -1,0 +1,279 @@
+"""Unit tests for the change-log / transaction layer."""
+
+import pytest
+
+from repro.errors import (
+    ForeignKeyError,
+    IntegrityError,
+    MutationError,
+    PrimaryKeyError,
+)
+from repro.live.changes import (
+    Delete,
+    Insert,
+    Update,
+    apply_to_database,
+    load_mutation_batches,
+    mutation_from_json,
+)
+from repro.relational.database import TupleId
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+class TestApply:
+    def test_insert_produces_tuple_and_edge(self, company_db):
+        changeset = apply_to_database(
+            company_db,
+            [Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                  "DEPENDENT_NAME": "Nora"})],
+        )
+        assert changeset.tuples_added == (tid("DEPENDENT", "t9"),)
+        assert len(changeset.edges_added) == 1
+        edge = changeset.edges_added[0]
+        assert edge.referencing == tid("DEPENDENT", "t9")
+        assert edge.referenced == tid("EMPLOYEE", "e1")
+
+    def test_delete_produces_removed_edge(self, company_db):
+        changeset = apply_to_database(
+            company_db, [Delete(tid("DEPENDENT", "t1"))]
+        )
+        assert changeset.tuples_removed == (tid("DEPENDENT", "t1"),)
+        assert [e.referenced for e in changeset.edges_removed] == [
+            tid("EMPLOYEE", "e3")
+        ]
+
+    def test_update_fk_column_swaps_edge(self, company_db):
+        changeset = apply_to_database(
+            company_db, [Update(tid("DEPENDENT", "t1"), {"ESSN": "e2"})]
+        )
+        assert changeset.tuples_updated == (tid("DEPENDENT", "t1"),)
+        assert [e.referenced for e in changeset.edges_removed] == [
+            tid("EMPLOYEE", "e3")
+        ]
+        assert [e.referenced for e in changeset.edges_added] == [
+            tid("EMPLOYEE", "e2")
+        ]
+
+    def test_value_update_has_no_edge_delta(self, company_db):
+        changeset = apply_to_database(
+            company_db,
+            [Update(tid("DEPARTMENT", "d1"), {"D_DESCRIPTION": "robotics"})],
+        )
+        assert changeset.edges_added == ()
+        assert changeset.edges_removed == ()
+
+    def test_insert_then_delete_nets_to_nothing(self, company_db):
+        before = company_db.count()
+        changeset = apply_to_database(
+            company_db,
+            [
+                Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                     "DEPENDENT_NAME": "Nora"}),
+                Delete(tid("DEPENDENT", "t9")),
+            ],
+        )
+        assert changeset.is_empty()
+        assert company_db.count() == before
+
+    def test_delete_then_reinsert_nets_to_update(self, company_db):
+        changeset = apply_to_database(
+            company_db,
+            [
+                Delete(tid("DEPENDENT", "t1")),
+                Insert("DEPENDENT", {"ID": "t1", "ESSN": "e2",
+                                     "DEPENDENT_NAME": "Renamed"}),
+            ],
+        )
+        assert changeset.tuples_added == ()
+        assert changeset.tuples_removed == ()
+        assert changeset.tuples_updated == ()
+        assert changeset.tuples_replaced == (tid("DEPENDENT", "t1"),)
+        # The edge moved from e3 to e2.
+        assert [e.referenced for e in changeset.edges_removed] == [
+            tid("EMPLOYEE", "e3")
+        ]
+        assert [e.referenced for e in changeset.edges_added] == [
+            tid("EMPLOYEE", "e2")
+        ]
+
+
+class TestValidationAndRollback:
+    def test_dangling_insert_rejected(self, company_db):
+        with pytest.raises(ForeignKeyError):
+            apply_to_database(
+                company_db,
+                [Insert("DEPENDENT", {"ID": "t9", "ESSN": "e99",
+                                      "DEPENDENT_NAME": "Nora"})],
+            )
+
+    def test_validates_even_when_enforcement_is_off(self, company_db):
+        company_db.enforce_foreign_keys = False
+        with pytest.raises(ForeignKeyError):
+            apply_to_database(
+                company_db,
+                [Insert("DEPENDENT", {"ID": "t9", "ESSN": "e99",
+                                      "DEPENDENT_NAME": "Nora"})],
+            )
+        assert company_db.enforce_foreign_keys is False
+
+    def test_delete_of_referenced_tuple_rejected(self, company_db):
+        with pytest.raises(IntegrityError, match="still referenced"):
+            apply_to_database(company_db, [Delete(tid("EMPLOYEE", "e1"))])
+
+    def test_failed_batch_rolls_back_completely(self, company_db):
+        before = {record.tid: dict(record.values)
+                  for record in company_db.all_tuples()}
+        with pytest.raises(PrimaryKeyError):
+            apply_to_database(
+                company_db,
+                [
+                    Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                         "DEPENDENT_NAME": "Nora"}),
+                    Update(tid("DEPARTMENT", "d1"),
+                           {"D_DESCRIPTION": "changed"}),
+                    Delete(tid("DEPENDENT", "t2")),
+                    # Fails: duplicate primary key.
+                    Insert("DEPENDENT", {"ID": "t1", "ESSN": "e1",
+                                         "DEPENDENT_NAME": "Dup"}),
+                ],
+            )
+        after = {record.tid: dict(record.values)
+                 for record in company_db.all_tuples()}
+        assert after == before
+
+    def test_rollback_restores_updated_values(self, company_db):
+        original = dict(company_db.tuple(tid("DEPARTMENT", "d1")).values)
+        with pytest.raises(IntegrityError):
+            apply_to_database(
+                company_db,
+                [
+                    Update(tid("DEPARTMENT", "d1"),
+                           {"D_DESCRIPTION": "changed"}),
+                    Delete(tid("EMPLOYEE", "e1")),  # referenced -> fails
+                ],
+            )
+        assert dict(company_db.tuple(tid("DEPARTMENT", "d1")).values) == original
+
+    def test_rollback_restores_store_order(self, company_db):
+        before = [record.tid for record in company_db.all_tuples()]
+        with pytest.raises(PrimaryKeyError):
+            apply_to_database(
+                company_db,
+                [
+                    Delete(tid("DEPENDENT", "t1")),  # mid-store delete
+                    # Fails: duplicate primary key.
+                    Insert("DEPENDENT", {"ID": "t2", "ESSN": "e1",
+                                         "DEPENDENT_NAME": "Dup"}),
+                ],
+            )
+        # Not just the same tuple set — the same store *order*: posting
+        # order and answer enumeration observe it.
+        assert [record.tid for record in company_db.all_tuples()] == before
+
+    def test_live_index_still_fresh_after_failed_batch(self, company_db):
+        from repro.live.maintain import apply_to_index
+        from repro.relational.index import InvertedIndex
+
+        index = InvertedIndex(company_db)
+        with pytest.raises(PrimaryKeyError):
+            apply_to_database(
+                company_db,
+                [
+                    Delete(tid("DEPENDENT", "t1")),
+                    Insert("DEPENDENT", {"ID": "t2", "ESSN": "e1",
+                                         "DEPENDENT_NAME": "Dup"}),
+                ],
+            )
+        changeset = apply_to_database(
+            company_db,
+            [Insert("DEPENDENT", {"ID": "t9", "ESSN": "e3",
+                                  "DEPENDENT_NAME": "Nora"})],
+        )
+        apply_to_index(index, company_db, changeset)
+        fresh = InvertedIndex(company_db)
+        assert index.vocabulary() == fresh.vocabulary()
+        for token in fresh.vocabulary():
+            assert index.postings(token) == fresh.postings(token), token
+
+    def test_pk_update_rejected(self, company_db):
+        with pytest.raises(PrimaryKeyError):
+            apply_to_database(
+                company_db, [Update(tid("DEPARTMENT", "d1"), {"ID": "d9"})]
+            )
+
+    def test_unknown_mutation_type_rejected(self, company_db):
+        with pytest.raises(MutationError):
+            apply_to_database(company_db, ["not a mutation"])
+
+
+class TestReplayFormat:
+    def test_json_round_trip(self):
+        insert = mutation_from_json(
+            {"op": "insert", "relation": "DEPENDENT",
+             "values": {"ID": "t9"}, "label": "t9"}
+        )
+        assert insert == Insert("DEPENDENT", {"ID": "t9"}, "t9")
+        update = mutation_from_json(
+            {"op": "update", "relation": "DEPARTMENT", "key": ["d1"],
+             "values": {"D_DESCRIPTION": "x"}}
+        )
+        assert update == Update(tid("DEPARTMENT", "d1"),
+                                {"D_DESCRIPTION": "x"})
+        delete = mutation_from_json(
+            {"op": "delete", "relation": "DEPENDENT", "key": ["t1"]}
+        )
+        assert delete == Delete(tid("DEPENDENT", "t1"))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(MutationError):
+            mutation_from_json({"op": "upsert"})
+
+    def test_flat_file_becomes_one_batch(self, tmp_path):
+        path = tmp_path / "muts.json"
+        path.write_text(
+            '[{"op": "delete", "relation": "DEPENDENT", "key": ["t1"]}]'
+        )
+        batches = load_mutation_batches(str(path))
+        assert batches == [[Delete(tid("DEPENDENT", "t1"))]]
+
+    def test_malformed_batch_shape_rejected(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text('[{"op": "delete", "relation": "DEPENDENT", '
+                        '"key": ["t1"]}, [1, 2]]')
+        with pytest.raises(MutationError, match="batch"):
+            load_mutation_batches(str(path))
+
+    def test_missing_fields_rejected_with_context(self):
+        with pytest.raises(MutationError, match="malformed"):
+            mutation_from_json({"op": "update", "relation": "DEPARTMENT"})
+        with pytest.raises(MutationError, match="malformed"):
+            mutation_from_json({"op": "delete", "relation": "X", "key": 3})
+
+    def test_rollback_survives_dangling_fk_on_unenforced_database(
+        self, db_schema
+    ):
+        from repro.relational.database import Database
+
+        database = Database(db_schema, enforce_foreign_keys=False)
+        # Legal in bulk-load mode: a dependent whose employee FK dangles.
+        database.insert("DEPENDENT", {"ID": "dx", "ESSN": "e99",
+                                      "DEPENDENT_NAME": "Nora"})
+        before = {record.tid: dict(record.values)
+                  for record in database.all_tuples()}
+        with pytest.raises(IntegrityError):
+            apply_to_database(
+                database,
+                [
+                    Delete(tid("DEPENDENT", "dx")),
+                    Delete(tid("DEPENDENT", "dx")),  # fails: already gone
+                ],
+            )
+        # The rollback re-insert of dx must not be re-validated (its
+        # dangling FK was legal) — the tuple is restored, not lost.
+        after = {record.tid: dict(record.values)
+                 for record in database.all_tuples()}
+        assert after == before
+        assert database.enforce_foreign_keys is False

@@ -1,0 +1,183 @@
+"""Incremental maintainers equal a full rebuild, structure by structure."""
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.fast_traversal import TraversalCache
+from repro.live.changes import Delete, Insert, Update, apply_to_database
+from repro.live.maintain import (
+    affected_tuples,
+    apply_changeset,
+    apply_to_traversal_cache,
+)
+from repro.relational.database import TupleId
+from repro.relational.index import InvertedIndex
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+def graph_signature(data_graph):
+    graph = data_graph.graph
+    nodes = sorted((str(n), data["relation"]) for n, data in graph.nodes(data=True))
+    edges = sorted(
+        (str(u), str(v), key, data["foreign_key"].name, str(data["referencing"]))
+        for u, v, key, data in graph.edges(keys=True, data=True)
+    )
+    return nodes, edges
+
+
+def index_signature(index):
+    return {
+        token: list(index.postings(token)) for token in index.vocabulary()
+    }
+
+
+BATCH = [
+    Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Nora"}),
+    Update(tid("DEPARTMENT", "d2"), {"D_DESCRIPTION": "Quantum projects"}),
+    Update(tid("DEPENDENT", "t2"), {"ESSN": "e1"}),
+    Delete(tid("DEPENDENT", "t1")),
+]
+
+
+class TestMaintainers:
+    def test_index_equals_fresh_build(self, company_db):
+        index = InvertedIndex(company_db)
+        changeset = apply_to_database(company_db, BATCH)
+        apply_changeset(changeset, company_db, index=index)
+        assert index_signature(index) == index_signature(
+            InvertedIndex(company_db)
+        )
+
+    def test_index_after_delete_reinsert_equals_fresh_build(self, company_db):
+        # A replace moves the tuple to the relation's store tail; its
+        # posting position must follow (posting order included).
+        index = InvertedIndex(company_db)
+        changeset = apply_to_database(
+            company_db,
+            [
+                Delete(tid("DEPENDENT", "t1")),
+                Insert("DEPENDENT", {"ID": "t1", "ESSN": "e2",
+                                     "DEPENDENT_NAME": "Renamed"}),
+            ],
+        )
+        assert changeset.tuples_replaced == (tid("DEPENDENT", "t1"),)
+        apply_changeset(changeset, company_db, index=index)
+        assert index_signature(index) == index_signature(
+            InvertedIndex(company_db)
+        )
+
+    def test_graph_equals_fresh_build(self, company_db):
+        data_graph = DataGraph(company_db)
+        changeset = apply_to_database(company_db, BATCH)
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        assert graph_signature(data_graph) == graph_signature(
+            DataGraph(company_db)
+        )
+
+    def test_conceptual_view_patched_not_stale(self, company_db):
+        data_graph = DataGraph(company_db)
+        stale = data_graph.conceptual_graph()
+        changeset = apply_to_database(
+            company_db,
+            [Insert("WORKS_FOR",
+                    {"ESSN": "e3", "P_ID": "p1", "HOURS": 5})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        fresh = data_graph.conceptual_graph()
+        assert fresh is not stale
+        assert fresh.has_edge(tid("EMPLOYEE", "e3"), tid("PROJECT", "p1"))
+
+
+class TestTraversalCacheInvalidation:
+    def test_only_touched_component_maps_drop(self, company_db):
+        # Add an isolated department: its component is separate from the
+        # main one, so its distance map must survive mutations elsewhere.
+        company_db.insert("DEPARTMENT", {"ID": "d9", "D_NAME": "isolated"})
+        data_graph = DataGraph(company_db)
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("DEPARTMENT", "d9"))
+        cache.distances(tid("EMPLOYEE", "e1"))
+        changeset = apply_to_database(
+            company_db,
+            [Insert("DEPENDENT",
+                    {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Nora"})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        dropped = apply_to_traversal_cache(cache, changeset)
+        assert dropped == 1  # only the main component's map
+        cache.hits = cache.misses = 0
+        cache.distances(tid("DEPARTMENT", "d9"))
+        assert cache.hits == 1 and cache.misses == 0
+        cache.distances(tid("EMPLOYEE", "e1"))
+        assert cache.misses == 1
+
+    def test_value_only_update_keeps_every_map(self, company_db):
+        data_graph = DataGraph(company_db)
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("EMPLOYEE", "e1"))
+        cache.expansions(tid("DEPARTMENT", "d1"))
+        changeset = apply_to_database(
+            company_db,
+            [Update(tid("DEPARTMENT", "d1"), {"D_DESCRIPTION": "robotics"})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        assert apply_to_traversal_cache(cache, changeset) == 0
+        cache.hits = cache.misses = 0
+        cache.distances(tid("EMPLOYEE", "e1"))
+        assert cache.hits == 1 and cache.misses == 0
+        assert tid("DEPARTMENT", "d1") in cache._expansions
+
+    def test_adjacency_dropped_for_endpoints_only(self, company_db):
+        data_graph = DataGraph(company_db)
+        cache = TraversalCache(data_graph)
+        cache.expansions(tid("EMPLOYEE", "e1"))
+        cache.expansions(tid("EMPLOYEE", "e3"))
+        changeset = apply_to_database(
+            company_db,
+            [Insert("DEPENDENT",
+                    {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Nora"})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        cache.invalidate_tuples(changeset.touched())
+        assert tid("EMPLOYEE", "e1") not in cache._expansions
+        assert tid("EMPLOYEE", "e3") in cache._expansions
+        # Re-derived expansion sees the new edge.
+        others = [other for other, __, __ in
+                  cache.expansions(tid("EMPLOYEE", "e1"))]
+        assert tid("DEPENDENT", "t9") in others
+
+
+class TestAffectedTuples:
+    def test_structural_change_taints_whole_component(self, company_db):
+        data_graph = DataGraph(company_db)
+        changeset = apply_to_database(
+            company_db,
+            [Insert("DEPENDENT",
+                    {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Nora"})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        affected = affected_tuples(data_graph, changeset)
+        # Everything is one component in the running example.
+        assert tid("DEPARTMENT", "d2") in affected
+        assert tid("DEPENDENT", "t9") in affected
+
+    def test_value_update_taints_only_the_tuple(self, company_db):
+        data_graph = DataGraph(company_db)
+        changeset = apply_to_database(
+            company_db,
+            [Update(tid("DEPARTMENT", "d1"), {"D_DESCRIPTION": "robotics"})],
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        affected = affected_tuples(data_graph, changeset)
+        assert affected == frozenset({tid("DEPARTMENT", "d1")})
+
+    def test_removed_tuple_still_reported_affected(self, company_db):
+        data_graph = DataGraph(company_db)
+        changeset = apply_to_database(
+            company_db, [Delete(tid("DEPENDENT", "t1"))]
+        )
+        apply_changeset(changeset, company_db, data_graph=data_graph)
+        affected = affected_tuples(data_graph, changeset)
+        assert tid("DEPENDENT", "t1") in affected
+        assert tid("EMPLOYEE", "e3") in affected

@@ -1,0 +1,128 @@
+"""Unit tests for the dependency-tracked answer cache."""
+
+from repro.core.engine import KeywordSearchEngine
+from repro.live.changes import Delete, Insert, Update
+from repro.live.result_cache import CacheEntry, ResultCache
+from repro.relational.database import TupleId
+
+
+def tid(relation, *key):
+    return TupleId(relation, tuple(key))
+
+
+def entry(keywords=("x",), footprint=(), fingerprint=((),), volatile=False):
+    return CacheEntry(
+        results=(),
+        stats=None,
+        keywords=tuple(keywords),
+        footprint=frozenset(footprint),
+        fingerprint=tuple(fingerprint),
+        volatile=volatile,
+    )
+
+
+class TestLruMechanics:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.lookup("k") is None
+        cache.store("k", entry())
+        assert cache.lookup("k") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.store("a", entry())
+        cache.store("b", entry())
+        cache.lookup("a")  # refresh a; b becomes LRU
+        cache.store("c", entry())
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") is not None
+        assert cache.stats.evicted == 1
+
+    def test_zero_entries_disables_cache(self):
+        cache = ResultCache(max_entries=0)
+        cache.store("a", entry())
+        assert len(cache) == 0
+        assert cache.lookup("a") is None
+
+
+class TestInvalidation:
+    def test_footprint_intersection_drops_entry(self, index):
+        cache = ResultCache()
+        cache.store("hit", entry(keywords=("smith",),
+                                 footprint=[tid("EMPLOYEE", "e1")],
+                                 fingerprint=(index.matching_tuples("smith"),)))
+        cache.store("survives", entry(keywords=("smith",),
+                                      footprint=[tid("EMPLOYEE", "e3")],
+                                      fingerprint=(index.matching_tuples("smith"),)))
+        dropped = cache.invalidate({tid("EMPLOYEE", "e1")}, index)
+        assert dropped == 1
+        assert cache.lookup("survives") is not None
+        assert cache.lookup("hit") is None
+
+    def test_fingerprint_change_drops_entry(self, company_db, index):
+        cache = ResultCache()
+        cache.store("q", entry(keywords=("smith",),
+                               footprint=[tid("EMPLOYEE", "e1")],
+                               fingerprint=(index.matching_tuples("smith"),)))
+        # A new tuple matching "smith" in an untouched spot of the graph:
+        # the footprint misses it, the fingerprint must not.
+        record = company_db.insert(
+            "DEPENDENT", {"ID": "t9", "ESSN": "e3", "DEPENDENT_NAME": "Smith"}
+        )
+        index.add_tuple(record)
+        dropped = cache.invalidate(set(), index)
+        assert dropped == 1
+
+    def test_volatile_entry_drops_on_any_change(self, index):
+        cache = ResultCache()
+        cache.store("tfidf", entry(volatile=True))
+        assert cache.invalidate({tid("EMPLOYEE", "e1")}, index) == 1
+
+
+class TestEngineIntegration:
+    def test_unrelated_component_keeps_entry(self, company_db):
+        # Two disconnected worlds: the running example plus an isolated
+        # department.  Mutating the isolated one must not invalidate
+        # cached answers from the main component.
+        company_db.insert(
+            "DEPARTMENT", {"ID": "d9", "D_NAME": "solo",
+                           "D_DESCRIPTION": "isolated island"}
+        )
+        engine = KeywordSearchEngine(company_db)
+        engine.search("Smith XML")
+        engine.search("island")
+        assert engine.result_cache.stats.stores == 2
+        engine.apply([Update(tid("DEPARTMENT", "d9"),
+                             {"D_DESCRIPTION": "still isolated island"})])
+        assert engine.result_cache.stats.invalidated == 1  # only "island"
+        engine.search("Smith XML")
+        assert engine.result_cache.stats.hits == 1
+
+    def test_hit_replays_identical_results_and_stats(self, engine):
+        cold = engine.search("Smith XML", top_k=3)
+        cold_stats = engine.last_stats
+        warm = engine.search("Smith XML", top_k=3)
+        assert [(r.render(), r.score, r.rank) for r in warm] == [
+            (r.render(), r.score, r.rank) for r in cold
+        ]
+        assert engine.last_stats == cold_stats
+        assert engine.last_stats is not cold_stats
+
+    def test_mutation_then_search_reflects_change(self, engine):
+        before = engine.search("Nora")
+        assert before == []
+        engine.apply([Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                           "DEPENDENT_NAME": "Nora"})])
+        after = engine.search("Nora")
+        assert len(after) == 1
+        assert "t9" in after[0].render()
+
+    def test_delete_invalidates_and_disappears(self, engine):
+        engine.search("Alice")  # t1's dependent name in the running example
+        engine.apply([Delete(tid("DEPENDENT", "t1"))])
+        fresh = KeywordSearchEngine(engine.database)
+        assert [r.render() for r in engine.search("Alice")] == [
+            r.render() for r in fresh.search("Alice")
+        ]

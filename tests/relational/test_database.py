@@ -195,3 +195,41 @@ class TestTupleClass:
     def test_tid_str(self):
         assert str(TupleId("EMPLOYEE", ("e1",))) == "EMPLOYEE(e1)"
         assert str(TupleId("WORKS_FOR", ("e1", "p1"))) == "WORKS_FOR(e1,p1)"
+
+
+class TestUpdate:
+    def test_update_changes_values_in_place(self, company_db):
+        tid = TupleId("DEPARTMENT", ("d1",))
+        record = company_db.tuple(tid)
+        company_db.update(tid, {"D_DESCRIPTION": "robotics"})
+        assert record["D_DESCRIPTION"] == "robotics"
+        assert company_db.tuple(tid) is record
+
+    def test_update_rejects_unknown_attribute(self, company_db):
+        with pytest.raises(UnknownAttributeError):
+            company_db.update(
+                TupleId("DEPARTMENT", ("d1",)), {"NO_SUCH": 1}
+            )
+
+    def test_update_rejects_pk_change(self, company_db):
+        with pytest.raises(PrimaryKeyError):
+            company_db.update(TupleId("DEPARTMENT", ("d1",)), {"ID": "d9"})
+
+    def test_update_allows_equal_pk_value(self, company_db):
+        company_db.update(
+            TupleId("DEPARTMENT", ("d1",)),
+            {"ID": "d1", "D_DESCRIPTION": "same key"},
+        )
+
+    def test_update_validates_changed_foreign_keys(self, company_db):
+        with pytest.raises(ForeignKeyError):
+            company_db.update(TupleId("DEPENDENT", ("t1",)), {"ESSN": "e99"})
+
+    def test_delete_referenced_error_is_clear(self, company_db):
+        with pytest.raises(IntegrityError, match="still referenced") as exc:
+            company_db.delete(TupleId("EMPLOYEE", ("e1",)))
+        # The message names the victim and (some of) its referencers, so
+        # the caller can resolve the conflict instead of corrupting the
+        # graph by forcing the delete.
+        assert "e1" in str(exc.value)
+        assert company_db.get("EMPLOYEE", "e1") is not None

@@ -131,3 +131,58 @@ class TestMaintenance:
         database.insert("DEPARTMENT", {"ID": "dx"})
         index = InvertedIndex(database)
         assert index.document_frequency("dx") == 1  # only the key itself
+
+
+class TestIncrementalRoundTrip:
+    """remove_tuple + add_tuple must leave the index equal to a fresh
+    build() — posting order included (the live subsystem relies on it)."""
+
+    def equal_to_fresh(self, index, database):
+        fresh = InvertedIndex(database)
+        if index.vocabulary() != fresh.vocabulary():
+            return False
+        return all(
+            index.postings(token) == fresh.postings(token)
+            for token in fresh.vocabulary()
+        )
+
+    def test_remove_readd_company(self, company_db, index):
+        import random
+
+        rng = random.Random(7)
+        records = list(company_db.all_tuples())
+        for record in rng.sample(records, 8):
+            index.remove_tuple(record.tid)
+            index.add_tuple(record)
+            assert self.equal_to_fresh(index, company_db)
+
+    def test_remove_readd_random_synthetic(self, small_synthetic):
+        import random
+
+        rng = random.Random(23)
+        index = InvertedIndex(small_synthetic)
+        records = list(small_synthetic.all_tuples())
+        # Remove a random block, then re-add in a shuffled order.
+        block = rng.sample(records, 10)
+        for record in block:
+            index.remove_tuple(record.tid)
+        rng.shuffle(block)
+        for record in block:
+            index.add_tuple(record)
+        assert self.equal_to_fresh(index, small_synthetic)
+
+    def test_incremental_add_after_database_insert(self, company_db, index):
+        record = company_db.insert(
+            "DEPENDENT", {"ID": "t9", "ESSN": "e1", "DEPENDENT_NAME": "Smith"}
+        )
+        index.add_tuple(record)
+        assert self.equal_to_fresh(index, company_db)
+        assert index.document_frequency("smith") == 3
+
+    def test_incremental_remove_after_database_delete(self, company_db, index):
+        from repro.relational.database import TupleId
+
+        tid = TupleId("DEPENDENT", ("t1",))
+        company_db.delete(tid)
+        index.remove_tuple(tid)
+        assert self.equal_to_fresh(index, company_db)
