@@ -84,7 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(incompatible with --batch/--group)")
     search.add_argument("--slow", action="store_true",
                         help="use the brute-force networkx traversal instead "
-                             "of the pruned fast path (for comparison)")
+                             "of the compiled kernels (same as "
+                             "--core reference)")
+    search.add_argument("--core", choices=("csr", "fast", "reference"),
+                        default=None,
+                        help="traversal kernel: csr (compiled integer "
+                             "kernels, default), fast (pruned TupleId "
+                             "core) or reference (brute force) — answers "
+                             "are identical, only speed differs")
     search.add_argument("--mutations", metavar="FILE",
                         help="JSON mutation batches replayed through "
                              "engine.apply between two runs of QUERY; prints "
@@ -216,7 +223,9 @@ def _search_with_mutations(engine, args, ranker, limits, out) -> int:
 
 def _cmd_search(args: argparse.Namespace, out) -> int:
     engine = KeywordSearchEngine(
-        _load_database(args.db), use_fast_traversal=not args.slow
+        _load_database(args.db),
+        use_fast_traversal=not args.slow,
+        core=args.core,
     )
     ranker = _RANKERS[args.ranker]()
     limits = SearchLimits(max_rdb_length=args.max_rdb)

@@ -49,6 +49,7 @@ from repro.core.plan import QueryPlan, plan_query
 from repro.core.ranking import ClosenessRanker, Ranker
 from repro.core.search import JoiningNetwork, SearchLimits, SingleTupleAnswer
 from repro.errors import MutationError, QueryError
+from repro.graph.csr import resolve_core
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import TraversalCache
 from repro.live.changes import ChangeSet, Mutation, apply_to_database
@@ -72,13 +73,21 @@ class KeywordSearchEngine:
         limits: SearchLimits = SearchLimits(),
         use_fast_traversal: bool = True,
         result_cache_entries: int = 256,
+        core: Optional[str] = None,
     ) -> None:
         self.database = database
         self.data_graph = DataGraph(database)
         self.index = InvertedIndex(database)
         self.ranker = ranker or ClosenessRanker()
         self.limits = limits
-        self.use_fast_traversal = use_fast_traversal
+        #: Traversal kernel every query runs on: ``csr`` (compiled
+        #: integer kernels, the default), ``fast`` (pruned TupleId
+        #: core) or ``reference`` (brute-force networkx) — answers are
+        #: bit-identical across all three.  ``use_fast_traversal`` is
+        #: the legacy boolean spelling (``False`` → ``reference``);
+        #: ``core`` wins when both are given.
+        self.core = resolve_core(use_fast_traversal, core)
+        self.use_fast_traversal = self.core != "reference"
         self.traversal_cache = TraversalCache(self.data_graph)
         #: Counters of the most recent search/stream/batch call (the
         #: CLI's ``--top`` report and the pipeline benchmark read them).
@@ -122,7 +131,7 @@ class KeywordSearchEngine:
     def _executor(self, shared: Optional[SharedEnumerations] = None) -> Executor:
         return Executor(
             self.data_graph,
-            use_fast_traversal=self.use_fast_traversal,
+            core=self.core,
             cache=self.traversal_cache,
             shared=shared,
         )

@@ -62,6 +62,11 @@ from repro.core.search import (
     SingleTupleAnswer,
     _keyword_map,
 )
+from repro.graph.csr import (
+    csr_enumerate_joining_trees,
+    csr_enumerate_simple_paths,
+    resolve_core,
+)
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import (
     SharedStream,
@@ -85,7 +90,7 @@ __all__ = [
 AnswerType = Union[Connection, JoiningNetwork, SingleTupleAnswer]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SearchResult:
     """One ranked answer: the answer object, its score and its rank."""
 
@@ -97,7 +102,7 @@ class SearchResult:
         return self.answer.render()
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionStats:
     """Observability for one plan execution.
 
@@ -164,11 +169,17 @@ class Executor:
         data_graph: DataGraph,
         *,
         use_fast_traversal: bool = True,
+        core: Optional[str] = None,
         cache: Optional[TraversalCache] = None,
         shared: Optional[SharedEnumerations] = None,
     ) -> None:
         self.data_graph = data_graph
-        self.use_fast_traversal = use_fast_traversal
+        #: Traversal kernel: ``csr`` (compiled integer kernels, the
+        #: default), ``fast`` (pruned TupleId core) or ``reference``
+        #: (brute-force networkx).  ``use_fast_traversal`` is the legacy
+        #: boolean selector; ``core`` wins when both are given.
+        self.core = resolve_core(use_fast_traversal, core)
+        self.use_fast_traversal = self.core != "reference"
         if cache is None or cache.data_graph is not data_graph:
             cache = TraversalCache(data_graph)
         self.cache = cache
@@ -244,9 +255,18 @@ class Executor:
             target,
             limits.max_rdb_length,
             limits.max_paths_per_pair,
-            self.use_fast_traversal,
+            self.core,
         )
-        if self.use_fast_traversal:
+        if self.core == "csr":
+            factory = lambda: csr_enumerate_simple_paths(
+                self.data_graph,
+                source,
+                target,
+                limits.max_rdb_length,
+                max_paths=limits.max_paths_per_pair,
+                cache=self.cache,
+            )
+        elif self.core == "fast":
             factory = lambda: fast_enumerate_simple_paths(
                 self.data_graph,
                 source,
@@ -273,9 +293,17 @@ class Executor:
             required,
             limits.max_tuples,
             limits.max_networks,
-            self.use_fast_traversal,
+            self.core,
         )
-        if self.use_fast_traversal:
+        if self.core == "csr":
+            factory = lambda: csr_enumerate_joining_trees(
+                self.data_graph,
+                list(required),
+                limits.max_tuples,
+                max_results=limits.max_networks,
+                cache=self.cache,
+            )
+        elif self.core == "fast":
             factory = lambda: fast_enumerate_joining_trees(
                 self.data_graph,
                 list(required),

@@ -75,7 +75,7 @@ def lower_bound_for(ranker: Ranker, rdb_length: int) -> Optional[tuple[float, ..
     return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SingleScan:
     """Emit one :class:`SingleTupleAnswer` per distinct matched tuple.
 
@@ -86,7 +86,7 @@ class SingleScan:
     indices: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PairPaths:
     """Enumerate simple tuple paths between two keywords' match tuples.
 
@@ -100,14 +100,14 @@ class PairPaths:
     include_single_tuples: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkGrowth:
     """Grow joining networks covering one match tuple per keyword."""
 
     indices: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Merge:
     """How source streams combine.
 
@@ -118,7 +118,7 @@ class Merge:
     coverage_major: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cut:
     """Top-k truncation after ranking; ``k=None`` keeps everything."""
 
@@ -128,7 +128,7 @@ class Cut:
 PlanSource = Union[SingleScan, PairPaths, NetworkGrowth]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryPlan:
     """One compiled query: resolved matches plus the stage pipeline."""
 

@@ -28,6 +28,11 @@ from repro.core import ambiguity as ambiguity_module
 from repro.core.connections import Connection
 from repro.core.matching import KeywordMatch
 from repro.errors import QueryError
+from repro.graph.csr import (
+    csr_enumerate_joining_trees,
+    csr_enumerate_simple_paths,
+    resolve_core,
+)
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import (
     TraversalCache,
@@ -36,6 +41,7 @@ from repro.graph.fast_traversal import (
 )
 from repro.graph.traversal import (
     TuplePathStep,
+    _sort_key,
     enumerate_joining_trees,
     enumerate_simple_paths,
 )
@@ -137,7 +143,15 @@ class JoiningNetwork:
         self._paths: Optional[tuple[Connection, ...]] = None
 
     def _spanning_tree(self) -> nx.Graph:
-        induced = self.data_graph.induced_subgraph(self.tuples)
+        # networkx preserves the node order it is handed, and the
+        # minimum-spanning-tree tie-break among equal-weight edges
+        # follows it.  ``self.tuples`` is a frozenset whose iteration
+        # order depends on the process hash seed *and* on how the
+        # enumeration core assembled it — inducing over a sorted list
+        # pins one deterministic tree for every core and every run.
+        induced = self.data_graph.induced_subgraph(
+            sorted(self.tuples, key=_sort_key)
+        )
         simple = nx.Graph()
         simple.add_nodes_from(induced.nodes)
         for left, right, key, data in sorted(
@@ -249,6 +263,7 @@ def find_connections(
     include_single_tuples: bool = True,
     *,
     use_fast_traversal: bool = True,
+    core: Optional[str] = None,
     cache: Optional[TraversalCache] = None,
 ) -> Iterator[Connection | SingleTupleAnswer]:
     """Enumerate path answers for a two-keyword query (AND semantics).
@@ -258,10 +273,13 @@ def find_connections(
     first per pair), plus :class:`SingleTupleAnswer` for tuples matching
     both keywords when ``include_single_tuples``.
 
-    ``use_fast_traversal`` (default on) enumerates through the pruned
-    traversal core; answers and order are identical to the brute-force
-    path, only faster.  Pass a :class:`TraversalCache` to share adjacency
-    and distance maps across calls — the engine passes its own.
+    ``core`` selects the traversal kernel (``"csr"`` compiled integer
+    kernels — the default, ``"fast"`` pruned TupleId core,
+    ``"reference"`` brute force); ``use_fast_traversal=False`` is the
+    legacy spelling of ``core="reference"``.  Answers and order are
+    identical across cores, only the speed differs.  Pass a
+    :class:`TraversalCache` to share adjacency, distance maps and the
+    compiled CSR graph across calls — the engine passes its own.
 
     Raises :class:`~repro.errors.QueryError` unless exactly two keyword
     matches are supplied — use :func:`find_joining_networks` otherwise.
@@ -271,7 +289,8 @@ def find_connections(
             "find_connections needs exactly two keywords",
             keywords=[m.keyword for m in matches],
         )
-    if use_fast_traversal and cache is None:
+    core = resolve_core(use_fast_traversal, core)
+    if core != "reference" and cache is None:
         cache = TraversalCache(data_graph)
     first, second = matches
     if include_single_tuples:
@@ -285,7 +304,16 @@ def find_connections(
         for target in second.tuple_ids:
             if source == target:
                 continue
-            if use_fast_traversal:
+            if core == "csr":
+                paths = csr_enumerate_simple_paths(
+                    data_graph,
+                    source,
+                    target,
+                    limits.max_rdb_length,
+                    max_paths=limits.max_paths_per_pair,
+                    cache=cache,
+                )
+            elif core == "fast":
                 paths = fast_enumerate_simple_paths(
                     data_graph,
                     source,
@@ -315,6 +343,7 @@ def find_joining_networks(
     limits: SearchLimits = SearchLimits(),
     *,
     use_fast_traversal: bool = True,
+    core: Optional[str] = None,
     cache: Optional[TraversalCache] = None,
 ) -> Iterator[JoiningNetwork]:
     """Enumerate joining networks for a query with any number of keywords.
@@ -325,7 +354,7 @@ def find_joining_networks(
     the same tuple set with different keyword bindings; both are yielded —
     deduplication by tuple set is the caller's choice.
 
-    ``use_fast_traversal`` / ``cache`` behave as in
+    ``core`` / ``use_fast_traversal`` / ``cache`` behave as in
     :func:`find_connections`; the cache pays off especially here because
     every keyword-tuple assignment shares its distance maps.
     """
@@ -333,7 +362,8 @@ def find_joining_networks(
         raise QueryError("no keywords to search")
     if any(match.is_empty for match in matches):
         return
-    if use_fast_traversal and cache is None:
+    core = resolve_core(use_fast_traversal, core)
+    if core != "reference" and cache is None:
         cache = TraversalCache(data_graph)
     seen: set[tuple[frozenset[TupleId], tuple[tuple[str, TupleId], ...]]] = set()
     assignments = product(*(match.tuple_ids for match in matches))
@@ -342,7 +372,15 @@ def find_joining_networks(
             match.keyword: tid for match, tid in zip(matches, assignment)
         }
         required = list(dict.fromkeys(assignment))
-        if use_fast_traversal:
+        if core == "csr":
+            tuple_sets = csr_enumerate_joining_trees(
+                data_graph,
+                required,
+                limits.max_tuples,
+                max_results=limits.max_networks,
+                cache=cache,
+            )
+        elif core == "fast":
             tuple_sets = fast_enumerate_joining_trees(
                 data_graph,
                 required,

@@ -53,6 +53,7 @@ def top_k_connections(
     limits: SearchLimits = SearchLimits(),
     *,
     use_fast_traversal: bool = True,
+    core: Optional[str] = None,
     cache: Optional[TraversalCache] = None,
 ) -> list[tuple[Connection, tuple[float, ...]]]:
     """The best ``k`` connections under ``ranker``, with early termination.
@@ -86,7 +87,7 @@ def top_k_connections(
         cut=Cut(k),
     )
     executor = Executor(
-        data_graph, use_fast_traversal=use_fast_traversal, cache=cache
+        data_graph, use_fast_traversal=use_fast_traversal, core=core, cache=cache
     )
     return [
         (result.answer, result.score)

@@ -7,12 +7,22 @@
   tuples;
 * :mod:`repro.graph.traversal` — bounded enumeration of paths and joining
   trees used by the search engines;
-* :mod:`repro.graph.fast_traversal` — the pruned, cache-backed fast path
-  producing identical answers (the engine's default).
+* :mod:`repro.graph.fast_traversal` — the pruned, cache-backed TupleId
+  core producing identical answers;
+* :mod:`repro.graph.csr` — the compiled integer-interned CSR kernel
+  (the engine's default core), bit-identical again and patched in place
+  by live updates.
 """
 
 from repro.graph.schema_graph import SchemaGraph
+from repro.graph.csr import FrozenGraph, resolve_core
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import TraversalCache
 
-__all__ = ["DataGraph", "SchemaGraph", "TraversalCache"]
+__all__ = [
+    "DataGraph",
+    "FrozenGraph",
+    "SchemaGraph",
+    "TraversalCache",
+    "resolve_core",
+]

@@ -1,0 +1,607 @@
+"""Compiled CSR graph kernel: the integer-interned traversal core.
+
+The pruned core in :mod:`repro.graph.fast_traversal` already avoids the
+brute-force traversal's re-sorting and re-BFS-ing, but it still walks
+:class:`~repro.relational.database.TupleId` objects: every expansion
+hashes composite dataclass keys, every distance lookup is a dict probe,
+and every visited test hashes a tuple id into a set.  This module
+compiles the graph **once** into a flat integer form and runs the
+kernels entirely on dense ints:
+
+* **Interning.**  Tuple ids are interned to dense ints in
+  ``_sort_key`` order, so comparing ints *is* comparing the
+  deterministic expansion order the other cores sort by.
+* **CSR adjacency.**  One ``array('i')`` of offsets and one of targets,
+  plus a parallel edge-payload table (edge key strings and edge data
+  dicts, shared with the underlying networkx graph) holding each node's
+  incident edges pre-sorted in expansion order.
+* **Array distance maps.**  BFS distance maps are flat ``array('i')``
+  rows indexed by node int — the admissible-pruning lookup in the DFS
+  inner loop becomes a C array index instead of a dict probe.
+* **Zero-copy DFS.**  Path enumeration keeps one shared ``bytearray``
+  of visited marks and one mutable path stack, pushing and undoing in
+  place; per-expansion ``visited | {other}`` / ``path + [...]`` copies
+  disappear.  Tuple ids and :class:`TuplePathStep` objects are
+  materialised only at yield boundaries.
+* **Incremental patching.**  An applied changeset patches the interning
+  table and adjacency in place — removed nodes are tombstoned, new
+  nodes appended, and only the touched nodes' adjacency is re-sorted
+  into per-node side tables.  When the patched fraction crosses
+  :attr:`FrozenGraph.compaction_threshold` the whole structure is
+  recompiled (compaction), so a long-lived served engine never degrades
+  into a pile of overrides.
+
+The output contract is the one the differential tests enforce for every
+core: same answers, same order, same
+:class:`~repro.errors.SearchLimitError` budget points as
+:mod:`repro.graph.traversal` and :mod:`repro.graph.fast_traversal`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import QueryError, SearchLimitError
+from repro.graph.data_graph import DataGraph
+from repro.graph.traversal import TuplePathStep, _sort_key
+from repro.relational.database import TupleId
+
+__all__ = [
+    "CORES",
+    "resolve_core",
+    "FrozenGraph",
+    "csr_enumerate_simple_paths",
+    "csr_enumerate_joining_trees",
+]
+
+_UNREACHABLE = 1 << 30
+
+#: The engine's traversal kernels, fastest first.  ``csr`` runs this
+#: module's integer kernels, ``fast`` the pruned TupleId core, and
+#: ``reference`` the brute-force networkx enumeration — all three are
+#: bit-identical in answers, order and budget-error points.
+CORES = ("csr", "fast", "reference")
+
+
+def resolve_core(use_fast_traversal: bool = True, core: Optional[str] = None) -> str:
+    """Map the legacy ``use_fast_traversal`` flag and the explicit
+    ``core`` selector onto one kernel name.
+
+    ``core`` wins when given; otherwise ``use_fast_traversal=True``
+    selects the compiled CSR kernel (the default everywhere) and
+    ``False`` the brute-force reference core.
+    """
+    if core is None:
+        return "csr" if use_fast_traversal else "reference"
+    if core not in CORES:
+        raise QueryError(
+            "unknown traversal core", got=core, expected=list(CORES)
+        )
+    return core
+
+
+class FrozenGraph:
+    """One :class:`DataGraph` compiled to flat integer arrays.
+
+    The structure is immutable under queries and *patchable* under
+    changesets: :meth:`apply_changeset` tombstones removed nodes,
+    appends new ones and rebuilds only the touched adjacency rows (into
+    per-node side tables, keeping the sorted expansion order), then
+    compacts — recompiles — once the patched fraction crosses
+    :attr:`compaction_threshold`.
+    """
+
+    #: Patched fraction (overridden + tombstoned + appended slots over
+    #: capacity) above which a patch triggers recompilation.
+    compaction_threshold = 0.25
+    #: Never compact below this many nodes — recompiling a tiny graph
+    #: costs less than tracking whether it is worth it.
+    min_compaction_nodes = 64
+    #: Most distance rows kept at once; each is O(capacity) ints.
+    max_distance_maps = 1024
+
+    def __init__(self, data_graph: DataGraph, counters=None) -> None:
+        self.data_graph = data_graph
+        #: Distance-row lookups served from cache / computed fresh.
+        self.hits = 0
+        self.misses = 0
+        #: Times the structure was recompiled by a patch crossing the
+        #: compaction threshold (observability for tests/benchmarks).
+        self.compactions = 0
+        #: Where distance-row hit/miss counts are recorded.  The owning
+        #: :class:`~repro.graph.fast_traversal.TraversalCache` passes
+        #: itself, so ``cache.hits`` means "distance lookups reused"
+        #: whichever core served them; standalone graphs count on their
+        #: own attributes.
+        self._counters = counters if counters is not None else self
+        self._compile()
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        graph = self.data_graph.graph
+        tids = sorted(graph.nodes, key=_sort_key)
+        node_of = {tid: index for index, tid in enumerate(tids)}
+        self._node_of = node_of
+        self._tid_of: list[Optional[TupleId]] = list(tids)
+        self._keys = [_sort_key(tid) for tid in tids]
+        #: True while live ints enumerate in ``_sort_key`` order (no
+        #: appended nodes) — int comparison then *is* key comparison.
+        self._ints_sorted = True
+        offsets = array("i", [0])
+        targets = array("i")
+        edge_keys: list[str] = []
+        edge_data: list[dict] = []
+        for tid in tids:
+            for other, key, data in self._sorted_entries(tid):
+                targets.append(other)
+                edge_keys.append(key)
+                edge_data.append(data)
+            offsets.append(len(targets))
+        self._offsets = offsets
+        self._targets = targets
+        self._edge_keys = edge_keys
+        self._edge_data = edge_data
+        self._alive = bytearray(b"\x01") * len(tids)
+        #: Patched adjacency rows: node int -> (targets, keys, datas),
+        #: each row pre-sorted in expansion order.  Appended and
+        #: tombstoned nodes always live here (their CSR slice is empty
+        #: or stale); an entry shadows the node's CSR slice entirely.
+        self._override: dict[int, tuple[list[int], list[str], list[dict]]] = {}
+        self._distances: dict[int, array] = {}
+        self._components: Optional[array] = None
+        self._neighbour_rows: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Interned slots including tombstones (valid int ids are ``< capacity``)."""
+        return len(self._tid_of)
+
+    def live_count(self) -> int:
+        return sum(self._alive)
+
+    def node_of(self, tid: TupleId) -> Optional[int]:
+        """Dense int of a tuple id, ``None`` when absent or tombstoned."""
+        return self._node_of.get(tid)
+
+    def tid_of(self, node: int) -> TupleId:
+        tid = self._tid_of[node]
+        assert tid is not None, "tombstoned node has no tuple id"
+        return tid
+
+    def nbytes(self) -> int:
+        """Approximate footprint of the flat arrays (payload refs excluded)."""
+        total = (
+            self._offsets.itemsize * len(self._offsets)
+            + self._targets.itemsize * len(self._targets)
+            + len(self._alive)
+        )
+        for row in self._distances.values():
+            total += row.itemsize * len(row)
+        if self._components is not None:
+            total += self._components.itemsize * len(self._components)
+        return total
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def _sorted_entries(self, tid: TupleId) -> list[tuple[int, str, dict]]:
+        """One tuple's ``(neighbour int, edge key, edge data)`` entries in
+        the deterministic expansion order — the single definition both
+        compilation and row patching derive rows from."""
+        node_of = self._node_of
+        return sorted(
+            (
+                (node_of[other], key, data)
+                for __, other, key, data in self.data_graph.graph.edges(
+                    tid, keys=True, data=True
+                )
+            ),
+            key=lambda entry: (self._keys[entry[0]], entry[1]),
+        )
+
+    def _row(self, node: int) -> tuple[Sequence[int], Sequence[str], Sequence[dict], int, int]:
+        """``(targets, keys, datas, start, end)`` for one node's expansion row."""
+        override = self._override.get(node)
+        if override is not None:
+            row_targets, row_keys, row_datas = override
+            return row_targets, row_keys, row_datas, 0, len(row_targets)
+        return (
+            self._targets,
+            self._edge_keys,
+            self._edge_data,
+            self._offsets[node],
+            self._offsets[node + 1],
+        )
+
+    def neighbour_ints(self, node: int) -> tuple[int, ...]:
+        """Distinct neighbour ints of one node, in expansion order."""
+        cached = self._neighbour_rows.get(node)
+        if cached is None:
+            row_targets, __, __, start, end = self._row(node)
+            cached = tuple(dict.fromkeys(row_targets[start:end]))
+            self._neighbour_rows[node] = cached
+        return cached
+
+    def _sort_ints(self, nodes) -> list[int]:
+        """Sort node ints in ``_sort_key`` order (plain int order while
+        no nodes were appended out of order)."""
+        if self._ints_sorted:
+            return sorted(nodes)
+        return sorted(nodes, key=self._keys.__getitem__)
+
+    # ------------------------------------------------------------------
+    # distance rows and components
+    # ------------------------------------------------------------------
+    def distances(self, node: int) -> array:
+        """Flat BFS distance row from ``node``; unreachable slots hold
+        a value larger than any admissible budget."""
+        cached = self._distances.get(node)
+        if cached is not None:
+            self._counters.hits += 1
+            return cached
+        self._counters.misses += 1
+        row = array("i", [_UNREACHABLE]) * self.capacity
+        row[node] = 0
+        frontier = [node]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for at in frontier:
+                row_targets, __, __, start, end = self._row(at)
+                for position in range(start, end):
+                    other = row_targets[position]
+                    if row[other] == _UNREACHABLE:
+                        row[other] = depth
+                        next_frontier.append(other)
+            frontier = next_frontier
+        while len(self._distances) >= self.max_distance_maps:
+            self._distances.pop(next(iter(self._distances)))  # oldest first
+        self._distances[node] = row
+        return row
+
+    def components(self) -> array:
+        """Connected-component id per node int (tombstones hold ``-1``).
+
+        Recomputed lazily after a patch; two live nodes can reach each
+        other exactly when their component ids are equal.
+        """
+        if self._components is not None:
+            return self._components
+        labels = array("i", [-1]) * self.capacity
+        alive = self._alive
+        label = 0
+        for start in range(self.capacity):
+            if not alive[start] or labels[start] != -1:
+                continue
+            labels[start] = label
+            stack = [start]
+            while stack:
+                at = stack.pop()
+                row_targets, __, __, lo, hi = self._row(at)
+                for position in range(lo, hi):
+                    other = row_targets[position]
+                    if labels[other] == -1:
+                        labels[other] = label
+                        stack.append(other)
+            label += 1
+        self._components = labels
+        return labels
+
+    def component_of(self, node: int) -> int:
+        return self.components()[node]
+
+    # ------------------------------------------------------------------
+    # incremental patching
+    # ------------------------------------------------------------------
+    def _rebuild_row(self, node: int) -> None:
+        """Re-derive one node's sorted adjacency row from the (already
+        patched) data graph into the side table."""
+        entries = self._sorted_entries(self._tid_of[node])
+        self._override[node] = (
+            [entry[0] for entry in entries],
+            [entry[1] for entry in entries],
+            [entry[2] for entry in entries],
+        )
+
+    def apply_changeset(self, changeset) -> int:
+        """Patch the compiled structure from one applied changeset.
+
+        Call *after* the data graph itself was patched
+        (:func:`repro.live.maintain.apply_to_graph` runs first) — the
+        touched adjacency rows are re-read from it.  Returns the number
+        of distance rows dropped; bumps :attr:`compactions` when the
+        patch crossed the threshold and triggered a recompile.
+        """
+        removed = [
+            node
+            for tid in changeset.tuples_removed
+            if (node := self._node_of.pop(tid, None)) is not None
+        ]
+        for node in removed:
+            self._alive[node] = 0
+            self._tid_of[node] = None
+            self._override[node] = ([], [], [])
+        appended = []
+        for tid in changeset.tuples_added:
+            if tid in self._node_of:
+                continue
+            node = self.capacity
+            self._node_of[tid] = node
+            self._tid_of.append(tid)
+            self._keys.append(_sort_key(tid))
+            self._alive.append(1)
+            self._override[node] = ([], [], [])
+            appended.append(node)
+        if appended:
+            self._ints_sorted = False
+        touched: set[int] = set()
+        for edge in (*changeset.edges_added, *changeset.edges_removed):
+            for tid in (edge.referencing, edge.referenced):
+                node = self._node_of.get(tid)
+                if node is not None and self._alive[node]:
+                    touched.add(node)
+        for node in touched:
+            self._rebuild_row(node)
+        changed = set(removed) | set(appended) | touched
+        if not changed:
+            return 0
+        self._components = None
+        for node in changed:
+            self._neighbour_rows.pop(node, None)
+        # A distance row is global within its source's old component:
+        # drop it when its source changed or any changed node was
+        # reachable in it (appended nodes lie beyond the row and their
+        # old-component links are covered by the edge endpoints).
+        stale = [
+            source
+            for source, row in self._distances.items()
+            if source in changed
+            or any(
+                node < len(row) and row[node] != _UNREACHABLE
+                for node in changed
+            )
+        ]
+        for source in stale:
+            del self._distances[source]
+        if (
+            self.capacity >= self.min_compaction_nodes
+            and len(self._override) > self.compaction_threshold * self.capacity
+        ):
+            self._compile()
+            self.compactions += 1
+        return len(stale)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenGraph(capacity={self.capacity}, live={self.live_count()}, "
+            f"edges={len(self._targets)}, patched={len(self._override)}, "
+            f"distances={len(self._distances)}, compactions={self.compactions})"
+        )
+
+
+def _private_frozen(data_graph: DataGraph, cache) -> tuple[FrozenGraph, object]:
+    """Resolve the compiled graph for one kernel call.
+
+    A cache built on another graph would serve a stale compilation;
+    fall back to a private one rather than answer wrongly (the same
+    discipline the fast core applies to its TraversalCache).
+    """
+    if cache is not None and cache.data_graph is data_graph:
+        return cache.frozen(), cache
+    return FrozenGraph(data_graph), None
+
+
+def csr_enumerate_simple_paths(
+    data_graph: DataGraph,
+    source: TupleId,
+    target: TupleId,
+    max_edges: int,
+    max_paths: Optional[int] = None,
+    cache=None,
+) -> Iterator[list[TuplePathStep]]:
+    """Drop-in replacement for ``enumerate_simple_paths`` on the compiled core.
+
+    Same paths, same order, same budget semantics as both other cores.
+    The forward DFS runs on ints with a shared visited ``bytearray``
+    and an in-place path stack (push/undo, no per-expansion copies);
+    the backward BFS bound is an array lookup.  ``cache`` is the
+    engine's :class:`~repro.graph.fast_traversal.TraversalCache` — its
+    compiled :class:`FrozenGraph` and enumeration counters are used
+    when it matches ``data_graph``.
+    """
+    if max_edges < 1:
+        return
+    frozen, counters = _private_frozen(data_graph, cache)
+    src = frozen.node_of(source)
+    dst = frozen.node_of(target)
+    if src is None or dst is None:
+        return
+
+    to_target = frozen.distances(dst)
+    shortest = to_target[src] if src < len(to_target) else _UNREACHABLE
+    if shortest > max_edges:
+        return
+
+    tid_of = frozen._tid_of
+    offsets = frozen._offsets
+    targets = frozen._targets
+    edge_keys = frozen._edge_keys
+    edge_data = frozen._edge_data
+    override = frozen._override
+    has_override = bool(override)
+    visited = bytearray(frozen.capacity)
+    produced = 0
+
+    for depth in range(max(1, shortest), max_edges + 1):
+        # One in-order DFS per depth (iterative deepening keeps shorter
+        # paths first).  The active level lives in locals — ``cursor``/
+        # ``limit`` walk the current expansion row ``(row_t, row_k,
+        # row_d)``, which is the flat CSR slice or a patched side-table
+        # row — and suspended levels sit on one stack, so the per-edge
+        # inner loop touches no Python object but the arrays themselves.
+        path_nodes = [src]
+        visited[src] = 1
+        row = override.get(src) if has_override else None
+        if row is None:
+            row_t, row_k, row_d = targets, edge_keys, edge_data
+            cursor, limit = offsets[src], offsets[src + 1]
+        else:
+            row_t, row_k, row_d = row
+            cursor, limit = 0, len(row_t)
+        suspended: list[tuple] = []
+        remaining = depth - 1
+        while True:
+            if cursor >= limit:
+                if not suspended:
+                    break
+                cursor, limit, row_t, row_k, row_d = suspended.pop()
+                visited[path_nodes.pop()] = 0
+                remaining += 1
+                continue
+            other = row_t[cursor]
+            cursor += 1
+            if visited[other]:
+                continue
+            if remaining:
+                if to_target[other] > remaining:
+                    continue  # cannot reach the target within this depth
+                if other == dst:
+                    continue  # simple paths stop at the target
+                # Suspend this level; ``cursor - 1`` in the suspended
+                # frame pins the edge taken to the next level, so the
+                # yield below can rebuild every step without per-push
+                # payload copies.
+                suspended.append((cursor, limit, row_t, row_k, row_d))
+                path_nodes.append(other)
+                visited[other] = 1
+                row = override.get(other) if has_override else None
+                if row is None:
+                    row_t, row_k, row_d = targets, edge_keys, edge_data
+                    cursor, limit = offsets[other], offsets[other + 1]
+                else:
+                    row_t, row_k, row_d = row
+                    cursor, limit = 0, len(row_t)
+                remaining -= 1
+                continue
+            if other != dst:
+                continue
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise SearchLimitError(
+                    "path enumeration exceeded budget",
+                    max_paths=max_paths,
+                    source=str(source),
+                    target=str(target),
+                )
+            if counters is not None:
+                counters.paths_enumerated += 1
+            steps = []
+            for level, frame in enumerate(suspended):
+                taken = frame[0] - 1
+                steps.append(
+                    TuplePathStep(
+                        tid_of[path_nodes[level]],
+                        tid_of[path_nodes[level + 1]],
+                        frame[3][taken],
+                        frame[4][taken],
+                    )
+                )
+            steps.append(
+                TuplePathStep(
+                    tid_of[path_nodes[-1]],
+                    tid_of[other],
+                    row_k[cursor - 1],
+                    row_d[cursor - 1],
+                )
+            )
+            yield steps
+        visited[src] = 0
+
+
+def csr_enumerate_joining_trees(
+    data_graph: DataGraph,
+    required: Sequence[TupleId],
+    max_tuples: int,
+    max_results: Optional[int] = None,
+    cache=None,
+) -> Iterator[frozenset[TupleId]]:
+    """Drop-in replacement for ``enumerate_joining_trees`` on the compiled core.
+
+    Identical growth order and budget behaviour; the frontier grows
+    frozensets of *ints* (cheap hashing, int-order sorting while the
+    interning is dense) and distance pruning reads flat array rows.
+    Tuple ids reappear only at yield boundaries.
+    """
+    required = list(dict.fromkeys(required))
+    if not required:
+        return
+    frozen, counters = _private_frozen(data_graph, cache)
+    req: list[int] = []
+    for tid in required:
+        node = frozen.node_of(tid)
+        if node is None:
+            return
+        req.append(node)
+    components = frozen.components()
+    first_component = components[req[0]]
+    if any(components[node] != first_component for node in req):
+        return  # some required pair is disconnected: no joining tree
+
+    distance_rows = [frozen.distances(node) for node in req]
+    tid_of = frozen._tid_of
+    ints_sorted = frozen._ints_sorted
+    keys = frozen._keys
+
+    produced = 0
+    seen: set[frozenset[int]] = set()
+    frontier: list[frozenset[int]] = [frozenset([req[0]])]
+    required_set = frozenset(req)
+
+    if ints_sorted:
+        frontier_key = sorted
+    else:
+        frontier_key = lambda current: sorted(keys[node] for node in current)
+
+    while frontier:
+        next_frontier: set[frozenset[int]] = set()
+        for current in sorted(frontier, key=frontier_key):
+            if required_set <= current:
+                if current not in seen:
+                    seen.add(current)
+                    produced += 1
+                    if max_results is not None and produced > max_results:
+                        raise SearchLimitError(
+                            "joining tree enumeration exceeded budget",
+                            max_results=max_results,
+                        )
+                    if counters is not None:
+                        counters.trees_enumerated += 1
+                    yield frozenset(tid_of[node] for node in current)
+            if len(current) >= max_tuples:
+                continue
+            missing = required_set - current
+            budget = max_tuples - len(current)
+            if missing:
+                feasible = True
+                for index, node in enumerate(req):
+                    if node not in missing:
+                        continue
+                    row = distance_rows[index]
+                    best = min(row[member] for member in current)
+                    if best > budget:
+                        feasible = False
+                        break
+                if not feasible:
+                    continue
+            neighbours: set[int] = set()
+            for member in current:
+                for other in frozen.neighbour_ints(member):
+                    if other not in current:
+                        neighbours.add(other)
+            for other in frozen._sort_ints(neighbours):
+                next_frontier.add(current | {other})
+        frontier = list(next_frontier)

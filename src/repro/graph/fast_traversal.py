@@ -31,8 +31,11 @@ One :class:`TraversalCache` is owned by
 ``rebuild()``; the cache never observes database mutations on its own.
 Callers that mutate tuples either rebuild, or route mutations through
 ``engine.apply`` — the live-update subsystem (:mod:`repro.live`) then
-calls :meth:`TraversalCache.invalidate_tuples` so only entries in
-touched connected components are dropped.
+calls :meth:`TraversalCache.apply_changeset`, which drops only the
+dict-backed entries in touched connected components and patches the
+compiled CSR graph in place.  :meth:`TraversalCache.invalidate_tuples`
+remains the tuple-id-only external API; lacking edge deltas, it drops
+the compiled graph instead of patching it.
 """
 
 from __future__ import annotations
@@ -71,6 +74,15 @@ class SharedStream:
     for every consumer — sharing never changes what any one consumer
     observes.
     """
+
+    __slots__ = (
+        "_factory",
+        "_source",
+        "_buffer",
+        "_error",
+        "_exhausted",
+        "consumers",
+    )
 
     def __init__(self, factory) -> None:
         self._factory = factory
@@ -138,6 +150,7 @@ class TraversalCache:
         self._expansions: dict[TupleId, tuple] = {}
         self._neighbours: dict[TupleId, tuple[TupleId, ...]] = {}
         self._distances: dict[TupleId, dict[TupleId, int]] = {}
+        self._frozen = None
         self.hits = 0
         self.misses = 0
         #: Enumeration counters: paths / joining trees yielded through this
@@ -151,6 +164,37 @@ class TraversalCache:
         self._expansions.clear()
         self._neighbours.clear()
         self._distances.clear()
+        self._frozen = None
+
+    def frozen(self):
+        """The compiled :class:`~repro.graph.csr.FrozenGraph` of this
+        cache's data graph, built lazily on first demand.
+
+        The CSR kernels run on it; it lives here so one compilation is
+        shared by every query, batch and stream the engine answers, and
+        so the live-update path (:meth:`apply_changeset`) can patch it
+        in place instead of recompiling.
+        """
+        if self._frozen is None:
+            from repro.graph.csr import FrozenGraph
+
+            self._frozen = FrozenGraph(self.data_graph, counters=self)
+        return self._frozen
+
+    def apply_changeset(self, changeset) -> int:
+        """Bring the cache up to date with one applied changeset.
+
+        Dict-backed structures are invalidated (adjacency of touched
+        tuples, distance maps of touched components — see
+        :meth:`invalidate_tuples`); the compiled CSR graph, when built,
+        is *patched* in place (tombstone/append + row rebuild) so the
+        next CSR query pays no recompilation.  Returns the number of
+        dict distance maps dropped.
+        """
+        dropped = self._invalidate_changed(changeset.structural_tuples())
+        if self._frozen is not None:
+            self._frozen.apply_changeset(changeset)
+        return dropped
 
     def invalidate_tuples(self, changed: Iterable[TupleId]) -> int:
         """Drop only the entries a changeset can have made stale.
@@ -166,7 +210,20 @@ class TraversalCache:
         because edge endpoints are changed tuples, any component newly
         merged into it).  Maps of untouched components survive.  Returns
         the number of distance maps dropped.
+
+        Tuple ids alone carry no edge deltas, so a compiled CSR graph
+        cannot be patched from here — it is dropped (and lazily
+        recompiled) whenever the call actually invalidated something.
+        :meth:`apply_changeset` is the edge-aware entry point that
+        patches it in place instead.
         """
+        changed = set(changed)
+        if changed and self._frozen is not None:
+            self._frozen = None
+        return self._invalidate_changed(changed)
+
+    def _invalidate_changed(self, changed: Iterable[TupleId]) -> int:
+        """Invalidate the dict-backed structures for a changed-tuple set."""
         changed = set(changed)
         if not changed:
             return 0
@@ -287,40 +344,51 @@ def fast_enumerate_simple_paths(
         return
 
     produced = 0
+    distance = to_target.get
     for depth in range(max(1, shortest), max_edges + 1):
-        stack: list[tuple[TupleId, list[TuplePathStep], frozenset[TupleId]]] = [
-            (source, [], frozenset([source]))
-        ]
-        while stack:
-            at, path, visited = stack.pop()
-            if len(path) == depth:
-                if at == target:
-                    produced += 1
-                    if max_paths is not None and produced > max_paths:
-                        raise SearchLimitError(
-                            "path enumeration exceeded budget",
-                            max_paths=max_paths,
-                            source=str(source),
-                            target=str(target),
-                        )
-                    cache.paths_enumerated += 1
-                    yield path
+        # One in-order DFS per depth over a *shared* visited set and
+        # path stack with push/undo — no ``visited | {other}`` frozenset
+        # or ``path + [...]`` list copy per expansion.  Expansion rows
+        # are cached reverse-sorted (their historical stack order), so
+        # ``reversed`` yields them forward-sorted.
+        path: list[TuplePathStep] = []
+        nodes = [source]
+        visited = {source}
+        iterators = [reversed(cache.expansions(source))]
+        while iterators:
+            entry = next(iterators[-1], None)
+            if entry is None:
+                iterators.pop()
+                visited.discard(nodes.pop())
+                if path:
+                    path.pop()
                 continue
-            if at == target and path:
-                continue  # simple paths stop at the target
+            other, key, data = entry
+            if other in visited:
+                continue
             remaining = depth - len(path) - 1
-            for other, key, data in cache.expansions(at):
-                if other in visited:
-                    continue
-                if to_target.get(other, _UNREACHABLE) > remaining:
+            if remaining:
+                if distance(other, _UNREACHABLE) > remaining:
                     continue  # cannot reach the target within this depth
-                stack.append(
-                    (
-                        other,
-                        path + [TuplePathStep(at, other, key, data)],
-                        visited | {other},
-                    )
+                if other == target:
+                    continue  # simple paths stop at the target
+                path.append(TuplePathStep(nodes[-1], other, key, data))
+                nodes.append(other)
+                visited.add(other)
+                iterators.append(reversed(cache.expansions(other)))
+                continue
+            if other != target:
+                continue
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise SearchLimitError(
+                    "path enumeration exceeded budget",
+                    max_paths=max_paths,
+                    source=str(source),
+                    target=str(target),
                 )
+            cache.paths_enumerated += 1
+            yield path + [TuplePathStep(nodes[-1], other, key, data)]
 
 
 def fast_enumerate_joining_trees(

@@ -83,9 +83,13 @@ def apply_to_traversal_cache(cache: TraversalCache, changeset: ChangeSet) -> int
 
     Only structural changes matter here: adjacency and distance maps are
     pure tuple-identity structures, so value-only updates leave every
-    cached entry valid.
+    cached entry valid.  The cache's compiled CSR graph, when built, is
+    *patched* in place from the changeset's edge deltas (tombstone /
+    append / per-row rebuild) rather than recompiled — run this after
+    :func:`apply_to_graph`, since the patched rows are re-read from the
+    updated data graph.
     """
-    return cache.invalidate_tuples(changeset.structural_tuples())
+    return cache.apply_changeset(changeset)
 
 
 def affected_tuples(

@@ -141,3 +141,44 @@ class TestLowerBounds:
                 answer = result.answer
                 bound = lower_bound_for(ranker, answer.rdb_length)
                 assert ranker.score(answer) >= bound
+
+
+class TestHotClassesStaySlotted:
+    """Micro-assert: the hot pipeline classes must not grow __dict__.
+
+    Per-instance dicts on these classes cost memory and attribute-lookup
+    time on every DFS push / stream item / plan node; a refactor that
+    silently drops ``__slots__`` (e.g. re-declaring a dataclass without
+    ``slots=True``) should fail loudly here.
+    """
+
+    def test_plan_ir_nodes(self):
+        from repro.core.plan import Cut, Merge
+
+        for instance in (
+            SingleScan((0,)),
+            PairPaths(0, 1),
+            NetworkGrowth((0, 1, 2)),
+            Merge(),
+            Cut(3),
+        ):
+            assert not hasattr(instance, "__dict__"), type(instance).__name__
+
+    def test_query_plan_is_slotted(self, index):
+        plan = plan_query(match_keywords(index, ("smith", "xml")))
+        assert not hasattr(plan, "__dict__")
+
+    def test_traversal_and_executor_classes(self):
+        from repro.core.executor import ExecutionStats, SearchResult
+        from repro.graph.fast_traversal import SharedStream
+        from repro.graph.traversal import TuplePathStep
+        from repro.relational.database import TupleId
+
+        step = TuplePathStep(
+            TupleId("A", ("1",)), TupleId("B", ("2",)), "fk", {}
+        )
+        stream = SharedStream(lambda: iter(()))
+        stats = ExecutionStats()
+        result = SearchResult(answer=None, score=(0.0,), rank=1)
+        for instance in (step, stream, stats, result):
+            assert not hasattr(instance, "__dict__"), type(instance).__name__

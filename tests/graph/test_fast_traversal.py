@@ -298,3 +298,65 @@ class TestTraversalCache:
             cache.distances(node)
         assert len(cache._distances) == 3
         assert list(cache._distances) == nodes[-3:]
+
+
+class TestInvalidateTuples:
+    """Edge cases of the fine-grained invalidation entry point."""
+
+    def test_absent_tuple_is_a_noop(self, data_graph):
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("EMPLOYEE", "e1"))
+        dropped = cache.invalidate_tuples([tid("EMPLOYEE", "e999")])
+        # A tuple the graph never held appears in no distance map.
+        assert dropped == 0
+        assert tid("EMPLOYEE", "e1") in cache._distances
+
+    def test_empty_changed_set_is_a_noop(self, data_graph):
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("EMPLOYEE", "e1"))
+        frozen = cache.frozen()
+        assert cache.invalidate_tuples([]) == 0
+        assert cache._frozen is frozen  # nothing changed, nothing dropped
+
+    def test_uncached_component_drops_nothing(self, data_graph):
+        cache = TraversalCache(data_graph)
+        # Cache only the isolated d3 component, then invalidate a tuple
+        # of the big component that was never cached.
+        cache.distances(tid("DEPARTMENT", "d3"))
+        dropped = cache.invalidate_tuples([tid("EMPLOYEE", "e1")])
+        assert dropped == 0
+        assert tid("DEPARTMENT", "d3") in cache._distances
+
+    def test_repeated_invalidation_is_idempotent(self, data_graph):
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("EMPLOYEE", "e1"))
+        cache.expansions(tid("EMPLOYEE", "e1"))
+        changed = [tid("EMPLOYEE", "e1")]
+        first = cache.invalidate_tuples(changed)
+        assert first == 1
+        assert cache.invalidate_tuples(changed) == 0
+        assert cache.invalidate_tuples(changed) == 0
+
+    def test_only_touched_component_drops(self, data_graph):
+        cache = TraversalCache(data_graph)
+        cache.distances(tid("DEPARTMENT", "d3"))  # isolated component
+        cache.distances(tid("EMPLOYEE", "e1"))    # big component
+        dropped = cache.invalidate_tuples([tid("EMPLOYEE", "e2")])
+        assert dropped == 1
+        assert tid("DEPARTMENT", "d3") in cache._distances
+        assert tid("EMPLOYEE", "e1") not in cache._distances
+
+    def test_invalidation_drops_frozen_graph(self, data_graph):
+        # Tuple ids alone carry no edge deltas, so the compiled CSR
+        # graph cannot be patched here — it must not survive stale.
+        cache = TraversalCache(data_graph)
+        cache.frozen()
+        cache.invalidate_tuples([tid("EMPLOYEE", "e1")])
+        assert cache._frozen is None
+
+    def test_full_invalidate_drops_frozen_graph(self, data_graph):
+        cache = TraversalCache(data_graph)
+        first = cache.frozen()
+        cache.invalidate()
+        assert cache._frozen is None
+        assert cache.frozen() is not first
