@@ -297,11 +297,13 @@ def main(argv=None, out=None) -> int:
             f"kernel: top-k speedup {topk_ratio:.1f}x regressed below 1x"
         )
 
-    nbytes = frozen.nbytes()
-    per_edge = nbytes / max(1, len(frozen._targets))
-    print(f"memory: compiled graph {nbytes:,} bytes for "
+    footprint = frozen.memory_footprint()
+    per_edge = footprint["total"] / max(1, len(frozen._targets))
+    print(f"memory: compiled graph {footprint['total']:,} bytes for "
           f"{frozen.capacity} nodes / {len(frozen._targets)} CSR entries "
-          f"({per_edge:.1f} bytes/entry, distance rows included)", file=out)
+          f"({per_edge:.1f} bytes/entry) — arrays {footprint['arrays']:,}, "
+          f"distance rows {footprint['distances']:,}, "
+          f"edge payload {footprint['payload']:,}", file=out)
 
     identical = _engine_section(database, rounds, out)
     if not identical:

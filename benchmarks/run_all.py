@@ -28,7 +28,7 @@ exit codes.
 Run::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
-    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr4.json
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr5.json
 """
 
 import argparse
@@ -90,9 +90,9 @@ def main(argv=None, out=None) -> int:
                         help="run every bench's --quick CI gate")
     parser.add_argument("--full", action="store_true",
                         help="run the full sweeps instead of --quick")
-    parser.add_argument("--out", metavar="FILE", default="BENCH_pr4.json",
+    parser.add_argument("--out", metavar="FILE", default="BENCH_pr5.json",
                         help="where to write the JSON report "
-                             "(default BENCH_pr4.json)")
+                             "(default BENCH_pr5.json)")
     args = parser.parse_args(argv)
     quick = args.quick or not args.full
 

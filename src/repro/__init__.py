@@ -54,6 +54,8 @@ from repro.live.changes import ChangeSet, Delete, Insert, Update
 from repro.live.result_cache import ResultCache
 from repro.relational.database import Database
 from repro.relational.statistics import DatabaseStatistics
+from repro.scale.shards import KeywordRouter, ShardPlan
+from repro.scale.snapshot import Snapshot
 
 __version__ = "1.0.0"
 
@@ -71,12 +73,15 @@ __all__ = [
     "ErLengthRanker",
     "InstanceAmbiguityRanker",
     "Insert",
+    "KeywordRouter",
     "KeywordSearchEngine",
     "RdbLengthRanker",
     "ResultCache",
     "SchemaAnalyzer",
     "SearchLimits",
     "SearchResult",
+    "ShardPlan",
+    "Snapshot",
     "TfIdfScorer",
     "TraversalCache",
     "Update",

@@ -75,28 +75,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="AND (cover every keyword) or OR semantics")
     search.add_argument("--group", action="store_true",
                         help="group results: close / larger context / loose")
-    search.add_argument("--batch", action="store_true",
-                        help="treat QUERY as ';'-separated queries answered "
-                             "as one batch (shared traversal cache and "
-                             "enumeration sub-plans)")
-    search.add_argument("--stream", action="store_true",
-                        help="print each answer as the executor yields it "
-                             "(incompatible with --batch/--group)")
-    search.add_argument("--slow", action="store_true",
-                        help="use the brute-force networkx traversal instead "
-                             "of the compiled kernels (same as "
-                             "--core reference)")
-    search.add_argument("--core", choices=("csr", "fast", "reference"),
-                        default=None,
-                        help="traversal kernel: csr (compiled integer "
-                             "kernels, default), fast (pruned TupleId "
-                             "core) or reference (brute force) — answers "
-                             "are identical, only speed differs")
     search.add_argument("--mutations", metavar="FILE",
                         help="JSON mutation batches replayed through "
                              "engine.apply between two runs of QUERY; prints "
                              "a live-update and answer-cache report "
                              "(incompatible with --batch/--stream)")
+    execution = search.add_argument_group(
+        "execution",
+        "how the query runs: traversal kernel, batching/streaming, "
+        "sharded and parallel serving (answers are identical across "
+        "every combination — only speed differs)",
+    )
+    execution.add_argument("--batch", action="store_true",
+                           help="treat QUERY as ';'-separated queries "
+                                "answered as one batch (shared traversal "
+                                "cache and enumeration sub-plans)")
+    execution.add_argument("--stream", action="store_true",
+                           help="print each answer as the executor yields it "
+                                "(incompatible with --batch/--group)")
+    execution.add_argument("--slow", action="store_true",
+                           help="use the brute-force networkx traversal "
+                                "instead of the compiled kernels (same as "
+                                "--core reference)")
+    execution.add_argument("--core", choices=("csr", "fast", "reference"),
+                           default=None,
+                           help="traversal kernel: csr (compiled integer "
+                                "kernels, default), fast (pruned TupleId "
+                                "core) or reference (brute force)")
+    execution.add_argument("--shards", type=int, default=None, metavar="K",
+                           help="partition the compiled graph into K "
+                                "component-aligned shards and route "
+                                "enumeration through them")
+    execution.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="answer a --batch over N snapshot worker "
+                                "processes (requires --batch)")
+    execution.add_argument("--snapshot", metavar="FILE",
+                           help="open the engine from a snapshot written by "
+                                "'repro snapshot save' instead of building "
+                                "it from --db")
+
+    snapshot = commands.add_parser(
+        "snapshot", help="save / load mmap-able engine snapshots"
+    )
+    actions = snapshot.add_subparsers(dest="action", required=True)
+    snap_save = actions.add_parser(
+        "save", help="build an engine and write its snapshot"
+    )
+    snap_save.add_argument("out", metavar="FILE", help="snapshot file to write")
+    snap_save.add_argument("--shards", type=int, default=None, metavar="K",
+                           help="partition into K shards before saving")
+    snap_save.add_argument("--core", choices=("csr", "fast", "reference"),
+                           default=None, help="traversal kernel to record")
+    snap_load = actions.add_parser(
+        "load", help="open and verify a snapshot; optionally run a query"
+    )
+    snap_load.add_argument("file", metavar="FILE", help="snapshot to open")
+    snap_load.add_argument("--query", default=None,
+                           help="keyword query to answer from the snapshot")
+    snap_load.add_argument("--top", type=int, default=None, help="top-k cut")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -222,11 +258,22 @@ def _search_with_mutations(engine, args, ranker, limits, out) -> int:
 
 
 def _cmd_search(args: argparse.Namespace, out) -> int:
-    engine = KeywordSearchEngine(
-        _load_database(args.db),
-        use_fast_traversal=not args.slow,
-        core=args.core,
-    )
+    if args.snapshot:
+        if args.db:
+            print("--snapshot and --db are mutually exclusive", file=out)
+            return 2
+        engine = KeywordSearchEngine.open(
+            args.snapshot,
+            core="reference" if args.slow else args.core,
+            shards=args.shards,
+        )
+    else:
+        engine = KeywordSearchEngine(
+            _load_database(args.db),
+            use_fast_traversal=not args.slow,
+            core=args.core,
+            shards=args.shards,
+        )
     ranker = _RANKERS[args.ranker]()
     limits = SearchLimits(max_rdb_length=args.max_rdb)
     if args.stream and (args.batch or args.group):
@@ -234,6 +281,10 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
         return 2
     if args.mutations and (args.batch or args.stream):
         print("--mutations cannot be combined with --batch or --stream",
+              file=out)
+        return 2
+    if args.jobs is not None and not args.batch:
+        print("--jobs needs --batch (parallel execution is per batch)",
               file=out)
         return 2
     if args.mutations:
@@ -270,6 +321,7 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             limits=limits,
             top_k=args.top,
             semantics=args.semantics,
+            jobs=args.jobs,
         )
         answered = 0
         for query, results in zip(queries, batched):
@@ -279,6 +331,12 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             else:
                 answered += 1
                 _print_results(engine, results, args, out)
+        if args.jobs is not None and args.jobs > 1:
+            engine.close_pool()
+            print(f"# parallel: {args.jobs} snapshot workers, "
+                  f"{engine.last_stats.candidates} candidates, "
+                  f"{engine.last_stats.shard_skips} cross-shard units skipped",
+                  file=out)
         return 0 if answered else 1
     results = engine.search(
         args.query,
@@ -293,6 +351,41 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
     _print_results(engine, results, args, out)
     if args.top is not None and not args.group:
         _report_pushdown(engine, args, ranker, limits, out)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace, out) -> int:
+    import os
+
+    if args.action == "save":
+        engine = KeywordSearchEngine(
+            _load_database(args.db), core=args.core, shards=args.shards
+        )
+        meta = engine.save(args.out)
+        size = os.path.getsize(args.out)
+        print(f"wrote {args.out}: {meta['tuples']} tuples, "
+              f"{meta['nodes']} graph nodes, {meta['entries']} CSR entries, "
+              f"{size:,} bytes (engine v{meta['engine_version']}, "
+              f"core {meta['core']})", file=out)
+        if engine.shard_plan is not None:
+            print(f"shards: {engine.shard_plan.describe()}", file=out)
+        return 0
+
+    engine = KeywordSearchEngine.open(args.file)
+    meta = engine._snapshot.meta
+    print(f"{args.file}: verified "
+          f"{len(engine._snapshot.sections())} sections; "
+          f"{meta['tuples']} tuples, {meta['nodes']} graph nodes, "
+          f"{meta['entries']} CSR entries (engine v{meta['engine_version']}, "
+          f"core {meta['core']}, "
+          f"{meta['shard_count'] or 'no'} shards)", file=out)
+    if args.query:
+        results = engine.search(args.query, top_k=args.top)
+        if not results:
+            print("no answers", file=out)
+            return 1
+        for result in results:
+            _print_result_line(result, out)
     return 0
 
 
@@ -387,6 +480,7 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 
 _COMMANDS = {
     "search": _cmd_search,
+    "snapshot": _cmd_snapshot,
     "reproduce": _cmd_reproduce,
     "analyze": _cmd_analyze,
     "mtjnt": _cmd_mtjnt,

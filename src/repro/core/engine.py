@@ -74,10 +74,41 @@ class KeywordSearchEngine:
         use_fast_traversal: bool = True,
         result_cache_entries: int = 256,
         core: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
+        self._wire(
+            database=database,
+            data_graph=DataGraph(database),
+            index=InvertedIndex(database),
+            traversal_cache=None,
+            ranker=ranker,
+            limits=limits,
+            use_fast_traversal=use_fast_traversal,
+            result_cache_entries=result_cache_entries,
+            core=core,
+            shards=shards,
+            version=0,
+        )
+
+    def _wire(
+        self,
+        *,
+        database: Database,
+        data_graph: DataGraph,
+        index: InvertedIndex,
+        traversal_cache: Optional[TraversalCache],
+        ranker: Optional[Ranker],
+        limits: SearchLimits,
+        use_fast_traversal: bool,
+        result_cache_entries: int,
+        core: Optional[str],
+        shards: Optional[int],
+        version: int,
+    ) -> None:
+        """Shared field wiring of cold construction and snapshot restore."""
         self.database = database
-        self.data_graph = DataGraph(database)
-        self.index = InvertedIndex(database)
+        self.data_graph = data_graph
+        self.index = index
         self.ranker = ranker or ClosenessRanker()
         self.limits = limits
         #: Traversal kernel every query runs on: ``csr`` (compiled
@@ -88,7 +119,18 @@ class KeywordSearchEngine:
         #: ``core`` wins when both are given.
         self.core = resolve_core(use_fast_traversal, core)
         self.use_fast_traversal = self.core != "reference"
-        self.traversal_cache = TraversalCache(self.data_graph)
+        self.traversal_cache = (
+            traversal_cache
+            if traversal_cache is not None
+            else TraversalCache(self.data_graph)
+        )
+        #: Number of shards query execution routes over (``None``
+        #: disables sharding).  The plan itself builds lazily — see
+        #: :attr:`shard_plan` — and answers stay bit-identical to the
+        #: unsharded engine: sharding only skips enumeration units whose
+        #: tuples provably lie in different connected components.
+        self.shards = shards or None
+        self._shard_plan = None
         #: Counters of the most recent search/stream/batch call (the
         #: CLI's ``--top`` report and the pipeline benchmark read them).
         self.last_stats = ExecutionStats()
@@ -96,12 +138,58 @@ class KeywordSearchEngine:
         self.last_shared = SharedEnumerations()
         #: Monotonically increasing engine state version; every
         #: :meth:`apply` batch and every :meth:`rebuild` bumps it.
-        self.version = 0
+        self.version = version
         #: Dependency-tracked answer cache consulted by ``search``,
         #: ``search_batch`` and ``search_stream``; ``apply`` invalidates
         #: exactly the entries a changeset can affect.  Pass
         #: ``result_cache_entries=0`` to disable.
         self.result_cache = ResultCache(result_cache_entries)
+        # Corpus statistics (see the `statistics` property): restored
+        # lazily from a snapshot; dropped by apply()/rebuild() because
+        # instance statistics move with the data.
+        self._statistics = None
+        self._statistics_loader = None
+        #: Snapshot bookkeeping: the path this engine was opened from or
+        #: last saved to, and the engine version it held at that moment.
+        self.snapshot_path: Optional[str] = None
+        self._snapshot_version: Optional[int] = None
+        self._snapshot = None
+        self._searcher = None
+        self._searcher_key = None
+        self._autosave_dir = None
+
+    @classmethod
+    def _from_parts(
+        cls,
+        *,
+        database: Database,
+        data_graph: DataGraph,
+        index: InvertedIndex,
+        traversal_cache: TraversalCache,
+        ranker: Optional[Ranker] = None,
+        limits: SearchLimits = SearchLimits(),
+        use_fast_traversal: bool = True,
+        result_cache_entries: int = 256,
+        core: Optional[str] = None,
+        shards: Optional[int] = None,
+        version: int = 0,
+    ) -> "KeywordSearchEngine":
+        """Assemble an engine from restored structures (snapshot path)."""
+        engine = cls.__new__(cls)
+        engine._wire(
+            database=database,
+            data_graph=data_graph,
+            index=index,
+            traversal_cache=traversal_cache,
+            ranker=ranker,
+            limits=limits,
+            use_fast_traversal=use_fast_traversal,
+            result_cache_entries=result_cache_entries,
+            core=core,
+            shards=shards,
+            version=version,
+        )
+        return engine
 
     # ------------------------------------------------------------------
     # querying
@@ -128,12 +216,57 @@ class KeywordSearchEngine:
         matches = self.match(query)
         return plan_query(matches, semantics=semantics, top_k=top_k), matches
 
+    @property
+    def statistics(self):
+        """Corpus statistics of this engine's instance, or ``None``.
+
+        Restored (lazily) when the engine was opened from a snapshot;
+        :meth:`apply` and :meth:`rebuild` drop them because instance
+        statistics move with the data.  Assign a fresh
+        :class:`~repro.relational.statistics.DatabaseStatistics` to
+        attach recomputed values.
+        """
+        if self._statistics is None and self._statistics_loader is not None:
+            self._statistics = self._statistics_loader()
+        return self._statistics
+
+    @statistics.setter
+    def statistics(self, value) -> None:
+        self._statistics = value
+        if value is None:
+            self._statistics_loader = None
+
+    @property
+    def shard_plan(self):
+        """The engine's :class:`~repro.scale.shards.ShardPlan` (lazy).
+
+        ``None`` unless the engine was configured with ``shards=``.
+        Built on first use from the compiled graph's components and kept
+        current by :meth:`apply`; :meth:`rebuild` drops it.
+        """
+        if self.shards is None:
+            return None
+        if self._shard_plan is None:
+            from repro.scale.shards import ShardPlan
+
+            self._shard_plan = ShardPlan(self.traversal_cache, self.shards)
+        return self._shard_plan
+
+    def router(self):
+        """Keyword→shard router over the current plan (``None`` unsharded)."""
+        if self.shard_plan is None:
+            return None
+        from repro.scale.shards import KeywordRouter
+
+        return KeywordRouter(self.shard_plan, self.index)
+
     def _executor(self, shared: Optional[SharedEnumerations] = None) -> Executor:
         return Executor(
             self.data_graph,
             core=self.core,
             cache=self.traversal_cache,
             shared=shared,
+            shard_plan=self.shard_plan,
         )
 
     # ------------------------------------------------------------------
@@ -338,6 +471,7 @@ class KeywordSearchEngine:
         top_k: Optional[int] = None,
         semantics: str = "and",
         pushdown: Optional[bool] = None,
+        jobs: Optional[int] = None,
     ) -> list[list[SearchResult]]:
         """Answer many queries, one result list per query (input order).
 
@@ -352,9 +486,30 @@ class KeywordSearchEngine:
         them, even across different query texts; and a query text
         appearing several times is searched once with its result list
         reused.
+
+        ``jobs`` > 1 fans the batch out over a process pool
+        (:mod:`repro.scale.parallel`): every worker opens the engine's
+        snapshot once (auto-saved to a temporary file when the engine
+        was never saved, refreshed after mutations) and answers whole
+        queries with the same core/shard configuration.  Results, order
+        and the first raised error are identical to the serial path;
+        ``last_stats`` merges the workers' counters.
         """
         ranker = ranker or self.ranker
         limits = limits or self.limits
+        if jobs is not None and jobs > 1:
+            from repro.scale.parallel import run_batch
+
+            return run_batch(
+                self,
+                queries,
+                jobs=jobs,
+                ranker=ranker,
+                limits=limits,
+                top_k=top_k,
+                semantics=semantics,
+                pushdown=pushdown,
+            )
         shared = SharedEnumerations()
         stats = ExecutionStats()
         resolved: dict[str, list[SearchResult]] = {}
@@ -415,6 +570,7 @@ class KeywordSearchEngine:
                 index=self.index,
                 data_graph=self.data_graph,
                 traversal_cache=self.traversal_cache,
+                shard_plan=self._shard_plan,
             )
             if len(self.result_cache):
                 # Component tainting costs a BFS; with no live entries
@@ -422,6 +578,8 @@ class KeywordSearchEngine:
                 self.result_cache.invalidate(
                     affected_tuples(self.data_graph, changeset), self.index
                 )
+            # Instance statistics move with the data; recomputed lazily.
+            self.statistics = None
         self.version += 1
         changeset.version = self.version
         return changeset
@@ -470,7 +628,90 @@ class KeywordSearchEngine:
         self.result_cache.clear()
         self.last_stats = ExecutionStats()
         self.last_shared = SharedEnumerations()
+        self._shard_plan = None
+        self.statistics = None
+        self.close_pool()
         self.version += 1
+
+    # ------------------------------------------------------------------
+    # snapshots & parallel serving
+    # ------------------------------------------------------------------
+    def save(self, path) -> dict:
+        """Write the engine's full state as a binary snapshot.
+
+        The snapshot (see :mod:`repro.scale.snapshot`) captures the
+        database, the compiled CSR graph, the inverted index, corpus
+        statistics and the shard assignment at the engine's current
+        :attr:`version`; :meth:`open` restores a bit-identical engine
+        an order of magnitude faster than a cold build.  Returns the
+        snapshot's meta dict.
+        """
+        from repro.scale.snapshot import write_snapshot
+
+        meta = write_snapshot(self, path)
+        self.snapshot_path = str(path)
+        self._snapshot_version = self.version
+        return meta
+
+    @classmethod
+    def open(cls, path, **options) -> "KeywordSearchEngine":
+        """Open a snapshot written by :meth:`save` into a ready engine.
+
+        ``core=`` / ``shards=`` default to the writer's configuration;
+        every other construction option (``ranker``, ``limits``,
+        ``result_cache_entries``, ...) passes through.  The CSR array
+        sections stay ``mmap``-backed, so concurrently opened processes
+        share their pages.
+        """
+        from repro.scale.snapshot import load_engine
+
+        return load_engine(path, **options)
+
+    def _ensure_snapshot(self) -> str:
+        """A snapshot path matching the engine's current version.
+
+        Reuses the last saved/opened snapshot while the version still
+        matches; otherwise (never saved, or mutated since) writes to a
+        private temporary file that is overwritten on every refresh.
+        """
+        if (
+            self.snapshot_path is not None
+            and self._snapshot_version == self.version
+        ):
+            return self.snapshot_path
+        import os
+        import tempfile
+
+        if self._autosave_dir is None:
+            self._autosave_dir = tempfile.TemporaryDirectory(prefix="repro-snap-")
+        path = os.path.join(self._autosave_dir.name, "engine.snap")
+        self.save(path)
+        return path
+
+    def _ensure_searcher(self, jobs: int):
+        """The engine's parallel searcher, rebuilt when state moved on."""
+        key = (self.version, jobs)
+        if self._searcher is not None and self._searcher_key == key:
+            return self._searcher
+        self.close_pool()
+        from repro.scale.parallel import ParallelSearcher
+
+        self._searcher = ParallelSearcher(
+            self._ensure_snapshot(),
+            jobs,
+            core=self.core,
+            shards=self.shards,
+            result_cache_entries=self.result_cache.max_entries,
+        )
+        self._searcher_key = key
+        return self._searcher
+
+    def close_pool(self) -> None:
+        """Shut down the parallel worker pool (no-op when none is open)."""
+        if self._searcher is not None:
+            self._searcher.close()
+            self._searcher = None
+            self._searcher_key = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

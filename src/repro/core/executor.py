@@ -110,18 +110,28 @@ class ExecutionStats:
     mode this is how far enumeration actually ran before terminating,
     the number benchmarks compare against a full run to measure skipped
     work.  ``emitted`` counts results yielded; ``pushdown`` records
-    whether early termination was active.
+    whether early termination was active.  ``shard_skips`` counts
+    enumeration units (tuple pairs, network assignments) a shard plan
+    proved cross-component and never set up — the sharded serving win.
     """
 
     candidates: int = 0
     emitted: int = 0
     pushdown: bool = False
+    shard_skips: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
-        """Fold another run's counters in (batch aggregation)."""
+        """Fold another run's counters in (batch aggregation).
+
+        Every field folds with a commutative, associative operation
+        (sums and a disjunction), so aggregating worker results in
+        whatever order a process pool completes them yields one
+        deterministic total — the parallel executor relies on this.
+        """
         self.candidates += other.candidates
         self.emitted += other.emitted
         self.pushdown = self.pushdown or other.pushdown
+        self.shard_skips += other.shard_skips
 
 
 class SharedEnumerations:
@@ -172,6 +182,7 @@ class Executor:
         core: Optional[str] = None,
         cache: Optional[TraversalCache] = None,
         shared: Optional[SharedEnumerations] = None,
+        shard_plan=None,
     ) -> None:
         self.data_graph = data_graph
         #: Traversal kernel: ``csr`` (compiled integer kernels, the
@@ -184,7 +195,36 @@ class Executor:
             cache = TraversalCache(data_graph)
         self.cache = cache
         self.shared = shared if shared is not None else SharedEnumerations()
+        #: Optional :class:`~repro.scale.shards.ShardPlan`.  Execution
+        #: stays bit-identical with or without one: every answer lives
+        #: inside one connected component, so an enumeration unit whose
+        #: tuples the plan maps to *different* shards can yield nothing
+        #: and is skipped before any stream is set up; same-shard units
+        #: additionally run the CSR kernels on the shard's own compiled
+        #: graph, whose scratch state is O(shard) instead of O(graph).
+        self.shard_plan = shard_plan
         self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------
+    # shard routing
+    # ------------------------------------------------------------------
+    def _unit_shard(self, tids) -> object:
+        """Classify one enumeration unit against the shard plan.
+
+        Returns a shard id (run on that shard's graph), ``None`` (no
+        plan, or a tuple unknown to it — run globally, never skip), or
+        the :data:`~repro.scale.shards.CROSS_SHARD` sentinel (provably
+        unanswerable — skip the unit entirely).
+        """
+        if self.shard_plan is None:
+            return None
+        return self.shard_plan.shard_of_all(tids)
+
+    def _unit_cache(self, shard) -> TraversalCache:
+        """The cache a same-shard unit's kernels should run on."""
+        if shard is None or self.core != "csr":
+            return self.cache
+        return self.shard_plan.cache_for(shard)
 
     # ------------------------------------------------------------------
     # entry points
@@ -247,8 +287,13 @@ class Executor:
     # shared enumeration streams
     # ------------------------------------------------------------------
     def _path_stream(
-        self, source: TupleId, target: TupleId, limits: SearchLimits
+        self,
+        source: TupleId,
+        target: TupleId,
+        limits: SearchLimits,
+        cache: Optional[TraversalCache] = None,
     ) -> SharedStream:
+        cache = cache if cache is not None else self.cache
         key = (
             "paths",
             source,
@@ -264,7 +309,7 @@ class Executor:
                 target,
                 limits.max_rdb_length,
                 max_paths=limits.max_paths_per_pair,
-                cache=self.cache,
+                cache=cache,
             )
         elif self.core == "fast":
             factory = lambda: fast_enumerate_simple_paths(
@@ -273,7 +318,7 @@ class Executor:
                 target,
                 limits.max_rdb_length,
                 max_paths=limits.max_paths_per_pair,
-                cache=self.cache,
+                cache=cache,
             )
         else:
             factory = lambda: enumerate_simple_paths(
@@ -286,8 +331,12 @@ class Executor:
         return self.shared.stream(key, factory)
 
     def _tree_stream(
-        self, required: tuple[TupleId, ...], limits: SearchLimits
+        self,
+        required: tuple[TupleId, ...],
+        limits: SearchLimits,
+        cache: Optional[TraversalCache] = None,
     ) -> SharedStream:
+        cache = cache if cache is not None else self.cache
         key = (
             "trees",
             required,
@@ -301,7 +350,7 @@ class Executor:
                 list(required),
                 limits.max_tuples,
                 max_results=limits.max_networks,
-                cache=self.cache,
+                cache=cache,
             )
         elif self.core == "fast":
             factory = lambda: fast_enumerate_joining_trees(
@@ -309,7 +358,7 @@ class Executor:
                 list(required),
                 limits.max_tuples,
                 max_results=limits.max_networks,
-                cache=self.cache,
+                cache=cache,
             )
         else:
             factory = lambda: enumerate_joining_trees(
@@ -356,11 +405,23 @@ class Executor:
         if op.include_single_tuples:
             yield from self._pair_singles(first, second)
         pair = (first, second)
+        from repro.scale.shards import CROSS_SHARD
+
         for source in first.tuple_ids:
             for target in second.tuple_ids:
                 if source == target:
                     continue
-                for steps in self._path_stream(source, target, limits):
+                shard = self._unit_shard((source, target))
+                if shard is CROSS_SHARD:
+                    # Different components: the pair can have no paths
+                    # (and therefore no budget error either) — exactly
+                    # what an unsharded run would discover the slow way.
+                    self.stats.shard_skips += 1
+                    continue
+                stream = self._path_stream(
+                    source, target, limits, cache=self._unit_cache(shard)
+                )
+                for steps in stream:
                     tids = [steps[0].source] + [s.target for s in steps]
                     yield Connection(
                         self.data_graph, steps, _keyword_map(pair, tids)
@@ -382,9 +443,20 @@ class Executor:
         op: NetworkGrowth,
         limits: SearchLimits,
     ) -> Iterator[JoiningNetwork]:
+        from repro.scale.shards import CROSS_SHARD
+
         seen: set[tuple] = set()
         for keyword_tuples, required in self._network_assignments(matches, op):
-            for tuple_set in self._tree_stream(required, limits):
+            shard = self._unit_shard(required)
+            if shard is CROSS_SHARD:
+                # A joining tree is connected; tuples in different
+                # components can never share one.
+                self.stats.shard_skips += 1
+                continue
+            stream = self._tree_stream(
+                required, limits, cache=self._unit_cache(shard)
+            )
+            for tuple_set in stream:
                 key = (tuple_set, tuple(sorted(keyword_tuples.items())))
                 if key in seen:
                     continue
@@ -528,6 +600,9 @@ class _PairState:
 
     def _ensure_heap(self) -> list:
         if self._heap is None:
+            from repro.scale.shards import CROSS_SHARD
+
+            executor = self._executor
             heap = []
             first, second = self._matches
             index = 0
@@ -535,8 +610,22 @@ class _PairState:
                 for target in second.tuple_ids:
                     if source == target:
                         continue
+                    # Cross-shard pairs would enter the serial heap as
+                    # immediately-empty streams; skipping them (while
+                    # keeping the global pair index) changes nothing in
+                    # the heap's contents or tie-breaking.
+                    shard = executor._unit_shard((source, target))
+                    if shard is CROSS_SHARD:
+                        executor.stats.shard_skips += 1
+                        index += 1
+                        continue
                     stream = iter(
-                        self._executor._path_stream(source, target, self._limits)
+                        executor._path_stream(
+                            source,
+                            target,
+                            self._limits,
+                            cache=executor._unit_cache(shard),
+                        )
                     )
                     steps = next(stream, None)
                     if steps is not None:
@@ -593,12 +682,22 @@ class _NetworkState:
         self._ranker = ranker
         self._coverage_major = plan.merge.coverage_major
         self._prefix = (-len(op.indices),) if self._coverage_major else ()
+        from repro.scale.shards import CROSS_SHARD
+
         self._seen: set[tuple] = set()
         heap = []
         for index, (keyword_tuples, required) in enumerate(
             executor._network_assignments(plan.matches, op)
         ):
-            stream = iter(executor._tree_stream(required, limits))
+            shard = executor._unit_shard(required)
+            if shard is CROSS_SHARD:  # index keeps counting: tie-breaks stay global
+                executor.stats.shard_skips += 1
+                continue
+            stream = iter(
+                executor._tree_stream(
+                    required, limits, cache=executor._unit_cache(shard)
+                )
+            )
             tuple_set = next(stream, None)
             if tuple_set is not None:
                 heap.append((len(tuple_set), index, tuple_set, stream, keyword_tuples))

@@ -139,8 +139,17 @@ class JoiningNetwork:
         self.tuples = tuple_ids
         self.keyword_tuples = dict(keyword_tuples)
         self.covered_keywords = frozenset(keyword_tuples)
-        self._tree = self._spanning_tree()
+        # Computed on first metric access: rendering and identity don't
+        # need the tree, so reconstructing a network (e.g. from a
+        # parallel worker's portable answer) stays allocation-cheap.
+        self._tree_cache: Optional[nx.Graph] = None
         self._paths: Optional[tuple[Connection, ...]] = None
+
+    @property
+    def _tree(self) -> nx.Graph:
+        if self._tree_cache is None:
+            self._tree_cache = self._spanning_tree()
+        return self._tree_cache
 
     def _spanning_tree(self) -> nx.Graph:
         # networkx preserves the node order it is handed, and the

@@ -21,7 +21,7 @@ from repro.datasets.company import build_company_schema
 from repro.errors import QueryError
 from repro.relational.database import Database
 
-__all__ = ["SyntheticConfig", "generate_company_like", "plant"]
+__all__ = ["SyntheticConfig", "generate_company_like", "generate_tenants", "plant"]
 
 _LAST_NAMES = (
     "Smith", "Miller", "Walker", "Jones", "Brown", "Wilson", "Moore",
@@ -69,10 +69,43 @@ def generate_company_like(config: SyntheticConfig = SyntheticConfig()) -> Databa
     """Generate a deterministic company-shaped database."""
     rng = random.Random(config.seed)
     database = Database(build_company_schema(), enforce_foreign_keys=False)
+    _populate(database, config, rng, prefix="")
+    database.check_integrity()
+    database.enforce_foreign_keys = True
+    return database
 
+
+def generate_tenants(
+    config: SyntheticConfig = SyntheticConfig(), tenants: int = 4
+) -> Database:
+    """Generate K independent company instances inside one schema.
+
+    Each tenant's keys carry a ``t<i>`` prefix and its ``WORKS_FOR``
+    rows stay inside the tenant, so the data graph decomposes into one
+    connected component per tenant (give or take isolated tuples) — the
+    multi-tenant shape the sharded serving layer partitions along.
+    With ``tenants=1`` and an empty prefix this reduces to
+    :func:`generate_company_like`; all randomness flows from
+    ``config.seed`` and the tenant number.
+    """
+    if tenants < 1:
+        raise QueryError("tenants must be positive", got=tenants)
+    database = Database(build_company_schema(), enforce_foreign_keys=False)
+    for tenant in range(tenants):
+        rng = random.Random(config.seed * 1_000_003 + tenant)
+        _populate(database, config, rng, prefix=f"t{tenant + 1}")
+    database.check_integrity()
+    database.enforce_foreign_keys = True
+    return database
+
+
+def _populate(
+    database: Database, config: SyntheticConfig, rng: random.Random, prefix: str
+) -> None:
+    """Insert one company instance; ``prefix`` namespaces every key."""
     department_ids = []
     for index in range(config.departments):
-        department_id = f"d{index + 1}"
+        department_id = f"{prefix}d{index + 1}"
         department_ids.append(department_id)
         database.insert(
             "DEPARTMENT",
@@ -88,7 +121,7 @@ def generate_company_like(config: SyntheticConfig = SyntheticConfig()) -> Databa
     project_ids = []
     for dept_index, department_id in enumerate(department_ids):
         for offset in range(config.projects_per_department):
-            project_id = f"p{len(project_ids) + 1}"
+            project_id = f"{prefix}p{len(project_ids) + 1}"
             project_ids.append(project_id)
             database.insert(
                 "PROJECT",
@@ -105,7 +138,7 @@ def generate_company_like(config: SyntheticConfig = SyntheticConfig()) -> Databa
     employee_ids = []
     for department_id in department_ids:
         for __ in range(config.employees_per_department):
-            employee_id = f"e{len(employee_ids) + 1}"
+            employee_id = f"{prefix}e{len(employee_ids) + 1}"
             employee_ids.append(employee_id)
             database.insert(
                 "EMPLOYEE",
@@ -131,7 +164,7 @@ def generate_company_like(config: SyntheticConfig = SyntheticConfig()) -> Databa
                     "P_ID": project_id,
                     "HOURS": rng.randrange(5, 80),
                 },
-                label=f"w_f{works_for_count}",
+                label=f"{prefix}w_f{works_for_count}",
             )
 
     dependent_count = 0
@@ -144,15 +177,11 @@ def generate_company_like(config: SyntheticConfig = SyntheticConfig()) -> Databa
             database.insert(
                 "DEPENDENT",
                 {
-                    "ID": f"t{dependent_count}",
+                    "ID": f"{prefix}t{dependent_count}",
                     "ESSN": employee_id,
                     "DEPENDENT_NAME": rng.choice(_FIRST_NAMES),
                 },
             )
-
-    database.check_integrity()
-    database.enforce_foreign_keys = True
-    return database
 
 
 def plant(

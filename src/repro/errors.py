@@ -9,6 +9,20 @@ appended to the rendered message (useful in logs and test assertions).
 from __future__ import annotations
 
 
+def _rebuild_error(cls: type, message: str, context: dict) -> "ReproError":
+    """Reconstruct a pickled :class:`ReproError` without re-rendering.
+
+    The constructor appends the context to the message; round-tripping
+    through it would double the rendered details and lose the structured
+    ``context`` dict, so unpickling restores both fields verbatim instead
+    (worker processes ship errors back to the parallel coordinator).
+    """
+    error = cls.__new__(cls)
+    Exception.__init__(error, message)
+    error.context = context
+    return error
+
+
 class ReproError(Exception):
     """Base class for every error raised by this library."""
 
@@ -18,6 +32,10 @@ class ReproError(Exception):
             details = ", ".join(f"{key}={value!r}" for key, value in context.items())
             message = f"{message} ({details})"
         super().__init__(message)
+
+    def __reduce__(self):
+        message = self.args[0] if self.args else ""
+        return (_rebuild_error, (type(self), message, self.context))
 
 
 class SchemaError(ReproError):
@@ -74,3 +92,7 @@ class QueryError(ReproError):
 
 class SearchLimitError(ReproError):
     """A search exceeded a configured enumeration budget."""
+
+
+class SnapshotError(ReproError):
+    """An engine snapshot file is malformed, corrupted or incompatible."""

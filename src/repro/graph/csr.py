@@ -109,6 +109,10 @@ class FrozenGraph:
         #: Times the structure was recompiled by a patch crossing the
         #: compaction threshold (observability for tests/benchmarks).
         self.compactions = 0
+        #: Bumped on every (re)compilation.  A compile renumbers the
+        #: dense ints, so structures keyed by node int (shard plans,
+        #: snapshots) compare this stamp to detect staleness.
+        self.compile_stamp = 0
         #: Where distance-row hit/miss counts are recorded.  The owning
         #: :class:`~repro.graph.fast_traversal.TraversalCache` passes
         #: itself, so ``cache.hits`` means "distance lookups reused"
@@ -117,16 +121,66 @@ class FrozenGraph:
         self._counters = counters if counters is not None else self
         self._compile()
 
+    @classmethod
+    def from_parts(
+        cls,
+        data_graph: DataGraph,
+        tids: Sequence[TupleId],
+        offsets,
+        targets,
+        edge_keys: Sequence[str],
+        edge_data: Sequence[dict],
+        counters=None,
+    ) -> "FrozenGraph":
+        """Assemble a compiled graph from pre-built flat structures.
+
+        Two callers own such structures: the snapshot loader (the CSR
+        sections of an engine snapshot, typically ``memoryview`` slices
+        over an ``mmap``) and the shard partitioner (a shard's rows
+        extracted from the global graph).  ``tids`` must be in
+        ``_sort_key`` order — the invariant :meth:`_compile` establishes
+        — and ``offsets``/``targets`` any int-indexable sequence with
+        CSR semantics.  No compilation pass runs; ``data_graph`` is only
+        consulted later, by incremental patching.
+        """
+        frozen = cls.__new__(cls)
+        frozen.data_graph = data_graph
+        frozen.hits = 0
+        frozen.misses = 0
+        frozen.compactions = 0
+        frozen.compile_stamp = 1
+        frozen._counters = counters if counters is not None else frozen
+        # Interning lookups and sort keys materialise on first demand:
+        # ``tids`` may itself decode lazily from a snapshot section, and
+        # a pure open() should not pay for tables only queries need.
+        frozen._node_of = None
+        frozen._tid_of = tids
+        frozen._keys_cache = None
+        frozen._ints_sorted = True
+        frozen._offsets = offsets
+        frozen._targets = targets
+        # Kept as given: snapshot loaders pass lazily-decoding payload
+        # tables, shard extraction passes plain lists.
+        frozen._edge_keys = edge_keys
+        frozen._edge_data = edge_data
+        frozen._alive = bytearray(b"\x01") * len(tids)
+        frozen._override = {}
+        frozen._distances = {}
+        frozen._components = None
+        frozen._neighbour_rows = {}
+        return frozen
+
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
     def _compile(self) -> None:
+        self.compile_stamp += 1
         graph = self.data_graph.graph
         tids = sorted(graph.nodes, key=_sort_key)
         node_of = {tid: index for index, tid in enumerate(tids)}
-        self._node_of = node_of
+        self._node_of: Optional[dict] = node_of
         self._tid_of: list[Optional[TupleId]] = list(tids)
-        self._keys = [_sort_key(tid) for tid in tids]
+        self._keys_cache: Optional[list] = [_sort_key(tid) for tid in tids]
         #: True while live ints enumerate in ``_sort_key`` order (no
         #: appended nodes) — int comparison then *is* key comparison.
         self._ints_sorted = True
@@ -159,12 +213,33 @@ class FrozenGraph:
         """Interned slots including tombstones (valid int ids are ``< capacity``)."""
         return len(self._tid_of)
 
+    @property
+    def _keys(self) -> list:
+        """Per-node sort keys, derived lazily on restored graphs."""
+        cached = self._keys_cache
+        if cached is None:
+            cached = self._keys_cache = [
+                None if tid is None else _sort_key(tid) for tid in self._tid_of
+            ]
+        return cached
+
+    def _node_map(self) -> dict:
+        """The tuple-id → dense-int map, built lazily on restored graphs."""
+        node_of = self._node_of
+        if node_of is None:
+            node_of = self._node_of = {
+                tid: index
+                for index, tid in enumerate(self._tid_of)
+                if tid is not None
+            }
+        return node_of
+
     def live_count(self) -> int:
         return sum(self._alive)
 
     def node_of(self, tid: TupleId) -> Optional[int]:
         """Dense int of a tuple id, ``None`` when absent or tombstoned."""
-        return self._node_of.get(tid)
+        return self._node_map().get(tid)
 
     def tid_of(self, node: int) -> TupleId:
         tid = self._tid_of[node]
@@ -172,17 +247,49 @@ class FrozenGraph:
         return tid
 
     def nbytes(self) -> int:
-        """Approximate footprint of the flat arrays (payload refs excluded)."""
-        total = (
+        """Approximate total footprint of the compiled structure."""
+        footprint = self.memory_footprint()
+        return footprint["total"]
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Footprint estimate by section, in bytes.
+
+        ``arrays`` covers the flat CSR buffers and liveness bits,
+        ``distances`` the cached BFS rows (plus the component labels),
+        and ``payload`` the edge-payload table: the two per-entry list
+        slots plus each *distinct* edge-key string and edge-data dict —
+        payload objects are shared between the two CSR entries of one
+        undirected edge (and with the underlying networkx graph), so
+        they are counted once by identity, not per entry.
+        """
+        import sys
+
+        arrays = (
             self._offsets.itemsize * len(self._offsets)
             + self._targets.itemsize * len(self._targets)
             + len(self._alive)
         )
+        distances = 0
         for row in self._distances.values():
-            total += row.itemsize * len(row)
+            distances += row.itemsize * len(row)
         if self._components is not None:
-            total += self._components.itemsize * len(self._components)
-        return total
+            distances += self._components.itemsize * len(self._components)
+        payload = 16 * len(self._edge_keys)  # two list slots per entry
+        seen: set[int] = set()
+        for key in self._edge_keys:
+            if id(key) not in seen:
+                seen.add(id(key))
+                payload += sys.getsizeof(key)
+        for data in self._edge_data:
+            if id(data) not in seen:
+                seen.add(id(data))
+                payload += sys.getsizeof(data)
+        return {
+            "arrays": arrays,
+            "distances": distances,
+            "payload": payload,
+            "total": arrays + distances + payload,
+        }
 
     # ------------------------------------------------------------------
     # adjacency
@@ -191,7 +298,7 @@ class FrozenGraph:
         """One tuple's ``(neighbour int, edge key, edge data)`` entries in
         the deterministic expansion order — the single definition both
         compilation and row patching derive rows from."""
-        node_of = self._node_of
+        node_of = self._node_map()
         return sorted(
             (
                 (node_of[other], key, data)
@@ -316,10 +423,11 @@ class FrozenGraph:
         of distance rows dropped; bumps :attr:`compactions` when the
         patch crossed the threshold and triggered a recompile.
         """
+        node_map = self._node_map()
         removed = [
             node
             for tid in changeset.tuples_removed
-            if (node := self._node_of.pop(tid, None)) is not None
+            if (node := node_map.pop(tid, None)) is not None
         ]
         for node in removed:
             self._alive[node] = 0
@@ -327,10 +435,10 @@ class FrozenGraph:
             self._override[node] = ([], [], [])
         appended = []
         for tid in changeset.tuples_added:
-            if tid in self._node_of:
+            if tid in node_map:
                 continue
             node = self.capacity
-            self._node_of[tid] = node
+            node_map[tid] = node
             self._tid_of.append(tid)
             self._keys.append(_sort_key(tid))
             self._alive.append(1)
@@ -341,7 +449,7 @@ class FrozenGraph:
         touched: set[int] = set()
         for edge in (*changeset.edges_added, *changeset.edges_removed):
             for tid in (edge.referencing, edge.referenced):
-                node = self._node_of.get(tid)
+                node = node_map.get(tid)
                 if node is not None and self._alive[node]:
                     touched.add(node)
         for node in touched:
@@ -554,7 +662,6 @@ def csr_enumerate_joining_trees(
     distance_rows = [frozen.distances(node) for node in req]
     tid_of = frozen._tid_of
     ints_sorted = frozen._ints_sorted
-    keys = frozen._keys
 
     produced = 0
     seen: set[frozenset[int]] = set()
@@ -564,6 +671,7 @@ def csr_enumerate_joining_trees(
     if ints_sorted:
         frontier_key = sorted
     else:
+        keys = frozen._keys
         frontier_key = lambda current: sorted(keys[node] for node in current)
 
     while frontier:

@@ -28,7 +28,33 @@ from repro.errors import PathError
 from repro.relational.database import Database, Tuple, TupleId
 from repro.relational.schema import ForeignKey
 
-__all__ = ["DataGraph"]
+__all__ = ["DataGraph", "build_tuple_graph"]
+
+
+def build_tuple_graph(database: Database) -> nx.MultiGraph:
+    """Construct the tuple-level multigraph of one database instance.
+
+    Node and edge insertion order is part of the engine's determinism
+    contract (multi-edge iteration follows it), so every construction
+    path — eager :class:`DataGraph` build and the snapshot loader's
+    deferred materialisation — must go through this one function.
+    """
+    graph = nx.MultiGraph()
+    for record in database.all_tuples():
+        graph.add_node(record.tid, relation=record.relation)
+    for fk in database.schema.foreign_keys:
+        for record in database.tuples(fk.source):
+            target = database.referenced_tuple(record, fk)
+            if target is None:
+                continue
+            graph.add_edge(
+                record.tid,
+                target.tid,
+                key=fk.name,
+                foreign_key=fk,
+                referencing=record.tid,
+            )
+    return graph
 
 
 class DataGraph:
@@ -36,22 +62,7 @@ class DataGraph:
 
     def __init__(self, database: Database) -> None:
         self.database = database
-        graph = nx.MultiGraph()
-        for record in database.all_tuples():
-            graph.add_node(record.tid, relation=record.relation)
-        for fk in database.schema.foreign_keys:
-            for record in database.tuples(fk.source):
-                target = database.referenced_tuple(record, fk)
-                if target is None:
-                    continue
-                graph.add_edge(
-                    record.tid,
-                    target.tid,
-                    key=fk.name,
-                    foreign_key=fk,
-                    referencing=record.tid,
-                )
-        self._graph = graph
+        self._graph = build_tuple_graph(database)
         self._conceptual: Optional[nx.MultiGraph] = None
         #: Monotonically increasing mutation stamp.  Every structural
         #: change (node/edge patch, cache invalidation) bumps it, so

@@ -34,6 +34,7 @@ __all__ = [
     "apply_to_index",
     "apply_to_graph",
     "apply_to_traversal_cache",
+    "apply_to_shard_plan",
     "affected_tuples",
     "apply_changeset",
 ]
@@ -92,6 +93,20 @@ def apply_to_traversal_cache(cache: TraversalCache, changeset: ChangeSet) -> int
     return cache.apply_changeset(changeset)
 
 
+def apply_to_shard_plan(shard_plan, changeset: ChangeSet) -> None:
+    """Re-route only the shards a changeset touched.
+
+    Shard assignment is a pure function of connected components, so
+    value-only updates change nothing; structural changes reassign
+    exactly the affected components (a merged component keeps its lowest
+    previous shard, a brand-new one lands on the lightest) and drop only
+    the touched shards' extracted graphs.  Run after
+    :func:`apply_to_traversal_cache` — the plan reads the *patched*
+    compiled graph's components.
+    """
+    shard_plan.apply_changeset(changeset)
+
+
 def affected_tuples(
     data_graph: DataGraph, changeset: ChangeSet
 ) -> frozenset[TupleId]:
@@ -124,11 +139,19 @@ def apply_changeset(
     index: InvertedIndex | None = None,
     data_graph: DataGraph | None = None,
     traversal_cache: TraversalCache | None = None,
+    shard_plan=None,
 ) -> None:
-    """Apply one changeset to whichever derived structures are given."""
+    """Apply one changeset to whichever derived structures are given.
+
+    Order matters: the graph is patched before the traversal cache
+    (patched CSR rows re-read it) and the shard plan last (it reads the
+    patched compiled graph's components).
+    """
     if index is not None:
         apply_to_index(index, database, changeset)
     if data_graph is not None:
         apply_to_graph(data_graph, database, changeset)
     if traversal_cache is not None:
         apply_to_traversal_cache(traversal_cache, changeset)
+    if shard_plan is not None:
+        apply_to_shard_plan(shard_plan, changeset)

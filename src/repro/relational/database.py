@@ -103,6 +103,34 @@ class Database:
             relation.name: {} for relation in schema.relations
         }
 
+    @staticmethod
+    def build_store(
+        schema: DatabaseSchema,
+        relation_name: str,
+        rows: Iterable[tuple[Mapping[str, object], Optional[str]]],
+    ) -> dict:
+        """One relation's store dict from validated ``(values, label)`` rows.
+
+        Slot-level construction: this loop dominates snapshot-open time,
+        and Tuple.__init__'s defensive values copy is pointless here (the
+        parsed row dicts are exclusively the caller's).
+        """
+        relation = schema.relation(relation_name)
+        key_columns = list(relation.primary_key)
+        store: dict = {}
+        for values, label in rows:
+            key = tuple([values[column] for column in key_columns])
+            record = Tuple.__new__(Tuple)
+            record.tid = TupleId(relation_name, key)
+            record.values = values
+            record.label = (
+                label
+                if label is not None
+                else ",".join(str(part) for part in key)
+            )
+            store[key] = record
+        return store
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

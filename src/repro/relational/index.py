@@ -59,6 +59,75 @@ class Posting:
     whole_value: bool
 
 
+class _LazyPostings(dict):
+    """Posting lists decoded from their snapshot encoding on first touch.
+
+    Behaves like the ``defaultdict(list)`` a built index uses: a missing
+    token decodes its pending raw entries (or starts an empty list) and
+    stores the result, after which plain dict semantics apply.  Pending
+    and materialised keys are disjoint — decoding *moves* a token out of
+    the raw table — so iteration, membership and length see each token
+    exactly once.  Most queries touch a handful of tokens, so restoring
+    an index never pays for the vocabulary it does not use.
+    """
+
+    def __init__(self, raw, decode) -> None:
+        super().__init__()
+        # ``raw`` may be the encoded table itself or a zero-argument
+        # loader for it (a snapshot defers even parsing the section
+        # until the first keyword lookup needs it).
+        if callable(raw):
+            self._raw_loader = raw
+            self._raw_data = None
+        else:
+            self._raw_loader = None
+            self._raw_data = raw
+        self._decode = decode
+
+    @property
+    def _raw(self) -> dict:
+        if self._raw_data is None:
+            self._raw_data = self._raw_loader()
+        return self._raw_data
+
+    def __missing__(self, token: str) -> list:
+        entries = self._raw.pop(token, None)
+        value = self._decode(entries) if entries is not None else []
+        self[token] = value
+        return value
+
+    def get(self, token, default=None):
+        if dict.__contains__(self, token) or token in self._raw:
+            return self[token]
+        return default
+
+    def __contains__(self, token) -> bool:
+        return dict.__contains__(self, token) or token in self._raw
+
+    def __iter__(self):
+        yield from dict.__iter__(self)
+        yield from self._raw
+
+    def __len__(self) -> int:
+        return dict.__len__(self) + len(self._raw)
+
+    def keys(self):
+        return list(self)
+
+    def items(self):
+        for token in list(self):
+            yield token, self[token]
+
+    def values(self):
+        for token in list(self):
+            yield self[token]
+
+    def clear(self) -> None:
+        dict.clear(self)
+        self._raw_loader = None
+        self._raw_data = {}
+
+
 class InvertedIndex:
     """Word-level inverted index over a database instance."""
 
@@ -66,6 +135,8 @@ class InvertedIndex:
         self._database = database
         self._postings: dict[str, list[Posting]] = defaultdict(list)
         self._indexed: set[TupleId] = set()
+        self._order_stale = False
+        self._tokens_loader = None
         #: Database order of every indexed tuple: (relation position in the
         #: schema, position in the relation's store).  Posting lists are
         #: kept sorted by this key, which is exactly the order a fresh
@@ -83,12 +154,76 @@ class InvertedIndex:
         self._tokens_by_tid: dict[TupleId, tuple[str, ...]] = {}
         self.build()
 
+    @classmethod
+    def from_state(
+        cls,
+        database: Database,
+        postings: dict,
+        tokens_by_tid,
+    ) -> "InvertedIndex":
+        """Rebuild an index from previously exported posting state.
+
+        ``postings`` is any dict-like mapping token -> posting list that
+        yields a fresh list for missing tokens (a plain dict of decoded
+        lists, or a :class:`_LazyPostings` deferring decoding); posting
+        lists must already be in database order — the order a fresh
+        :meth:`build` over the same database produces.
+        ``tokens_by_tid`` maps each indexed tuple to its tokens, either
+        as a dict or as a zero-argument loader returning one — pure
+        lookups never need it, so a snapshot restore defers it together
+        with the database-order keys until the first mutation.
+        """
+        index = cls.__new__(cls)
+        index._database = database
+        index._postings = postings
+        index._order_stale = True
+        index._order = {}
+        index._relation_position = {
+            relation.name: position
+            for position, relation in enumerate(database.schema.relations)
+        }
+        index._relation_tail = {}
+        if callable(tokens_by_tid):
+            index._tokens_loader = tokens_by_tid
+            index._tokens_by_tid = None
+            index._indexed = None
+        else:
+            index._tokens_loader = None
+            index._tokens_by_tid = dict(tokens_by_tid)
+            index._indexed = set(tokens_by_tid)
+        return index
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def _ensure_tokens(self) -> None:
+        """Materialise the per-tuple token table on a restored index."""
+        if self._tokens_by_tid is None:
+            self._tokens_by_tid = dict(self._tokens_loader())
+            self._indexed = set(self._tokens_by_tid)
+            self._tokens_loader = None
+
+    def _ensure_order(self) -> None:
+        """Materialise database-order keys on a restored index.
+
+        ``insort`` compares *existing* postings by their order keys, so
+        the full table must exist before the first incremental mutation
+        — not just the mutated tuple's entry.
+        """
+        if not self._order_stale:
+            return
+        self._order_stale = False
+        for relation in self._database.schema.relations:
+            self._refresh_order(relation.name)
+
     def build(self) -> None:
         """Discard and rebuild the whole index from the database."""
+        self._order_stale = False
+        self._tokens_loader = None
         self._postings.clear()
+        if self._indexed is None:
+            self._indexed = set()
+            self._tokens_by_tid = {}
         self._indexed.clear()
         self._order.clear()
         self._relation_tail.clear()
@@ -169,8 +304,10 @@ class InvertedIndex:
         tuple from the middle of the store (the remove/re-add round trip)
         re-derives the relation's order with one scan.
         """
+        self._ensure_tokens()
         if record.tid in self._indexed:
             return
+        self._ensure_order()
         if record.tid not in self._order:
             # A cached order key (from a refresh, or preserved across a
             # value-update reindex) is still relatively correct — only a
@@ -188,6 +325,7 @@ class InvertedIndex:
         order key is preserved across the remove/re-add — no relation
         scan, and posting order stays equal to a fresh build.
         """
+        self._ensure_order()
         order = self._order.get(record.tid)
         self.remove_tuple(record.tid)
         if order is not None:
@@ -196,8 +334,10 @@ class InvertedIndex:
 
     def remove_tuple(self, tid: TupleId) -> None:
         """Drop all postings of one tuple."""
+        self._ensure_tokens()
         if tid not in self._indexed:
             return
+        self._ensure_order()
         for token in self._tokens_by_tid.pop(tid, ()):
             postings = self._postings.get(token)
             if postings is None:
@@ -232,6 +372,7 @@ class InvertedIndex:
 
     def indexed_count(self) -> int:
         """Number of tuples currently indexed (the IR collection size)."""
+        self._ensure_tokens()
         return len(self._indexed)
 
     def __contains__(self, keyword: str) -> bool:

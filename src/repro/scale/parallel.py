@@ -1,0 +1,342 @@
+"""Process-pool batch execution over snapshot-opened shard engines.
+
+``KeywordSearchEngine.search_batch(jobs=N)`` routes here: the batch is
+deduplicated, answered query-by-query on a pool of worker processes and
+reassembled in input order.  Each worker opens the coordinator's
+snapshot **once** (in the pool initializer) into its own engine with the
+same core and shard configuration — the snapshot's array sections are
+``mmap``-backed, so the workers share page-cache pages instead of
+copying the compiled graph N times.
+
+Bit-identity with the serial path is structural, not hoped-for:
+
+* a worker answers a query with exactly the code ``engine.search`` runs
+  serially (sharded unit filtering included), so per-query results,
+  order and any :class:`~repro.errors.SearchLimitError` are the serial
+  ones;
+* the coordinator raises the error of the *earliest* failing query in
+  input order — the one serial ``search_batch`` would have hit first —
+  after committing the results of the queries before it;
+* worker counters fold through the commutative
+  :meth:`~repro.core.executor.ExecutionStats.merge`, so out-of-order
+  pool completion cannot change the aggregated stats.
+
+Results cross the process boundary in a *portable* form (tuple ids,
+path steps, keyword bindings, scores) and are revived against the
+coordinator's data graph; revival is allocation-cheap because
+connection metrics and network spanning trees are computed lazily.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.core.executor import ExecutionStats, SearchResult, SharedEnumerations
+from repro.core.search import JoiningNetwork, SingleTupleAnswer
+from repro.core.connections import Connection
+from repro.errors import ReproError
+from repro.graph.traversal import TuplePathStep
+
+__all__ = ["ParallelSearcher", "run_batch"]
+
+#: The worker process's engine, opened once per pool worker.
+_WORKER_ENGINE = None
+
+
+def _pool_context():
+    """Prefer fork (cheap, snapshot pages shared immediately); fall back
+    to spawn where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _init_worker(
+    snapshot_path: str,
+    core: Optional[str],
+    shards: Optional[int],
+    result_cache_entries: int,
+):
+    global _WORKER_ENGINE
+    from repro.core.engine import KeywordSearchEngine
+
+    _WORKER_ENGINE = KeywordSearchEngine.open(
+        snapshot_path,
+        core=core,
+        shards=shards,
+        result_cache_entries=result_cache_entries,
+    )
+
+
+def _portable_answer(answer):
+    """Encode one answer for the trip back to the coordinator."""
+    if isinstance(answer, SingleTupleAnswer):
+        return ("single", answer.tid, answer.covered_keywords)
+    if isinstance(answer, Connection):
+        steps = tuple(
+            (step.source, step.target, step.edge_key, step.edge_data)
+            for step in answer.steps
+        )
+        return ("connection", steps, dict(answer.keyword_matches))
+    if isinstance(answer, JoiningNetwork):
+        return ("network", answer.tuples, dict(answer.keyword_tuples))
+    raise TypeError(f"unportable answer type: {type(answer).__name__}")
+
+
+def revive_result(data_graph, portable, score, rank) -> SearchResult:
+    """Rebuild one :class:`SearchResult` against the coordinator's graph.
+
+    Edge payload dicts travel by value; they compare equal to the
+    coordinator's own (payloads are ``{foreign_key, referencing}``
+    dataclass/tuple-id values), which is the contract everything
+    downstream relies on.  Network spanning trees and connection
+    conceptual views stay lazy, so revival is allocation only.
+    """
+    kind = portable[0]
+    if kind == "single":
+        answer = SingleTupleAnswer(data_graph, portable[1], portable[2])
+    elif kind == "connection":
+        steps = [TuplePathStep(*step) for step in portable[1]]
+        answer = Connection(data_graph, steps, portable[2])
+    else:
+        answer = JoiningNetwork(data_graph, portable[1], portable[2])
+    return SearchResult(answer=answer, score=score, rank=rank)
+
+
+def _run_chunk(chunk):
+    """Answer one contiguous slice of the batch inside a worker.
+
+    A failing query aborts the rest of its chunk (the coordinator never
+    uses outcomes past the first batch error anyway) but keeps the
+    chunk's earlier successes, mirroring the serial loop.
+    """
+    positions, queries, options = chunk
+    engine = _WORKER_ENGINE
+    outcomes = []
+    for position, query in zip(positions, queries):
+        try:
+            results = engine.search(
+                query,
+                ranker=options.get("ranker"),
+                limits=options.get("limits"),
+                top_k=options.get("top_k"),
+                semantics=options.get("semantics", "and"),
+                pushdown=options.get("pushdown"),
+            )
+        except ReproError as error:
+            outcomes.append((position, "error", error, None))
+            break
+        portable = [
+            (_portable_answer(result.answer), result.score) for result in results
+        ]
+        outcomes.append((position, "ok", portable, replace(engine.last_stats)))
+    return outcomes
+
+
+def _worker_loop(
+    connection,
+    snapshot_path: str,
+    core: Optional[str],
+    shards: Optional[int],
+    result_cache_entries: int,
+) -> None:
+    """One dedicated worker: open the snapshot once, serve chunks forever."""
+    try:
+        _init_worker(snapshot_path, core, shards, result_cache_entries)
+    except BaseException as error:  # surface startup failures, don't hang
+        connection.send(("crashed", repr(error)))
+        return
+    connection.send(("ready", None))
+    while True:
+        try:
+            chunk = connection.recv()
+        except EOFError:
+            return
+        if chunk is None:
+            return
+        try:
+            connection.send(("ok", _run_chunk(chunk)))
+        except BaseException as error:  # pragma: no cover - worker bug guard
+            connection.send(("crashed", repr(error)))
+            return
+
+
+class ParallelSearcher:
+    """A pool of dedicated snapshot workers, one pipe per worker.
+
+    Unlike a task-stealing pool, chunk *i* of every batch goes to worker
+    *i*: repeated batches of a serving loop land on the worker whose
+    traversal/answer caches already hold their state, so steady-state
+    latency is the warm cost.  Workers are daemonic and die with the
+    coordinator; :meth:`close` shuts them down explicitly.
+    """
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        jobs: int,
+        *,
+        core: Optional[str] = None,
+        shards: Optional[int] = None,
+        result_cache_entries: int = 256,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.snapshot_path = str(snapshot_path)
+        self.jobs = jobs
+        self.core = core
+        self.shards = shards
+        self.result_cache_entries = result_cache_entries
+        self._workers: Optional[list] = None
+
+    def _ensure_workers(self) -> list:
+        if self._workers is None:
+            context = _pool_context()
+            workers = []
+            for __ in range(self.jobs):
+                parent_end, worker_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_loop,
+                    args=(
+                        worker_end,
+                        self.snapshot_path,
+                        self.core,
+                        self.shards,
+                        self.result_cache_entries,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                worker_end.close()
+                workers.append((process, parent_end))
+            for process, connection in workers:
+                status, detail = connection.recv()
+                if status != "ready":
+                    self._shutdown(workers)
+                    raise RuntimeError(f"snapshot worker failed to start: {detail}")
+            self._workers = workers
+        return self._workers
+
+    def run(self, queries: Sequence[str], options: dict) -> dict:
+        """Answer distinct queries on the pool; returns per-query outcomes.
+
+        The batch is cut into one contiguous chunk per worker — a single
+        IPC round trip each.  Each outcome is ``("ok",
+        portable_results, stats)`` or ``("error", error, None)``; a
+        chunk stops at its first error, which is safe because the
+        coordinator never consumes outcomes past the batch's first
+        failure and chunk contiguity keeps everything before it
+        populated.
+        """
+        if not queries:
+            return {}
+        workers = self._ensure_workers()
+        chunk_count = min(self.jobs, len(queries))
+        size = (len(queries) + chunk_count - 1) // chunk_count
+        busy = []
+        for index, start in enumerate(range(0, len(queries), size)):
+            positions = list(range(start, min(start + size, len(queries))))
+            chunk = (positions, [queries[p] for p in positions], options)
+            __, connection = workers[index]
+            connection.send(chunk)
+            busy.append(connection)
+        outcomes: dict[str, tuple] = {}
+        for connection in busy:
+            status, chunk_outcomes = connection.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"snapshot worker crashed: {chunk_outcomes}")
+            for position, result_status, payload, stats in chunk_outcomes:
+                outcomes[queries[position]] = (result_status, payload, stats)
+        return outcomes
+
+    def _shutdown(self, workers) -> None:
+        for process, connection in workers:
+            try:
+                connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            connection.close()
+        for process, __ in workers:
+            process.join(timeout=2)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+                process.join(timeout=2)
+
+    def close(self) -> None:
+        if self._workers is not None:
+            self._shutdown(self._workers)
+            self._workers = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._workers is not None else "idle"
+        return (
+            f"ParallelSearcher({self.snapshot_path!r}, jobs={self.jobs}, {state})"
+        )
+
+
+def run_batch(
+    engine,
+    queries: Sequence[str],
+    *,
+    jobs: int,
+    ranker,
+    limits,
+    top_k: Optional[int],
+    semantics: str,
+    pushdown: Optional[bool],
+) -> list:
+    """Parallel twin of the serial ``search_batch`` body.
+
+    Coordinator-side answer-cache hits never leave the process; the
+    remaining distinct queries fan out to the pool.  Successes are
+    revived and cached exactly as a serial run would have cached them;
+    the first failing query (in input order) re-raises its worker error
+    after the queries before it committed.
+    """
+    searcher = engine._ensure_searcher(jobs)
+    stats = ExecutionStats()
+    resolved: dict[str, list] = {}
+    keys: dict[str, object] = {}
+    pending: list[str] = []
+    for query in dict.fromkeys(queries):
+        key = engine._cache_key(query, ranker, limits, top_k, semantics, pushdown)
+        keys[query] = key
+        entry = engine.result_cache.lookup(key) if key is not None else None
+        if entry is not None:
+            resolved[query] = list(entry.results)
+            stats.merge(entry.stats)
+        else:
+            pending.append(query)
+
+    options = {
+        "ranker": ranker,
+        "limits": limits,
+        "top_k": top_k,
+        "semantics": semantics,
+        "pushdown": pushdown,
+    }
+    outcomes = searcher.run(pending, options)
+
+    for query in pending:
+        status, payload, worker_stats = outcomes[query]
+        if status == "error":
+            # The serial loop would have raised here, with every earlier
+            # query already answered (and cached) — which just happened.
+            engine.last_stats = stats
+            raise payload
+        results = [
+            revive_result(engine.data_graph, portable, score, rank + 1)
+            for rank, (portable, score) in enumerate(payload)
+        ]
+        resolved[query] = results
+        stats.merge(worker_stats)
+        key = keys[query]
+        if key is not None:
+            __, matches = engine._plan(query, top_k, semantics)
+            engine._cache_store(key, ranker, matches, results, worker_stats)
+
+    engine.last_stats = stats
+    engine.last_shared = SharedEnumerations()
+    return [resolved[query] for query in queries]

@@ -1,0 +1,658 @@
+"""Versioned binary engine snapshots with mmap-loadable array sections.
+
+A snapshot makes engine state a cheap artifact instead of a cold build:
+``KeywordSearchEngine.save(path)`` writes everything a serving process
+needs — the database instance, the compiled CSR buffers, the interning
+table, the inverted-index postings, corpus statistics and the shard
+assignment — and ``KeywordSearchEngine.open(path)`` brings an engine up
+an order of magnitude faster than rebuilding those structures from raw
+tuples.  Worker processes of the parallel executor each open the same
+file; the array sections are ``mmap``-backed, so the page cache shares
+them across the fleet.
+
+File layout::
+
+    MAGIC  u32 toc_length  toc_json  section bytes...
+
+The TOC records ``[offset, length, crc32]`` per section (offsets are
+relative to the data area, so the TOC's own size never feeds back into
+it).  Every section is integrity-checked on open; corruption, truncation
+and format or platform mismatches raise
+:class:`~repro.errors.SnapshotError` instead of producing a silently
+wrong engine.
+
+Restoration is lazy wherever queries allow it:
+
+* the CSR ``array('i')`` buffers are zero-copy ``memoryview`` casts
+  over the mapped file;
+* edge-payload dicts materialise per CSR entry on first touch
+  (:class:`_LazyEdgeData`);
+* posting lists decode per token on first lookup
+  (:class:`~repro.relational.index._LazyPostings`);
+* the networkx tuple graph — only needed by the reference/fast cores
+  and by joining-network metrics — is deferred entirely
+  (:class:`LazyDataGraph`); a pure-CSR path query never builds it.
+
+The snapshot stores the engine's live-update ``version``; applying
+mutation batches to an opened engine bumps it through the ordinary
+:class:`~repro.live.changes.ChangeSet` path, and a subsequent ``save``
+persists the bumped version.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import SnapshotError
+from repro.graph.csr import FrozenGraph
+from repro.graph.data_graph import DataGraph, build_tuple_graph
+from repro.graph.fast_traversal import TraversalCache
+from repro.relational.database import Database, TupleId
+from repro.relational.index import InvertedIndex, Posting, _LazyPostings
+from repro.relational.io import schema_from_dict, schema_to_dict
+from repro.relational.statistics import DatabaseStatistics
+
+__all__ = ["SNAPSHOT_FORMAT", "Snapshot", "write_snapshot", "load_engine", "LazyDataGraph"]
+
+_MAGIC = b"REPROSNP\x01"
+SNAPSHOT_FORMAT = 1
+
+_REQUIRED_SECTIONS = (
+    "meta",
+    "schema",
+    "interning",
+    "csr_offsets",
+    "csr_targets",
+    "edge_keys",
+    "edge_ref",
+    "postings",
+    "tokens",
+    "stats",
+)
+
+
+class _LazyStores(dict):
+    """Per-relation tuple stores materialised from their snapshot
+    sections on first access.
+
+    Each relation's rows live in their own integrity-checked section, so
+    a serving process only parses and objectifies the relations its
+    queries actually render.  Once a store is built (or assigned — e.g.
+    by a rollback's order restore) plain dict semantics apply.
+    """
+
+    def __init__(self, loaders: dict) -> None:
+        super().__init__()
+        self._pending = loaders
+
+    def __missing__(self, name: str) -> dict:
+        loader = self._pending.pop(name, None)
+        if loader is None:
+            raise KeyError(name)
+        store = loader()
+        self[name] = store
+        return store
+
+    def __setitem__(self, name, store) -> None:
+        self._pending.pop(name, None)
+        dict.__setitem__(self, name, store)
+
+    def get(self, name, default=None):
+        if name in self:
+            return self[name]
+        return default
+
+    def __contains__(self, name) -> bool:
+        return dict.__contains__(self, name) or name in self._pending
+
+    def __iter__(self):
+        yield from dict.__iter__(self)
+        yield from list(self._pending)
+
+    def __len__(self) -> int:
+        return dict.__len__(self) + len(self._pending)
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        for name in list(self):
+            yield self[name]
+
+    def items(self):
+        for name in list(self):
+            yield name, self[name]
+
+
+class LazyDataGraph(DataGraph):
+    """A :class:`DataGraph` whose networkx graph builds on first demand.
+
+    The compiled CSR kernels answer path queries without ever touching
+    the tuple multigraph, so a snapshot-opened engine defers its
+    construction entirely; the first consumer that needs it (fast or
+    reference core, joining-network metrics, live patching) triggers one
+    ordinary :func:`~repro.graph.data_graph.build_tuple_graph` pass —
+    node and edge order identical to an eager build.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._conceptual = None
+        self.version = 0
+        self._materialized = None
+
+    @property
+    def _graph(self):
+        if self._materialized is None:
+            self._materialized = build_tuple_graph(self.database)
+        return self._materialized
+
+    @property
+    def materialized(self) -> bool:
+        """True once the networkx graph was actually built."""
+        return self._materialized is not None
+
+
+class _LazyTidList:
+    """The interning table, decoded from JSON and into :class:`TupleId`
+    objects on demand.
+
+    Kernels touch tuple ids only at yield boundaries and the interning
+    map only for a query's match tuples, so opening a snapshot should
+    not construct one object per node up front.  The list supports the
+    patching operations :meth:`FrozenGraph.apply_changeset` performs
+    (append for new nodes, ``None`` assignment for tombstones); full
+    iteration — a save, a node-map build — materialises everything once.
+    """
+
+    __slots__ = ("_load", "_raw", "_length", "_cache", "_appended")
+
+    def __init__(self, loader, length: int) -> None:
+        self._load = loader
+        self._raw = None
+        self._length = length
+        self._cache: dict[int, Optional[TupleId]] = {}
+        self._appended: list = []
+
+    def _entries(self):
+        if self._raw is None:
+            self._raw = self._load()
+            if len(self._raw) != self._length:
+                raise SnapshotError(
+                    "interning section length disagrees with the meta section",
+                    expected=self._length,
+                    got=len(self._raw),
+                )
+        return self._raw
+
+    def __len__(self) -> int:
+        return self._length + len(self._appended)
+
+    def __getitem__(self, node: int):
+        if node < 0:
+            node += len(self)
+        if node >= self._length:
+            return self._appended[node - self._length]
+        try:
+            return self._cache[node]
+        except KeyError:
+            relation, key = self._entries()[node]
+            tid = TupleId(relation, tuple(key))
+            self._cache[node] = tid
+            return tid
+
+    def __setitem__(self, node: int, value) -> None:
+        if node >= self._length:
+            self._appended[node - self._length] = value
+        else:
+            self._entries()  # keep length validation even on tombstoning
+            self._cache[node] = value
+            self._raw[node] = None if value is None else [value.relation, list(value.key)]
+
+    def append(self, value) -> None:
+        self._appended.append(value)
+
+    def __iter__(self):
+        for node in range(len(self)):
+            yield self[node]
+
+
+class _LazyJsonList:
+    """A JSON-array section parsed on first element access.
+
+    The expected length comes from the meta section, so ``len()`` —
+    which consistency checks and scratch-buffer sizing need at open
+    time — never triggers the parse.
+    """
+
+    __slots__ = ("_load", "_data", "_length")
+
+    def __init__(self, loader, length: int) -> None:
+        self._load = loader
+        self._data = None
+        self._length = length
+
+    def _items(self) -> list:
+        if self._data is None:
+            self._data = self._load()
+            if len(self._data) != self._length:
+                raise SnapshotError(
+                    "section length disagrees with the meta section",
+                    expected=self._length,
+                    got=len(self._data),
+                )
+        return self._data
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, position):
+        return self._items()[position]
+
+    def __iter__(self):
+        return iter(self._items())
+
+
+class _LazyEdgeData:
+    """Edge-payload dicts materialised per CSR entry on first access.
+
+    A payload dict is ``{"foreign_key": fk, "referencing": tid}`` —
+    derivable from the stored edge key (the FK name), the reference
+    flag and the interning table, so the snapshot stores one byte per
+    entry instead of a pickled dict, and opening defers all dict
+    allocation to the queries that walk the edges.
+    """
+
+    __slots__ = ("_cache", "_fk_by_name", "_tid_of", "_keys", "_ref", "_owner")
+
+    def __init__(self, fk_by_name, tid_of, keys, ref_flags, owner_of_entry):
+        self._cache: dict[int, dict] = {}
+        self._fk_by_name = fk_by_name
+        self._tid_of = tid_of
+        self._keys = keys
+        self._ref = ref_flags
+        #: entry index -> (row-owner node, target node)
+        self._owner = owner_of_entry
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __getitem__(self, position: int) -> dict:
+        cached = self._cache.get(position)
+        if cached is None:
+            owner, target = self._owner(position)
+            referencing = owner if self._ref[position] else target
+            cached = {
+                "foreign_key": self._fk_by_name[self._keys[position]],
+                "referencing": self._tid_of[referencing],
+            }
+            self._cache[position] = cached
+        return cached
+
+    def __iter__(self):
+        for position in range(len(self)):
+            yield self[position]
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_snapshot(engine, path: Union[str, Path]) -> dict:
+    """Write one engine's full state to ``path``; returns the meta dict.
+
+    The compiled graph is compacted first (patched side tables folded
+    back into flat CSR form), so a snapshot always stores the clean
+    array representation regardless of how many live-update batches the
+    engine absorbed.
+    """
+    frozen = engine.traversal_cache.frozen()
+    if frozen._override:
+        frozen._compile()
+        frozen.compactions += 1
+    capacity = frozen.capacity
+    node_of = frozen._node_map()
+
+    interning = [
+        [tid.relation, list(tid.key)] for tid in frozen._tid_of
+    ]
+
+    edge_ref = bytearray(len(frozen._targets))
+    position = 0
+    for node in range(capacity):
+        owner = frozen._tid_of[node]
+        start, end = frozen._offsets[node], frozen._offsets[node + 1]
+        for entry in range(start, end):
+            edge_ref[position] = int(
+                frozen._edge_data[entry]["referencing"] == owner
+            )
+            position += 1
+
+    engine.index._ensure_tokens()  # deferred token state must serialise
+    postings_doc: dict[str, list] = {}
+    for token, postings in engine.index._postings.items():
+        postings_doc[token] = [
+            [node_of[posting.tid], posting.attribute, int(posting.whole_value)]
+            for posting in postings
+        ]
+    tokens_doc = [
+        [node_of[tid], list(tokens)]
+        for tid, tokens in engine.index._tokens_by_tid.items()
+    ]
+
+    shard_plan = getattr(engine, "_shard_plan", None)
+    meta = {
+        "format": SNAPSHOT_FORMAT,
+        "engine_version": engine.version,
+        "core": engine.core,
+        "shard_count": shard_plan.shard_count if shard_plan is not None else (
+            engine.shards or 0
+        ),
+        "byteorder": sys.byteorder,
+        "itemsize": frozen._offsets.itemsize,
+        "nodes": capacity,
+        "entries": len(frozen._targets),
+        "tuples": engine.database.count(),
+        "schema": engine.database.schema.name,
+    }
+
+    sections: list[tuple[str, bytes]] = [
+        ("meta", _json_bytes(meta)),
+        ("schema", _json_bytes(schema_to_dict(engine.database.schema))),
+        ("interning", _json_bytes(interning)),
+        ("csr_offsets", frozen._offsets.tobytes()),
+        ("csr_targets", frozen._targets.tobytes()),
+        ("edge_keys", _json_bytes(list(frozen._edge_keys))),
+        ("edge_ref", bytes(edge_ref)),
+        ("postings", _json_bytes(postings_doc)),
+        ("tokens", _json_bytes(tokens_doc)),
+        ("stats", _json_bytes(DatabaseStatistics(engine.database).to_dict())),
+    ]
+    for relation in engine.database.schema.relations:
+        records = engine.database.tuples(relation.name)
+        sections.append((
+            f"rows:{relation.name}",
+            _json_bytes({
+                "rows": [record.values for record in records],
+                "labels": [record.label for record in records],
+            }),
+        ))
+    if shard_plan is not None:
+        sections.append(("shard_assignment", shard_plan.assignment_bytes()))
+
+    toc: dict[str, list] = {}
+    offset = 0
+    for name, blob in sections:
+        toc[name] = [offset, len(blob), zlib.crc32(blob)]
+        offset += len(blob)
+    toc_bytes = _json_bytes({"format": SNAPSHOT_FORMAT, "sections": toc})
+
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<I", len(toc_bytes)))
+        handle.write(toc_bytes)
+        for __, blob in sections:
+            handle.write(blob)
+    return meta
+
+
+def _json_bytes(document) -> bytes:
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class Snapshot:
+    """One opened snapshot file: verified TOC plus mmap-backed sections."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        try:
+            with self.path.open("rb") as handle:
+                self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as error:
+            raise SnapshotError(
+                "cannot open snapshot file", path=str(path), problem=str(error)
+            ) from None
+        view = memoryview(self._mmap)
+        if bytes(view[: len(_MAGIC)]) != _MAGIC:
+            raise SnapshotError("not a repro snapshot (bad magic)", path=str(path))
+        try:
+            (toc_length,) = struct.unpack_from("<I", view, len(_MAGIC))
+            toc_start = len(_MAGIC) + 4
+            toc = json.loads(bytes(view[toc_start : toc_start + toc_length]))
+        except (struct.error, ValueError) as error:
+            raise SnapshotError(
+                "snapshot table of contents is corrupt",
+                path=str(path),
+                problem=str(error),
+            ) from None
+        if toc.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                "unsupported snapshot format version",
+                path=str(path),
+                got=toc.get("format"),
+                expected=SNAPSHOT_FORMAT,
+            )
+        self._data_start = toc_start + toc_length
+        self._toc: dict[str, list] = toc["sections"]
+        self._view = view
+        for name in _REQUIRED_SECTIONS:
+            if name not in self._toc:
+                raise SnapshotError(
+                    "snapshot is missing a required section",
+                    path=str(path),
+                    section=name,
+                )
+        self.verify()
+        self.meta = self.json("meta")
+        if self.meta.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                "unsupported snapshot format version",
+                path=str(path),
+                got=self.meta.get("format"),
+            )
+        if (
+            self.meta.get("byteorder") != sys.byteorder
+            or self.meta.get("itemsize") != array("i").itemsize
+        ):
+            raise SnapshotError(
+                "snapshot was written on an incompatible platform",
+                path=str(path),
+                byteorder=self.meta.get("byteorder"),
+                itemsize=self.meta.get("itemsize"),
+            )
+
+    def sections(self) -> tuple[str, ...]:
+        return tuple(self._toc)
+
+    def section(self, name: str) -> memoryview:
+        """Zero-copy view of one section's bytes."""
+        try:
+            offset, length, __ = self._toc[name]
+        except KeyError:
+            raise SnapshotError(
+                "snapshot has no such section", path=str(self.path), section=name
+            ) from None
+        start = self._data_start + offset
+        end = start + length
+        if end > len(self._view):
+            raise SnapshotError(
+                "snapshot section is truncated",
+                path=str(self.path),
+                section=name,
+            )
+        return self._view[start:end]
+
+    def json(self, name: str):
+        try:
+            return json.loads(bytes(self.section(name)))
+        except ValueError as error:
+            raise SnapshotError(
+                "snapshot section holds invalid JSON",
+                path=str(self.path),
+                section=name,
+                problem=str(error),
+            ) from None
+
+    def int_array(self, name: str) -> memoryview:
+        """One array section as a zero-copy ``int`` view over the mmap."""
+        return self.section(name).cast("i")
+
+    def verify(self) -> None:
+        """CRC-check every section; raises on any corruption."""
+        for name, (__, ___, crc) in self._toc.items():
+            if zlib.crc32(self.section(name)) != crc:
+                raise SnapshotError(
+                    "snapshot section failed its integrity check",
+                    path=str(self.path),
+                    section=name,
+                )
+
+    def statistics(self, database: Database) -> DatabaseStatistics:
+        """The stored corpus statistics, bound to a restored database."""
+        return DatabaseStatistics.from_dict(database, self.json("stats"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Snapshot({str(self.path)!r}, v{self.meta.get('engine_version')}, "
+            f"{self.meta.get('nodes')} nodes)"
+        )
+
+
+def load_engine(
+    path: Union[str, Path],
+    *,
+    core: Optional[str] = None,
+    shards: Optional[int] = None,
+    **engine_options,
+):
+    """Open a snapshot into a ready :class:`KeywordSearchEngine`.
+
+    The restored engine is bit-identical in query behaviour to the one
+    that wrote the snapshot: same database store order, same posting
+    order, same compiled CSR expansion order.  ``core`` and ``shards``
+    default to the writer's settings; any other
+    :class:`KeywordSearchEngine` construction options pass through.
+    """
+    from repro.core.engine import KeywordSearchEngine
+
+    snapshot = Snapshot(path)
+    meta = snapshot.meta
+
+    schema = schema_from_dict(snapshot.json("schema"))
+    database = Database(schema, enforce_foreign_keys=True)
+
+    def store_loader(relation_name: str):
+        def load() -> dict:
+            doc = snapshot.json(f"rows:{relation_name}")
+            rows = doc["rows"]
+            labels = doc.get("labels") or [None] * len(rows)
+            return Database.build_store(schema, relation_name, zip(rows, labels))
+
+        return load
+
+    database._tuples = _LazyStores(
+        {relation.name: store_loader(relation.name)
+         for relation in schema.relations}
+    )
+
+    data_graph = LazyDataGraph(database)
+
+    tid_of = _LazyTidList(
+        lambda: snapshot.json("interning"), meta.get("nodes", 0)
+    )
+    offsets = snapshot.int_array("csr_offsets")
+    targets = snapshot.int_array("csr_targets")
+    edge_ref = snapshot.section("edge_ref")
+    if len(offsets) != len(tid_of) + 1 or len(targets) != meta.get(
+        "entries", -1
+    ) or len(edge_ref) != len(targets):
+        raise SnapshotError(
+            "snapshot CSR sections are inconsistent",
+            path=str(path),
+            nodes=len(tid_of),
+            offsets=len(offsets),
+            entries=len(targets),
+        )
+    fk_by_name = {fk.name: fk for fk in schema.foreign_keys}
+
+    def load_edge_keys() -> list:
+        keys = snapshot.json("edge_keys")
+        missing = set(keys) - set(fk_by_name)
+        if missing:
+            raise SnapshotError(
+                "snapshot edges reference unknown foreign keys",
+                path=str(path),
+                missing=sorted(missing)[:5],
+            )
+        return keys
+
+    edge_keys = _LazyJsonList(load_edge_keys, len(targets))
+
+    def owner_of_entry(position: int) -> tuple[int, int]:
+        # Binary search the offsets for the row owning a CSR entry.
+        low, high = 0, len(tid_of)
+        while low + 1 < high:
+            middle = (low + high) // 2
+            if offsets[middle] <= position:
+                low = middle
+            else:
+                high = middle
+        return low, targets[position]
+
+    edge_data = _LazyEdgeData(fk_by_name, tid_of, edge_keys, edge_ref, owner_of_entry)
+    frozen = FrozenGraph.from_parts(
+        data_graph, tid_of, offsets, targets, edge_keys, edge_data
+    )
+    cache = TraversalCache(data_graph)
+    cache._frozen = frozen
+    frozen._counters = cache
+
+    def decode_postings(entries):
+        return [
+            Posting(tid_of[node], attribute, bool(whole))
+            for node, attribute, whole in entries
+        ]
+
+    postings = _LazyPostings(lambda: snapshot.json("postings"), decode_postings)
+
+    def load_tokens():
+        return {
+            tid_of[node]: tuple(tokens)
+            for node, tokens in snapshot.json("tokens")
+        }
+
+    index = InvertedIndex.from_state(database, postings, load_tokens)
+
+    engine = KeywordSearchEngine._from_parts(
+        database=database,
+        data_graph=data_graph,
+        index=index,
+        traversal_cache=cache,
+        core=core if core is not None else meta.get("core"),
+        shards=shards if shards is not None else (meta.get("shard_count") or None),
+        version=meta.get("engine_version", 0),
+        **engine_options,
+    )
+    engine._statistics_loader = lambda: snapshot.statistics(database)
+    engine.snapshot_path = str(path)
+    engine._snapshot_version = engine.version
+    engine._snapshot = snapshot
+
+    if engine.shards and "shard_assignment" in snapshot.sections():
+        from repro.scale.shards import ShardPlan
+
+        if meta.get("shard_count") == engine.shards:
+            engine._shard_plan = ShardPlan.from_state(
+                cache, engine.shards, snapshot.int_array("shard_assignment")
+            )
+    return engine

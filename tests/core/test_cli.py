@@ -300,3 +300,118 @@ class TestMutationsFlag:
         )
         assert code == 2
         assert "--mutations" in output
+
+
+class TestSnapshotCommand:
+    def test_save_then_load_reports_state(self, tmp_path):
+        path = str(tmp_path / "company.snap")
+        code, output = run("snapshot", "save", path, "--shards", "2")
+        assert code == 0
+        assert "graph nodes" in output and "CSR entries" in output
+        assert "shards:" in output
+        code, output = run("snapshot", "load", path)
+        assert code == 0
+        assert "verified" in output
+        assert "2 shards" in output
+
+    def test_load_can_answer_a_query(self, tmp_path):
+        path = str(tmp_path / "company.snap")
+        run("snapshot", "save", path)
+        code, output = run("snapshot", "load", path, "--query", "Smith XML")
+        assert code == 0
+        assert "e1(Smith)" in output
+
+    def test_load_rejects_corruption(self, tmp_path):
+        import pytest
+
+        from repro.errors import SnapshotError
+
+        path = tmp_path / "company.snap"
+        run("snapshot", "save", str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            run("snapshot", "load", str(path))
+
+    def test_search_from_snapshot(self, tmp_path):
+        path = str(tmp_path / "company.snap")
+        run("snapshot", "save", path)
+        __, direct = run("search", "Smith XML")
+        code, from_snapshot = run("search", "Smith XML", "--snapshot", path)
+        assert code == 0
+        assert from_snapshot == direct
+
+    def test_snapshot_and_db_are_exclusive(self, tmp_path):
+        path = str(tmp_path / "company.snap")
+        run("snapshot", "save", path)
+        code, output = run(
+            "--db", "whatever.json", "search", "x", "--snapshot", path
+        )
+        assert code == 2
+        assert "mutually exclusive" in output
+
+
+class TestParallelFlags:
+    def test_jobs_requires_batch(self):
+        code, output = run("search", "Smith XML", "--jobs", "2")
+        assert code == 2
+        assert "--jobs needs --batch" in output
+
+    def test_batch_with_jobs_matches_serial(self):
+        __, serial = run("search", "Smith XML; Brown CS", "--batch")
+        code, parallel = run(
+            "search", "Smith XML; Brown CS", "--batch", "--jobs", "2",
+            "--shards", "2",
+        )
+        assert code == 0
+        assert parallel.startswith(serial)
+        assert "# parallel: 2 snapshot workers" in parallel
+
+    def test_sharded_search_matches_plain(self):
+        __, plain = run("search", "Smith XML")
+        __, sharded = run("search", "Smith XML", "--shards", "3")
+        assert sharded == plain
+
+
+class TestHelpGrouping:
+    def test_execution_options_are_grouped(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "search", "--help"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "execution:" in result.stdout
+        section = result.stdout.split("execution:")[1]
+        for flag in ("--core", "--stream", "--jobs", "--shards", "--snapshot"):
+            assert flag in section
+
+
+class TestMainModule:
+    def test_python_dash_m_repro_smoke(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "snapshot" in result.stdout
+
+    def test_python_dash_m_repro_runs_a_query(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "search", "Smith XML", "--top", "1"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "e1(Smith)" in result.stdout

@@ -13,7 +13,7 @@ from itertools import combinations
 import pytest
 
 from repro.core.engine import KeywordSearchEngine
-from repro.core.executor import Executor, SharedEnumerations
+from repro.core.executor import ExecutionStats, Executor, SharedEnumerations
 from repro.core.matching import match_keywords
 from repro.core.plan import plan_query
 from repro.core.ranking import (
@@ -434,3 +434,61 @@ class TestStats:
         assert engine.last_stats.pushdown
         assert engine.last_stats.emitted == 0
         assert engine.last_stats.candidates == 0
+
+
+class TestStatsMerge:
+    """Parallel workers complete in arbitrary order; aggregation must not
+    care (every field folds with a commutative, associative operation)."""
+
+    @staticmethod
+    def _samples():
+        return [
+            ExecutionStats(candidates=3, emitted=2, pushdown=False, shard_skips=1),
+            ExecutionStats(candidates=0, emitted=0, pushdown=True, shard_skips=0),
+            ExecutionStats(candidates=7, emitted=7, pushdown=False, shard_skips=12),
+            ExecutionStats(candidates=1, emitted=1, pushdown=True, shard_skips=4),
+        ]
+
+    def test_merge_is_commutative_and_deterministic(self):
+        from itertools import permutations
+
+        totals = set()
+        for order in permutations(range(4)):
+            samples = self._samples()
+            merged = ExecutionStats()
+            for index in order:
+                merged.merge(samples[index])
+            totals.add(
+                (merged.candidates, merged.emitted, merged.pushdown,
+                 merged.shard_skips)
+            )
+        assert totals == {(11, 10, True, 17)}
+
+    def test_merge_is_associative(self):
+        a, b, c, __ = self._samples()
+        left = ExecutionStats()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        ab = ExecutionStats()
+        ab.merge(a)
+        ab.merge(b)
+        right = ExecutionStats()
+        right.merge(ab)
+        right.merge(c)
+        assert (left.candidates, left.emitted, left.pushdown, left.shard_skips) == (
+            right.candidates, right.emitted, right.pushdown, right.shard_skips
+        )
+
+    def test_every_field_participates_in_merge(self):
+        """A field added to ExecutionStats without a merge rule would
+        silently vanish from parallel aggregation — catch it here."""
+        from dataclasses import fields
+
+        merged = ExecutionStats()
+        merged.merge(
+            ExecutionStats(candidates=1, emitted=1, pushdown=True, shard_skips=1)
+        )
+        for field in fields(ExecutionStats):
+            default = field.default
+            assert getattr(merged, field.name) != default, field.name

@@ -39,7 +39,7 @@ class TestCliDocumentation:
             if hasattr(action, "choices") and action.choices
         )
         assert set(subparsers.choices) == {
-            "search", "reproduce", "analyze", "mtjnt", "generate",
+            "search", "snapshot", "reproduce", "analyze", "mtjnt", "generate",
         }
 
 

@@ -1,0 +1,196 @@
+"""Differential tests for the process-pool batch executor."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.ranking import RdbLengthRanker
+from repro.core.search import SearchLimits
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_tenants,
+    plant,
+)
+from repro.errors import SearchLimitError
+from repro.live.changes import Insert
+
+CONFIG = SyntheticConfig(
+    departments=2,
+    projects_per_department=2,
+    employees_per_department=4,
+    works_on_per_employee=2,
+    seed=31,
+)
+LIMITS = SearchLimits(max_rdb_length=4, max_tuples=5)
+QUERIES = [
+    "kwalpha kwbeta",
+    "kwalpha kwbeta kwgamma",
+    "kwalpha",
+    "zznothing",
+    "kwbeta kwgamma",
+]
+
+
+def planted_database(tenants=3):
+    database = generate_tenants(CONFIG, tenants=tenants)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 3, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 3, seed=2)
+    plant(database, "kwgamma", "PROJECT", "P_DESCRIPTION", 3, seed=3)
+    return database
+
+
+def rendered(batches):
+    return [[(r.render(), r.score, r.rank) for r in results]
+            for results in batches]
+
+
+@pytest.fixture()
+def engine():
+    engine = KeywordSearchEngine(planted_database(), shards=3)
+    yield engine
+    engine.close_pool()
+
+
+class TestParallelDifferential:
+    def test_batch_identical_to_serial(self, engine):
+        serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+        parallel = rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+        assert serial == parallel
+
+    def test_or_semantics_and_topk(self, engine):
+        for top_k in (None, 2):
+            serial = rendered(
+                engine.search_batch(
+                    QUERIES, limits=LIMITS, semantics="or", top_k=top_k
+                )
+            )
+            parallel = rendered(
+                engine.search_batch(
+                    QUERIES, limits=LIMITS, semantics="or", top_k=top_k, jobs=2
+                )
+            )
+            assert serial == parallel
+
+    def test_non_default_ranker_round_trips(self, engine):
+        ranker = RdbLengthRanker()
+        serial = rendered(
+            engine.search_batch(QUERIES, ranker=ranker, limits=LIMITS)
+        )
+        parallel = rendered(
+            engine.search_batch(QUERIES, ranker=ranker, limits=LIMITS, jobs=2)
+        )
+        assert serial == parallel
+
+    def test_duplicate_queries_collapse(self, engine):
+        queries = [QUERIES[0], QUERIES[1], QUERIES[0], QUERIES[0]]
+        parallel = engine.search_batch(queries, limits=LIMITS, jobs=2)
+        assert rendered([parallel[0]]) == rendered([parallel[2]])
+        assert parallel[0] is parallel[3]
+
+    def test_more_jobs_than_queries(self, engine):
+        serial = rendered(engine.search_batch(QUERIES[:2], limits=LIMITS))
+        parallel = rendered(
+            engine.search_batch(QUERIES[:2], limits=LIMITS, jobs=4)
+        )
+        assert serial == parallel
+
+    def test_jobs_one_stays_serial(self, engine):
+        engine.search_batch(QUERIES[:2], limits=LIMITS, jobs=1)
+        assert engine._searcher is None  # no pool was ever started
+
+    def test_unsharded_parallel_works_too(self):
+        engine = KeywordSearchEngine(planted_database(), shards=None)
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            parallel = rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            assert serial == parallel
+        finally:
+            engine.close_pool()
+
+    def test_worker_answers_revive_against_coordinator_graph(self, engine):
+        results = engine.search_batch(QUERIES[:2], limits=LIMITS, jobs=2)[0]
+        connection = next(
+            r.answer for r in results if hasattr(r.answer, "steps")
+        )
+        explained = engine.explain(
+            next(r for r in results if r.answer is connection)
+        )
+        assert "verdict" in explained  # metrics computable after revival
+
+
+class TestParallelStats:
+    def test_stats_merge_across_workers(self, engine):
+        engine.search_batch(QUERIES, limits=LIMITS)
+        serial_stats = engine.last_stats
+        engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+        parallel_stats = engine.last_stats
+        assert parallel_stats.candidates == serial_stats.candidates
+        assert parallel_stats.emitted == serial_stats.emitted
+
+
+class TestParallelErrors:
+    def test_budget_error_matches_serial(self, engine):
+        tight = SearchLimits(
+            max_rdb_length=4, max_tuples=5,
+            max_paths_per_pair=1, max_networks=1,
+        )
+
+        def outcome(jobs):
+            try:
+                return (
+                    "ok",
+                    rendered(
+                        engine.search_batch(QUERIES, limits=tight, jobs=jobs)
+                    ),
+                )
+            except SearchLimitError as error:
+                return ("limit", str(error), error.context)
+
+        assert outcome(None) == outcome(2)
+
+    def test_earlier_queries_survive_a_failing_one(self, engine):
+        tight = SearchLimits(
+            max_rdb_length=4, max_tuples=5,
+            max_paths_per_pair=1, max_networks=1,
+        )
+        try:
+            engine.search_batch(QUERIES, limits=tight, jobs=2)
+        except SearchLimitError:
+            pass
+        else:  # the workload must actually trip the budget for this test
+            pytest.skip("workload did not exceed the tight budget")
+        # the failing batch left the engine fully usable
+        serial = rendered(engine.search_batch(QUERIES[:1], limits=LIMITS))
+        parallel = rendered(
+            engine.search_batch(QUERIES[:1], limits=LIMITS, jobs=2)
+        )
+        assert serial == parallel
+
+
+class TestPoolLifecycle:
+    def test_apply_refreshes_the_snapshot_and_pool(self, engine):
+        before = rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+        first_searcher = engine._searcher
+        engine.apply([
+            Insert("DEPENDENT", {"ID": "pp1", "ESSN": "t1e1",
+                                 "DEPENDENT_NAME": "kwbeta"})
+        ])
+        after_parallel = rendered(
+            engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+        )
+        assert engine._searcher is not first_searcher
+        after_serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+        assert after_parallel == after_serial
+        assert after_parallel != before  # the insert is visible
+
+    def test_close_pool_is_idempotent(self, engine):
+        engine.search_batch(QUERIES[:1], limits=LIMITS, jobs=2)
+        engine.close_pool()
+        engine.close_pool()
+        assert engine._searcher is None
+
+    def test_rebuild_closes_the_pool(self, engine):
+        engine.search_batch(QUERIES[:1], limits=LIMITS, jobs=2)
+        engine.rebuild()
+        assert engine._searcher is None

@@ -1,0 +1,265 @@
+"""Snapshot round-trip, integrity and laziness tests."""
+
+import struct
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.search import SearchLimits
+from repro.datasets.company import build_company_database
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_tenants,
+    plant,
+)
+from repro.errors import SearchLimitError, SnapshotError
+from repro.live.changes import Delete, Insert, Update
+from repro.relational.database import TupleId
+from repro.relational.statistics import DatabaseStatistics
+from repro.scale.snapshot import SNAPSHOT_FORMAT, Snapshot
+
+CONFIG = SyntheticConfig(
+    departments=2,
+    projects_per_department=2,
+    employees_per_department=4,
+    works_on_per_employee=2,
+    seed=23,
+)
+LIMITS = SearchLimits(max_rdb_length=4, max_tuples=5)
+QUERIES = ("kwalpha kwbeta", "kwalpha kwbeta kwgamma", "kwalpha", "zznothing")
+
+
+def planted_database(tenants=3):
+    database = generate_tenants(CONFIG, tenants=tenants)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 3, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 3, seed=2)
+    plant(database, "kwgamma", "PROJECT", "P_DESCRIPTION", 3, seed=3)
+    return database
+
+
+def rendered(results):
+    return [(r.render(), r.score, r.rank) for r in results]
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    engine = KeywordSearchEngine(planted_database(), shards=3)
+    path = tmp_path / "engine.snap"
+    meta = engine.save(path)
+    return engine, path, meta
+
+
+class TestRoundTrip:
+    def test_search_results_bit_identical(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        for query in QUERIES:
+            for semantics in ("and", "or"):
+                assert rendered(
+                    restored.search(query, limits=LIMITS, semantics=semantics)
+                ) == rendered(
+                    engine.search(query, limits=LIMITS, semantics=semantics)
+                )
+
+    @pytest.mark.parametrize("core", ["csr", "fast", "reference"])
+    def test_identical_on_every_core(self, saved, core):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path, core=core)
+        oracle = KeywordSearchEngine(
+            planted_database(), core=core, result_cache_entries=0
+        )
+        for query in QUERIES:
+            assert rendered(restored.search(query, limits=LIMITS)) == rendered(
+                oracle.search(query, limits=LIMITS)
+            )
+
+    def test_stream_batch_and_topk(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        queries = list(QUERIES)
+        assert [
+            rendered(r)
+            for r in restored.search_batch(queries, limits=LIMITS)
+        ] == [rendered(engine.search(q, limits=LIMITS)) for q in queries]
+        for query in queries:
+            assert rendered(
+                list(restored.search_stream(query, limits=LIMITS))
+            ) == rendered(engine.search(query, limits=LIMITS))
+            assert rendered(
+                restored.search(query, limits=LIMITS, top_k=2)
+            ) == rendered(engine.search(query, limits=LIMITS, top_k=2))
+
+    def test_budget_error_points_identical(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        tight = SearchLimits(
+            max_rdb_length=4, max_tuples=5,
+            max_paths_per_pair=1, max_networks=1,
+        )
+
+        def outcome(target, query):
+            try:
+                return ("ok", rendered(target.search(query, limits=tight)))
+            except SearchLimitError as error:
+                return ("limit", str(error))
+
+        for query in QUERIES:
+            assert outcome(restored, query) == outcome(engine, query)
+
+    def test_resave_is_byte_identical(self, saved, tmp_path):
+        __, path, ___ = saved
+        restored = KeywordSearchEngine.open(path)
+        second = tmp_path / "second.snap"
+        restored.save(second)
+        assert path.read_bytes() == second.read_bytes()
+
+    def test_shard_plan_restored(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        assert restored.shards == engine.shards
+        assert (
+            restored.shard_plan._assignment == engine.shard_plan._assignment
+        )
+
+    def test_statistics_restored(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        fresh = DatabaseStatistics(engine.database)
+        assert restored.statistics.to_dict() == fresh.to_dict()
+
+    def test_engine_options_pass_through(self, saved):
+        __, path, ___ = saved
+        restored = KeywordSearchEngine.open(
+            path, shards=2, result_cache_entries=0
+        )
+        assert restored.shards == 2
+        assert restored.result_cache.max_entries == 0
+        assert restored.shard_plan.shard_count == 2
+
+
+class TestLaziness:
+    def test_pure_csr_path_query_never_builds_the_graph(self, saved):
+        __, path, ___ = saved
+        restored = KeywordSearchEngine.open(path)
+        restored.search("kwalpha kwbeta", limits=LIMITS)
+        assert not restored.data_graph.materialized
+
+    def test_fast_core_materialises_on_demand(self, saved):
+        __, path, ___ = saved
+        restored = KeywordSearchEngine.open(path, core="fast")
+        restored.search("kwalpha kwbeta", limits=LIMITS)
+        assert restored.data_graph.materialized
+
+    def test_postings_decode_only_touched_tokens(self, saved):
+        __, path, ___ = saved
+        restored = KeywordSearchEngine.open(path)
+        raw_before = len(restored.index._postings._raw)
+        restored.search("kwalpha kwbeta", limits=LIMITS)
+        raw_after = len(restored.index._postings._raw)
+        assert raw_before - raw_after <= 2
+        assert raw_after > 0
+
+
+class TestLiveUpdatesOnRestoredEngine:
+    def test_apply_bumps_version_and_persists(self, saved, tmp_path):
+        engine, path, meta = saved
+        restored = KeywordSearchEngine.open(path)
+        assert restored.version == meta["engine_version"]
+        restored.apply([
+            Insert("DEPENDENT", {"ID": "zz9", "ESSN": "t1e1",
+                                 "DEPENDENT_NAME": "kwbeta"})
+        ])
+        assert restored.version == meta["engine_version"] + 1
+        bumped = tmp_path / "bumped.snap"
+        restored.save(bumped)
+        assert Snapshot(bumped).meta["engine_version"] == restored.version
+
+    def test_mutated_restored_engine_matches_rebuilt_oracle(self, saved):
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path)
+        victim = restored.database.tuples("WORKS_FOR")[-1].tid
+        department = restored.database.tuples("DEPARTMENT")[0].tid
+        mutations = [
+            Insert("DEPENDENT", {"ID": "zz8", "ESSN": "t2e1",
+                                 "DEPENDENT_NAME": "kwbeta"}),
+            Update(department, {"D_DESCRIPTION": "kwalpha fresh words"}),
+            Delete(victim),
+        ]
+        restored.apply(mutations)
+        oracle_db = planted_database()
+        from repro.live.changes import apply_to_database
+
+        apply_to_database(oracle_db, mutations)
+        oracle = KeywordSearchEngine(oracle_db, result_cache_entries=0)
+        for query in QUERIES:
+            for semantics in ("and", "or"):
+                assert rendered(
+                    restored.search(query, limits=LIMITS, semantics=semantics)
+                ) == rendered(
+                    oracle.search(query, limits=LIMITS, semantics=semantics)
+                )
+
+
+class TestIntegrity:
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(SnapshotError, match="bad magic"):
+            Snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot open"):
+            Snapshot(tmp_path / "absent.snap")
+
+    def test_corrupted_section_detected(self, saved):
+        __, path, ___ = saved
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="integrity"):
+            KeywordSearchEngine.open(path)
+
+    def test_truncated_file_detected(self, saved):
+        __, path, ___ = saved
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 64])
+        with pytest.raises(SnapshotError):
+            KeywordSearchEngine.open(path)
+
+    def test_version_mismatch_detected(self, saved):
+        __, path, ___ = saved
+        blob = path.read_bytes()
+        magic_length = len(b"REPROSNP\x01")
+        (toc_length,) = struct.unpack_from("<I", blob, magic_length)
+        start = magic_length + 4
+        toc = blob[start : start + toc_length]
+        future = toc.replace(
+            b'"format":%d' % SNAPSHOT_FORMAT,
+            b'"format":%d' % (SNAPSHOT_FORMAT + 1),
+            1,
+        )
+        assert future != toc
+        path.write_bytes(blob[:start] + future + blob[start + toc_length :])
+        with pytest.raises(SnapshotError, match="format"):
+            Snapshot(path)
+
+    def test_company_database_round_trip(self, tmp_path):
+        engine = KeywordSearchEngine(build_company_database())
+        path = tmp_path / "company.snap"
+        engine.save(path)
+        restored = KeywordSearchEngine.open(path)
+        assert rendered(restored.search("Smith XML")) == rendered(
+            engine.search("Smith XML")
+        )
+
+
+class TestMemoryFootprint:
+    def test_payload_table_included(self):
+        engine = KeywordSearchEngine(planted_database())
+        frozen = engine.traversal_cache.frozen()
+        footprint = frozen.memory_footprint()
+        assert footprint["payload"] > 0
+        assert footprint["total"] == (
+            footprint["arrays"] + footprint["distances"] + footprint["payload"]
+        )
+        assert frozen.nbytes() == footprint["total"]
