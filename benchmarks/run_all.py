@@ -83,6 +83,36 @@ def run_one(path: Path, quick: bool) -> dict:
     }
 
 
+def lint_summary() -> dict:
+    """Invariant-linter rule-hit counts, recorded beside the perf numbers.
+
+    BENCH reports are the per-PR trajectory artifact; carrying the lint
+    pressure in them shows invariant debt rising or falling alongside
+    throughput.  A crash (e.g. ``repro`` not importable) is reported,
+    not raised — the perf gates still run.
+    """
+    try:
+        from repro.analysis import analyze_paths
+
+        report = analyze_paths()
+        return {
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "files": report.files,
+            "counts": report.counts(),
+        }
+    except Exception as error:
+        return {
+            "new": 0,
+            "baselined": 0,
+            "suppressed": 0,
+            "files": 0,
+            "counts": {},
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+
 def main(argv=None, out=None) -> int:
     out = out or sys.stdout
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -106,11 +136,19 @@ def main(argv=None, out=None) -> int:
         print(f"-- {result['status']} in {result['elapsed_s']:.2f}s", file=out)
 
     failures = [result["name"] for result in results if result["exit_code"]]
+    lint = lint_summary()
+    print("== repro.analysis (invariant linter) ==", file=out)
+    print(f"lint: {lint['new']} new, {lint['baselined']} baselined, "
+          f"{lint['suppressed']} suppressed over {lint['files']} files "
+          f"(rule hits: {lint['counts'] or 'none'})", file=out)
+    if lint["new"]:
+        failures.append("repro.analysis")
     report = {
         "schema": "repro-bench-report/1",
         "quick": quick,
         "python": platform.python_version(),
         "benchmarks": results,
+        "lint": lint,
         "failures": failures,
     }
     report_path = Path(args.out)

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro search "Smith XML" --mutations updates.json
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
+    python -m repro lint --strict                   # invariant linter
     python -m repro mtjnt "Smith XML"
     python -m repro generate --departments 10 --out /tmp/db.json
     python -m repro search "kwalpha kwbeta" --db /tmp/db.json
@@ -133,6 +134,29 @@ def build_parser() -> argparse.ArgumentParser:
     snap_load.add_argument("--query", default=None,
                            help="keyword query to answer from the snapshot")
     snap_load.add_argument("--top", type=int, default=None, help="top-k cut")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the AST-based invariant linter over the library source",
+        description="Static-analysis pass enforcing the codebase's "
+        "determinism, pickle-safety, freeze and resource contracts "
+        "(rules DET01/DET02/PKL01/FRZ01/RES01/API01/SLOT01).",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail when the baseline holds stale entries")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable report")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list baselined and suppressed findings")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="baseline file "
+                           "(default: src/repro/analysis/baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to the current findings")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -389,6 +413,25 @@ def _cmd_snapshot(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    from repro.analysis import main as lint_main
+
+    argv = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.json:
+        argv.append("--json")
+    if args.verbose:
+        argv.append("--verbose")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return lint_main(argv, out)
+
+
 def _cmd_reproduce(args: argparse.Namespace, out) -> int:
     from repro.experiments import (
         figure1,
@@ -481,6 +524,7 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 _COMMANDS = {
     "search": _cmd_search,
     "snapshot": _cmd_snapshot,
+    "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
     "analyze": _cmd_analyze,
     "mtjnt": _cmd_mtjnt,

@@ -713,6 +713,25 @@ class KeywordSearchEngine:
             self._searcher = None
             self._searcher_key = None
 
+    def close(self) -> None:
+        """Release serving resources: the worker pool and, for
+        snapshot-opened engines, the snapshot's mmap-backed views.
+
+        A closed snapshot engine must not answer further queries — its
+        compiled state references the released pages and fails loudly.
+        Idempotent; engines built directly from a database only shut
+        their pool down.
+        """
+        self.close_pool()
+        if self._snapshot is not None:
+            self._snapshot.close()
+
+    def __enter__(self) -> "KeywordSearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"KeywordSearchEngine(db={self.database.schema.name!r}, "

@@ -415,6 +415,11 @@ class Snapshot:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self.closed = False
+        #: Every view handed out (sections and their casts) — released
+        #: ahead of the mmap in :meth:`close`, because an mmap with live
+        #: exported buffers refuses to close.
+        self._exported: list = []
         try:
             with self.path.open("rb") as handle:
                 self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
@@ -476,6 +481,10 @@ class Snapshot:
 
     def section(self, name: str) -> memoryview:
         """Zero-copy view of one section's bytes."""
+        if self.closed:
+            raise SnapshotError(
+                "snapshot is closed", path=str(self.path), section=name
+            )
         try:
             offset, length, __ = self._toc[name]
         except KeyError:
@@ -490,7 +499,9 @@ class Snapshot:
                 path=str(self.path),
                 section=name,
             )
-        return self._view[start:end]
+        view = self._view[start:end]
+        self._exported.append(view)
+        return view
 
     def json(self, name: str):
         try:
@@ -505,7 +516,32 @@ class Snapshot:
 
     def int_array(self, name: str) -> memoryview:
         """One array section as a zero-copy ``int`` view over the mmap."""
-        return self.section(name).cast("i")
+        cast = self.section(name).cast("i")
+        self._exported.append(cast)
+        return cast
+
+    def close(self) -> None:
+        """Release every exported view and the mmap itself.
+
+        Lazily restored structures still holding a released view fail
+        loudly (``ValueError: operation forbidden on released
+        memoryview object``) instead of silently reading unmapped pages
+        — close an engine only once its queries are done.  Idempotent.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for view in self._exported:
+            view.release()
+        self._exported.clear()
+        self._view.release()
+        self._mmap.close()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def verify(self) -> None:
         """CRC-check every section; raises on any corruption."""

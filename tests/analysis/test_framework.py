@@ -1,0 +1,316 @@
+"""Tests for the linter framework: suppressions, baseline, reporting.
+
+Runs against throwaway source trees under ``tmp_path`` so baseline and
+path handling are exercised end-to-end without touching the repo's own
+baseline file.
+"""
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Baseline,
+    FileContext,
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    main,
+    render_json,
+)
+
+VIOLATION = textwrap.dedent(
+    """
+    def tag(obj):
+        return id(obj)
+    """
+)
+
+
+def make_tree(tmp_path, name="sample.py", source=VIOLATION):
+    """A throwaway ``src/repro`` tree so default targets resolve."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True, exist_ok=True)
+    (package / name).write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# findings
+# ----------------------------------------------------------------------
+def test_finding_key_is_line_free():
+    here = Finding("DET02", "a.py", 3, 4, "msg", "f")
+    moved = Finding("DET02", "a.py", 90, 0, "msg", "f")
+    assert here.key == moved.key
+    assert here.key == ("DET02", "a.py", "f", "msg")
+
+
+def test_finding_render_format():
+    finding = Finding("DET02", "src/repro/x.py", 3, 4, "id() is bad", "f.g")
+    assert finding.render() == "src/repro/x.py:3:4: DET02 id() is bad [f.g]"
+    module_level = Finding("DET02", "x.py", 1, 0, "msg", "")
+    assert module_level.render() == "x.py:1:0: DET02 msg"
+
+
+def test_rule_registry_has_the_documented_battery():
+    expected = {"DET01", "DET02", "PKL01", "FRZ01", "RES01", "API01", "SLOT01"}
+    assert set(all_rules()) == expected
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_same_line_suppression():
+    source = "def tag(obj):\n    return id(obj)  # repro-lint: disable=DET02\n"
+    findings = analyze_source(source, "src/repro/x.py")
+    assert [f.rule for f in findings] == ["DET02"]
+    ctx = FileContext(source, "src/repro/x.py")
+    assert ctx.is_suppressed(findings[0])
+
+
+def test_comment_only_line_covers_the_next_line():
+    source = (
+        "def tag(obj):\n"
+        "    # identity only feeds a debug label  # repro-lint: disable=DET02\n"
+        "    return id(obj)\n"
+    )
+    ctx = FileContext(source, "src/repro/x.py")
+    (finding,) = analyze_source(source, "src/repro/x.py")
+    assert finding.line == 3
+    assert ctx.is_suppressed(finding)
+
+
+def test_suppression_only_silences_the_named_rules():
+    source = "def tag(obj):\n    return id(obj)  # repro-lint: disable=DET01\n"
+    ctx = FileContext(source, "src/repro/x.py")
+    (finding,) = analyze_source(source, "src/repro/x.py")
+    assert not ctx.is_suppressed(finding)
+
+
+def test_multi_rule_suppression_comma_separated():
+    source = "def tag(obj):\n    return id(obj)  # repro-lint: disable=DET01, DET02\n"
+    ctx = FileContext(source, "src/repro/x.py")
+    (finding,) = analyze_source(source, "src/repro/x.py")
+    assert ctx.is_suppressed(finding)
+
+
+def test_analyze_paths_classifies_suppressed(tmp_path):
+    root = make_tree(
+        tmp_path,
+        source="def tag(obj):\n    return id(obj)  # repro-lint: disable=DET02\n",
+    )
+    report = analyze_paths(root=root)
+    assert not report.new
+    assert len(report.suppressed) == 1
+    assert report.exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def entry(finding):
+    return Baseline.entry_for(finding)
+
+
+def test_baseline_absorbs_matching_finding(tmp_path):
+    root = make_tree(tmp_path)
+    report = analyze_paths(root=root)
+    (finding,) = report.new
+    baseline = Baseline([entry(finding)])
+    again = analyze_paths(root=root, baseline=baseline)
+    assert not again.new
+    assert len(again.baselined) == 1
+    assert again.exit_code == 0
+    assert not again.stale_baseline
+
+
+def test_baseline_matching_survives_line_moves(tmp_path):
+    root = make_tree(tmp_path)
+    (finding,) = analyze_paths(root=root).new
+    baseline = Baseline([entry(finding)])
+    # Unrelated edit above shifts the violation down two lines.
+    make_tree(tmp_path, source="X = 1\nY = 2\n" + VIOLATION)
+    again = analyze_paths(root=root, baseline=baseline)
+    assert not again.new
+    assert len(again.baselined) == 1
+
+
+def test_baseline_multiplicity_budget(tmp_path):
+    # Two identical findings, one baseline entry: one absorbed, one new.
+    doubled = (
+        "def tag(obj):\n"
+        "    first = id(obj)\n"
+        "    second = id(obj)\n"
+        "    return first + second\n"
+    )
+    root = make_tree(tmp_path, source=doubled)
+    report = analyze_paths(root=root)
+    assert len(report.new) == 2
+    assert report.new[0].key == report.new[1].key
+    baseline = Baseline([entry(report.new[0])])
+    again = analyze_paths(root=root, baseline=baseline)
+    assert len(again.baselined) == 1
+    assert len(again.new) == 1
+    assert again.exit_code == 1
+
+
+def test_stale_baseline_entries_reported(tmp_path):
+    root = make_tree(tmp_path, source="CLEAN = True\n")
+    baseline = Baseline(
+        [{"rule": "DET02", "path": "gone.py", "scope": "", "message": "old"}]
+    )
+    report = analyze_paths(root=root, baseline=baseline)
+    assert report.stale_baseline == [
+        {"rule": "DET02", "path": "gone.py", "scope": "", "message": "old"}
+    ]
+    assert report.exit_code == 0  # stale alone fails only under --strict
+
+
+# ----------------------------------------------------------------------
+# reporting and exit codes
+# ----------------------------------------------------------------------
+def test_exit_codes():
+    assert AnalysisReport().exit_code == 0
+    finding = Finding("DET02", "x.py", 1, 0, "m", "")
+    assert AnalysisReport(new=[finding]).exit_code == 1
+    assert AnalysisReport(errors=["boom"]).exit_code == 2
+
+
+def test_unparseable_file_is_an_error_not_a_crash(tmp_path):
+    root = make_tree(tmp_path, source="def broken(:\n")
+    report = analyze_paths(root=root)
+    assert report.errors and "SyntaxError" in report.errors[0]
+    assert report.exit_code == 2
+
+
+def test_render_json_schema(tmp_path):
+    root = make_tree(tmp_path)
+    document = render_json(analyze_paths(root=root))
+    assert document["schema"] == "repro-lint-report/1"
+    assert document["files"] == 1
+    (encoded,) = document["new"]
+    assert set(encoded) == {"rule", "path", "line", "col", "message", "scope"}
+    assert encoded["rule"] == "DET02"
+    assert document["counts"] == {"DET02": 1}
+    assert document["exit_code"] == 1
+
+
+def test_counts_include_suppressed_pressure(tmp_path):
+    root = make_tree(
+        tmp_path,
+        source="def tag(obj):\n    return id(obj)  # repro-lint: disable=DET02\n",
+    )
+    report = analyze_paths(root=root)
+    assert report.counts() == {"DET02": 1}
+
+
+# ----------------------------------------------------------------------
+# command-line entry points
+# ----------------------------------------------------------------------
+def run_main(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_main_reports_new_findings(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    code, output = run_main(str(target), "--baseline", str(tmp_path / "b.json"))
+    assert code == 1
+    assert "DET02" in output
+    assert "1 new" in output
+
+
+def test_main_json_output(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    code, output = run_main(
+        str(target), "--json", "--baseline", str(tmp_path / "b.json")
+    )
+    assert code == 1
+    document = json.loads(output)
+    assert document["schema"] == "repro-lint-report/1"
+    assert document["counts"] == {"DET02": 1}
+
+
+def test_main_rules_filter(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    code, output = run_main(
+        str(target), "--rules", "DET01", "--baseline", str(tmp_path / "b.json")
+    )
+    assert code == 0  # DET02 violation invisible to a DET01-only run
+    code, __ = run_main(
+        str(target), "--rules", "NOPE", "--baseline", str(tmp_path / "b.json")
+    )
+    assert code == 2
+
+
+def test_update_baseline_roundtrip(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    code, output = run_main(str(target), "--update-baseline", "--baseline", str(baseline))
+    assert code == 0
+    document = json.loads(baseline.read_text(encoding="utf-8"))
+    assert len(document["entries"]) == 1
+    # With the written baseline the same run now gates green, strict too.
+    code, output = run_main(str(target), "--strict", "--baseline", str(baseline))
+    assert code == 0
+    assert "1 baselined" in output
+
+
+def test_strict_fails_on_stale_baseline(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("CLEAN = True\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"rule": "DET02", "path": "gone.py", "scope": "", "message": "old"}
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    code, output = run_main(str(target), "--baseline", str(baseline))
+    assert code == 0
+    code, output = run_main(str(target), "--strict", "--baseline", str(baseline))
+    assert code == 1
+    assert "stale baseline entry" in output
+
+
+def test_cli_lint_subcommand(tmp_path):
+    from repro.cli import main as cli_main
+
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    out = io.StringIO()
+    code = cli_main(
+        ["lint", str(target), "--baseline", str(tmp_path / "b.json")], out=out
+    )
+    assert code == 1
+    assert "DET02" in out.getvalue()
+
+    out = io.StringIO()
+    target.write_text("CLEAN = True\n", encoding="utf-8")
+    code = cli_main(
+        ["lint", str(target), "--strict", "--baseline", str(tmp_path / "b.json")],
+        out=out,
+    )
+    assert code == 0
+
+
+def test_cli_help_mentions_lint(capsys):
+    from repro.cli import main as cli_main
+
+    with pytest.raises(SystemExit):
+        cli_main(["--help"])
+    assert "lint" in capsys.readouterr().out

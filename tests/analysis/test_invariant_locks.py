@@ -1,0 +1,93 @@
+"""Lock-in tests: the linter must catch this repo's own shipped bugs.
+
+These tests mutate the *real* source files in memory to re-introduce
+the exact bug shapes the rules were written for, and assert the lint
+fails — so quietly reverting either fix makes CI red twice (here and
+in the lint job).  The pristine sources must stay clean, and the whole
+tree must gate green against the committed baseline.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, analyze_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SEARCH_PATH = "src/repro/core/search.py"
+ERRORS_PATH = "src/repro/errors.py"
+
+
+def read(rel_path):
+    return (REPO_ROOT / rel_path).read_text(encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# PR 4: spanning-tree iteration order
+# ----------------------------------------------------------------------
+def test_reintroducing_pr4_spanning_tree_bug_fires_det01():
+    pristine = read(SEARCH_PATH)
+    fixed = "sorted(self.tuples, key=_sort_key)"
+    assert fixed in pristine, "the PR 4 fix moved; update this lock-in test"
+    broken = pristine.replace(fixed, "self.tuples")
+    assert broken != pristine
+    findings = [
+        finding
+        for finding in analyze_source(broken, SEARCH_PATH)
+        if finding.rule == "DET01"
+    ]
+    assert findings, "DET01 no longer catches the PR 4 spanning-tree bug"
+    assert any("self.tuples" in finding.message for finding in findings)
+
+
+def test_pristine_search_module_has_no_det01():
+    findings = analyze_source(read(SEARCH_PATH), SEARCH_PATH)
+    assert not [f for f in findings if f.rule == "DET01"]
+
+
+# ----------------------------------------------------------------------
+# PR 5: stateful error subclasses crossing worker pipes
+# ----------------------------------------------------------------------
+def test_stateful_error_subclass_without_reduce_fires_pkl01():
+    broken = read(ERRORS_PATH) + (
+        "\n\n"
+        "class RegressionShardError(ReproError):\n"
+        '    """A hypothetical subclass someone adds without pickle care."""\n'
+        "\n"
+        "    def __init__(self, message, shard):\n"
+        "        super().__init__(message)\n"
+        "        self.shard = shard\n"
+    )
+    findings = [
+        finding
+        for finding in analyze_source(broken, ERRORS_PATH)
+        if finding.rule == "PKL01"
+    ]
+    assert findings, "PKL01 no longer catches stateful errors without __reduce__"
+    assert "RegressionShardError" in findings[0].message
+
+
+def test_pristine_errors_module_has_no_pkl01():
+    findings = analyze_source(read(ERRORS_PATH), ERRORS_PATH)
+    assert not [f for f in findings if f.rule == "PKL01"]
+
+
+# ----------------------------------------------------------------------
+# the whole tree gates green
+# ----------------------------------------------------------------------
+def test_repo_is_lint_clean_against_committed_baseline():
+    report = analyze_paths()  # default targets + committed baseline
+    assert not report.errors, report.errors
+    assert not report.new, "\n".join(f.render() for f in report.new)
+    assert not report.stale_baseline, report.stale_baseline
+
+
+def test_every_suppression_in_tree_names_a_real_finding():
+    # A suppression comment that silences nothing is dead weight —
+    # either the code changed (remove it) or the rule regressed.
+    report = analyze_paths()
+    assert report.suppressed, (
+        "expected the documented DET02 suppressions in graph/csr.py; "
+        "if they were removed on purpose, update this test"
+    )
+    for finding in report.suppressed:
+        assert finding.rule == "DET02"
+        assert finding.path.endswith("graph/csr.py")

@@ -39,7 +39,8 @@ class TestCliDocumentation:
             if hasattr(action, "choices") and action.choices
         )
         assert set(subparsers.choices) == {
-            "search", "snapshot", "reproduce", "analyze", "mtjnt", "generate",
+            "search", "snapshot", "lint", "reproduce", "analyze", "mtjnt",
+            "generate",
         }
 
 

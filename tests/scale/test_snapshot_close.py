@@ -1,0 +1,84 @@
+"""Release lifecycle for snapshot-backed engines (the RES01 fix).
+
+PR 6's linter flagged that ``Snapshot``'s mmap had no paired close
+anywhere.  These tests pin the fix: ``Snapshot.close()`` releases every
+exported view before unmapping, closed snapshots refuse further section
+access, and ``KeywordSearchEngine.close()`` tears down both the worker
+pool and the snapshot.  Both objects double as context managers.
+"""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.company import build_company_database
+from repro.errors import SnapshotError
+from repro.scale.snapshot import Snapshot
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path):
+    engine = KeywordSearchEngine(build_company_database())
+    path = tmp_path / "engine.snap"
+    engine.save(path)
+    return path
+
+
+def test_closed_snapshot_refuses_section_access(snapshot_path):
+    snapshot = Snapshot(snapshot_path)
+    assert snapshot.section("meta") is not None
+    snapshot.close()
+    assert snapshot.closed
+    with pytest.raises(SnapshotError):
+        snapshot.section("meta")
+
+
+def test_snapshot_close_is_idempotent(snapshot_path):
+    snapshot = Snapshot(snapshot_path)
+    snapshot.close()
+    snapshot.close()
+    assert snapshot.closed
+
+
+def test_snapshot_close_releases_exported_views(snapshot_path):
+    # Without tracking exported views, mmap.close() raises BufferError
+    # while any memoryview handed to a caller is still alive.
+    snapshot = Snapshot(snapshot_path)
+    view = snapshot.section("meta")
+    snapshot.close()
+    with pytest.raises(ValueError):
+        view[0]
+
+
+def test_snapshot_context_manager(snapshot_path):
+    with Snapshot(snapshot_path) as snapshot:
+        assert not snapshot.closed
+    assert snapshot.closed
+
+
+def test_closed_engine_refuses_uncached_queries(snapshot_path):
+    engine = KeywordSearchEngine.open(snapshot_path)
+    engine.close()
+    assert engine._snapshot.closed
+    with pytest.raises(SnapshotError):
+        engine.search("Smith XML")
+
+
+def test_engine_close_after_queries(snapshot_path):
+    engine = KeywordSearchEngine.open(snapshot_path)
+    answers = engine.search("Smith XML")
+    assert answers
+    engine.close()
+    engine.close()  # idempotent
+    assert engine._snapshot.closed
+
+
+def test_engine_context_manager(snapshot_path):
+    with KeywordSearchEngine.open(snapshot_path) as engine:
+        assert engine.search("Smith XML")
+    assert engine._snapshot.closed
+
+
+def test_close_on_plain_engine_is_a_no_op():
+    engine = KeywordSearchEngine(build_company_database())
+    engine.close()  # no snapshot, no pool: nothing to release
+    assert engine.search("Smith XML")

@@ -1,0 +1,100 @@
+"""Pickle round-trips for the whole error hierarchy.
+
+The parallel serving layer ships errors across worker pipes, so every
+:class:`ReproError` subclass — current and future — must survive
+pickling with its message, args and structured context intact.  The
+hierarchy is enumerated via ``__subclasses__()`` after importing every
+``repro`` module, so a subclass added anywhere in the tree is covered
+automatically (and a stateful one without ``__reduce__`` fails here as
+well as in the PKL01 lint rule).
+"""
+
+import importlib
+import pickle
+import pkgutil
+
+import pytest
+
+import repro
+from repro.errors import ReproError
+
+
+def _import_everything():
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(module.name)
+
+
+def _error_classes():
+    _import_everything()
+    found = []
+    frontier = [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in found:
+                found.append(sub)
+                frontier.append(sub)
+    return sorted(found, key=lambda cls: cls.__qualname__)
+
+
+ERROR_CLASSES = _error_classes()
+
+
+def test_hierarchy_enumeration_found_the_known_errors():
+    names = {cls.__name__ for cls in ERROR_CLASSES}
+    assert {"SchemaError", "IntegrityError", "SnapshotError"} <= names
+    assert len(ERROR_CLASSES) >= 10
+
+
+@pytest.mark.parametrize(
+    "cls", ERROR_CLASSES, ids=lambda cls: cls.__qualname__
+)
+def test_roundtrip_preserves_message_args_and_context(cls):
+    error = cls("boom", shard=3, hint="xml")
+    for protocol in range(2, pickle.HIGHEST_PROTOCOL + 1):
+        restored = pickle.loads(pickle.dumps(error, protocol))
+        assert type(restored) is cls
+        assert restored.args == error.args
+        assert str(restored) == str(error)
+        assert restored.context == {"shard": 3, "hint": "xml"}
+        assert restored.__dict__ == error.__dict__
+
+
+@pytest.mark.parametrize(
+    "cls", ERROR_CLASSES, ids=lambda cls: cls.__qualname__
+)
+def test_roundtrip_does_not_rerender_context_into_message(cls):
+    # The PR 5 bug: unpickling re-ran __init__ on the already-rendered
+    # message, doubling the context details.  One round-trip must be a
+    # fixed point.
+    error = cls("boom", shard=3)
+    once = pickle.loads(pickle.dumps(error))
+    twice = pickle.loads(pickle.dumps(once))
+    assert str(once) == str(error)
+    assert str(twice) == str(once)
+    assert once.context == twice.context == {"shard": 3}
+
+
+def test_contextless_error_roundtrip():
+    error = ReproError("plain")
+    restored = pickle.loads(pickle.dumps(error))
+    assert str(restored) == "plain"
+    assert restored.context == {}
+
+
+@pytest.mark.parametrize(
+    "cls", ERROR_CLASSES, ids=lambda cls: cls.__qualname__
+)
+def test_subclasses_stay_pickle_safe_by_construction(cls):
+    # Guard rail matching PKL01: a subclass may add state only alongside
+    # a pickle hook of its own.  Everything today inherits the base
+    # __init__/__reduce__ pair.
+    defines_init = "__init__" in cls.__dict__
+    defines_hook = any(
+        hook in cls.__dict__
+        for hook in ("__reduce__", "__reduce_ex__", "__getstate__")
+    )
+    assert not defines_init or defines_hook, (
+        f"{cls.__qualname__} overrides __init__ without a pickle hook; "
+        "its state will be lost crossing worker pipes (see PKL01)"
+    )
