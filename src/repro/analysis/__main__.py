@@ -89,6 +89,29 @@ def run(argv=None, out=None) -> int:
     targets = [Path(path) for path in args.paths] if args.paths else None
 
     if args.update_baseline:
+        # A filtered run only sees a slice of the findings; rewriting a
+        # baseline from it would silently drop every entry outside the
+        # slice and resurface them as new findings on the next full
+        # run.  Explicit PATH args are fine with an explicit --baseline
+        # (a scoped baseline file pairs with its scoped file set), never
+        # with the shared default baseline.
+        if args.rules:
+            print(
+                "--update-baseline rewrites the whole baseline and cannot "
+                "be combined with --rules",
+                file=out,
+            )
+            return 2
+        if args.paths and not args.baseline:
+            print(
+                "--update-baseline with explicit PATH arguments would "
+                "rewrite the default baseline from a partial scope; pass "
+                "--baseline FILE to write a scoped baseline instead",
+                file=out,
+            )
+            return 2
+
+    if args.update_baseline:
         # Analyse against an empty baseline so every finding lands in
         # the rewritten file (suppressed ones stay suppressed in code).
         report = analyze_paths(targets, baseline=Baseline([]), rules=rules)

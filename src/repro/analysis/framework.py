@@ -31,8 +31,10 @@ Pieces:
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
@@ -161,13 +163,23 @@ class FileContext:
     def _scan_suppressions(self) -> dict[int, frozenset]:
         """Line number -> rule ids silenced there.
 
+        Scans real ``COMMENT`` tokens, so the marker text appearing
+        inside a string literal (docs, fixtures) is never a suppression.
         A suppression on a comment-only line also covers the next line,
         so multi-clause statements can keep the justification above the
         code instead of trailing an already-long line.
         """
         suppressed: dict[int, set] = {}
-        for number, text in enumerate(self.lines, start=1):
-            match = _SUPPRESS.search(text)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except tokenize.TokenError:  # pragma: no cover - ast.parse passed
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS.search(token.string)
             if not match:
                 continue
             rules = {
@@ -175,8 +187,9 @@ class FileContext:
                 for part in match.group(1).split(",")
                 if part.strip()
             }
+            number = token.start[0]
             suppressed.setdefault(number, set()).update(rules)
-            if text.lstrip().startswith("#"):
+            if not token.line[: token.start[1]].strip():
                 suppressed.setdefault(number + 1, set()).update(rules)
         return {line: frozenset(rules) for line, rules in suppressed.items()}
 

@@ -479,8 +479,8 @@ class Snapshot:
     def sections(self) -> tuple[str, ...]:
         return tuple(self._toc)
 
-    def section(self, name: str) -> memoryview:
-        """Zero-copy view of one section's bytes."""
+    def _section(self, name: str) -> memoryview:
+        """Zero-copy view of one section; the caller must release it."""
         if self.closed:
             raise SnapshotError(
                 "snapshot is closed", path=str(self.path), section=name
@@ -499,13 +499,27 @@ class Snapshot:
                 path=str(self.path),
                 section=name,
             )
-        view = self._view[start:end]
+        return self._view[start:end]
+
+    def section(self, name: str) -> memoryview:
+        """Zero-copy view of one section's bytes.
+
+        The view is retained until :meth:`close`; internal transient
+        reads (:meth:`json`, :meth:`verify`) go through :meth:`_section`
+        instead so repeated calls do not grow the exported list.
+        """
+        view = self._section(name)
         self._exported.append(view)
         return view
 
     def json(self, name: str):
+        view = self._section(name)
         try:
-            return json.loads(bytes(self.section(name)))
+            payload = bytes(view)
+        finally:
+            view.release()
+        try:
+            return json.loads(payload)
         except ValueError as error:
             raise SnapshotError(
                 "snapshot section holds invalid JSON",
@@ -546,7 +560,12 @@ class Snapshot:
     def verify(self) -> None:
         """CRC-check every section; raises on any corruption."""
         for name, (__, ___, crc) in self._toc.items():
-            if zlib.crc32(self.section(name)) != crc:
+            view = self._section(name)
+            try:
+                matches = zlib.crc32(view) == crc
+            finally:
+                view.release()
+            if not matches:
                 raise SnapshotError(
                     "snapshot section failed its integrity check",
                     path=str(self.path),

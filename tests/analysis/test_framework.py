@@ -98,6 +98,26 @@ def test_multi_rule_suppression_comma_separated():
     assert ctx.is_suppressed(finding)
 
 
+def test_marker_inside_string_literal_is_not_a_suppression():
+    # The marker text in a string literal (docs, fixtures) must not
+    # silence the line it sits on or the one below it.
+    source = (
+        'DOC = "use # repro-lint: disable=DET02 to silence"\n'
+        "def tag(obj):\n"
+        "    return id(obj)\n"
+        'EXAMPLE = """\n'
+        "# repro-lint: disable=DET02\n"
+        '"""\n'
+        "def tag2(obj):\n"
+        "    return id(obj)\n"
+    )
+    ctx = FileContext(source, "src/repro/x.py")
+    assert ctx.suppressions == {}
+    findings = analyze_source(source, "src/repro/x.py")
+    assert [f.rule for f in findings] == ["DET02", "DET02"]
+    assert not any(ctx.is_suppressed(f) for f in findings)
+
+
 def test_analyze_paths_classifies_suppressed(tmp_path):
     root = make_tree(
         tmp_path,
@@ -263,6 +283,32 @@ def test_update_baseline_roundtrip(tmp_path):
     code, output = run_main(str(target), "--strict", "--baseline", str(baseline))
     assert code == 0
     assert "1 baselined" in output
+
+
+def test_update_baseline_rejects_rules_filter(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    code, output = run_main(
+        str(target),
+        "--update-baseline",
+        "--rules",
+        "DET02",
+        "--baseline",
+        str(tmp_path / "b.json"),
+    )
+    assert code == 2
+    assert "--rules" in output
+    assert not (tmp_path / "b.json").exists()
+
+
+def test_update_baseline_rejects_paths_without_explicit_baseline(tmp_path):
+    # Rewriting the *default* baseline from a path-filtered run would
+    # silently drop entries for every unanalysed file.
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION, encoding="utf-8")
+    code, output = run_main(str(target), "--update-baseline")
+    assert code == 2
+    assert "--baseline" in output
 
 
 def test_strict_fails_on_stale_baseline(tmp_path):

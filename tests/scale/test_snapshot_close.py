@@ -49,6 +49,18 @@ def test_snapshot_close_releases_exported_views(snapshot_path):
         view[0]
 
 
+def test_transient_reads_do_not_accumulate_exported_views(snapshot_path):
+    # json() and verify() take throwaway views; only views handed to
+    # callers via section()/int_array() may stay retained until close().
+    snapshot = Snapshot(snapshot_path)
+    resting = len(snapshot._exported)
+    for __ in range(10):
+        snapshot.verify()
+        snapshot.json("meta")
+    assert len(snapshot._exported) == resting
+    snapshot.close()
+
+
 def test_snapshot_context_manager(snapshot_path):
     with Snapshot(snapshot_path) as snapshot:
         assert not snapshot.closed
