@@ -8,9 +8,10 @@ PR.  The schema is documented in EXPERIMENTS.md ("Benchmark report
 schema"); in short::
 
     {
-      "schema": "repro-bench-report/1",
+      "schema": "repro-bench-report/2",
       "quick": true,
       "python": "3.11.7",
+      "vector_backend": "numpy",     # or "stdlib" (no numpy / REPRO_NO_VECTOR)
       "benchmarks": [
         {"name": "bench_csr_kernel", "exit_code": 0, "status": "ok",
          "elapsed_s": 1.93, "speedups": [4.0, 3.0, ...],
@@ -143,10 +144,13 @@ def main(argv=None, out=None) -> int:
           f"(rule hits: {lint['counts'] or 'none'})", file=out)
     if lint["new"]:
         failures.append("repro.analysis")
+    from repro.graph.vector import BACKEND
+
     report = {
-        "schema": "repro-bench-report/1",
+        "schema": "repro-bench-report/2",
         "quick": quick,
         "python": platform.python_version(),
+        "vector_backend": BACKEND.name,
         "benchmarks": results,
         "lint": lint,
         "failures": failures,

@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="open the engine from a snapshot written by "
                                 "'repro snapshot save' instead of building "
                                 "it from --db")
+    execution.add_argument("--no-vector", action="store_true",
+                           help="force the pure-stdlib CSR kernels even "
+                                "when numpy is available (answers are "
+                                "bit-identical, only slower)")
 
     snapshot = commands.add_parser(
         "snapshot", help="save / load mmap-able engine snapshots"
@@ -290,6 +294,7 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             args.snapshot,
             core="reference" if args.slow else args.core,
             shards=args.shards,
+            vector=False if args.no_vector else None,
         )
     else:
         engine = KeywordSearchEngine(
@@ -297,6 +302,7 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             use_fast_traversal=not args.slow,
             core=args.core,
             shards=args.shards,
+            vector=False if args.no_vector else None,
         )
     ranker = _RANKERS[args.ranker]()
     limits = SearchLimits(max_rdb_length=args.max_rdb)

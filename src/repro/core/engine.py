@@ -75,6 +75,7 @@ class KeywordSearchEngine:
         result_cache_entries: int = 256,
         core: Optional[str] = None,
         shards: Optional[int] = None,
+        vector: Optional[bool] = None,
     ) -> None:
         self._wire(
             database=database,
@@ -87,6 +88,7 @@ class KeywordSearchEngine:
             result_cache_entries=result_cache_entries,
             core=core,
             shards=shards,
+            vector=vector,
             version=0,
         )
 
@@ -104,6 +106,7 @@ class KeywordSearchEngine:
         core: Optional[str],
         shards: Optional[int],
         version: int,
+        vector: Optional[bool] = None,
     ) -> None:
         """Shared field wiring of cold construction and snapshot restore."""
         self.database = database
@@ -119,10 +122,18 @@ class KeywordSearchEngine:
         #: ``core`` wins when both are given.
         self.core = resolve_core(use_fast_traversal, core)
         self.use_fast_traversal = self.core != "reference"
+        #: Vector-backend override for the compiled CSR kernels:
+        #: ``None`` uses the import-time default (numpy when available),
+        #: ``False`` forces the pure-stdlib fallback, ``True`` demands
+        #: numpy and raises when it is unavailable.  Answers are
+        #: bit-identical across backends.
+        self.vector = (
+            vector if traversal_cache is None else traversal_cache.vector
+        )
         self.traversal_cache = (
             traversal_cache
             if traversal_cache is not None
-            else TraversalCache(self.data_graph)
+            else TraversalCache(self.data_graph, vector=vector)
         )
         #: Number of shards query execution routes over (``None``
         #: disables sharding).  The plan itself builds lazily — see
@@ -173,6 +184,7 @@ class KeywordSearchEngine:
         core: Optional[str] = None,
         shards: Optional[int] = None,
         version: int = 0,
+        vector: Optional[bool] = None,
     ) -> "KeywordSearchEngine":
         """Assemble an engine from restored structures (snapshot path)."""
         engine = cls.__new__(cls)
@@ -188,6 +200,7 @@ class KeywordSearchEngine:
             core=core,
             shards=shards,
             version=version,
+            vector=vector,
         )
         return engine
 
@@ -624,7 +637,7 @@ class KeywordSearchEngine:
         """
         self.data_graph = DataGraph(self.database)
         self.index.build()
-        self.traversal_cache = TraversalCache(self.data_graph)
+        self.traversal_cache = TraversalCache(self.data_graph, vector=self.vector)
         self.result_cache.clear()
         self.last_stats = ExecutionStats()
         self.last_shared = SharedEnumerations()
@@ -724,6 +737,12 @@ class KeywordSearchEngine:
         """
         self.close_pool()
         if self._snapshot is not None:
+            # Backend views pin the snapshot's exported mmap buffers
+            # (mmap.close() raises BufferError while any live): drop
+            # them first.
+            frozen = self.traversal_cache._frozen
+            if frozen is not None:
+                frozen.release_vector_views()
             self._snapshot.close()
 
     def __enter__(self) -> "KeywordSearchEngine":

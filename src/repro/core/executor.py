@@ -226,6 +226,42 @@ class Executor:
             return self.cache
         return self.shard_plan.cache_for(shard)
 
+    def _prefetch_distances(self, plan: QueryPlan) -> None:
+        """Warm the compiled graph's distance-row cache for every source
+        the plan's enumeration units will prune against, as one
+        multi-source BFS block per graph instead of one probe at a time.
+
+        Purely a cache effect: blocks are bit-identical to on-demand
+        rows on either backend, so answers, order and budget points are
+        unchanged.  Rows for units the kernels later skip (disconnected
+        or over-budget pairs) may be computed ahead of need; the LRU
+        keeps that bounded.  Under a shard plan the tuples are grouped
+        per shard graph — cross-shard/unknown tuples are left to the
+        global on-demand path.
+        """
+        tids = plan.distance_sources()
+        if not tids or self.cache is None:
+            return
+        if self.shard_plan is None:
+            graphs = {None: (self.cache.frozen(), tids)}
+        else:
+            graphs = {}
+            for tid in tids:
+                shard = self.shard_plan.shard_of(tid)
+                if shard is None:
+                    continue
+                if shard not in graphs:
+                    graphs[shard] = (self.shard_plan.graph_for(shard), [])
+                graphs[shard][1].append(tid)
+        for frozen, members in graphs.values():
+            nodes = [
+                node
+                for tid in members
+                if (node := frozen.node_of(tid)) is not None
+            ]
+            if len(nodes) > 1:
+                frozen.distances_block(nodes)
+
     # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------
@@ -262,6 +298,8 @@ class Executor:
         else:
             use_pushdown = pushdown and bounded
         stats.pushdown = use_pushdown
+        if self.core == "csr":
+            self._prefetch_distances(plan)
 
         if use_pushdown:
             emitter = self._stream_pushdown(plan, ranker, limits)

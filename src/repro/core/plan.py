@@ -144,6 +144,28 @@ class QueryPlan:
         """True when the plan can produce no answers."""
         return not self.sources
 
+    def distance_sources(self):
+        """Every tuple whose BFS distance row this plan's enumeration
+        units will request, deduplicated, in plan order.
+
+        The executor prefetches these rows as one multi-source block
+        before streaming.  Pair paths prune against the *target* side's
+        row (``distances(dst)`` in the path kernel), so each pair op
+        contributes its second match's tuples; network growth prunes
+        against every required tuple's row.  Single scans enumerate no
+        structure and need no rows.
+        """
+        wanted: dict = {}
+        for source in self.sources:
+            if isinstance(source, PairPaths):
+                for tid in self.matches[source.second].tuple_ids:
+                    wanted[tid] = None
+            elif isinstance(source, NetworkGrowth):
+                for index in source.indices:
+                    for tid in self.matches[index].tuple_ids:
+                        wanted[tid] = None
+        return tuple(wanted)
+
     def describe(self) -> str:
         """Human-readable stage listing (CLI / debugging aid)."""
         lines = [

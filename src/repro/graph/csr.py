@@ -40,11 +40,13 @@ core: same answers, same order, same
 from __future__ import annotations
 
 from array import array
+from collections import OrderedDict
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import QueryError, SearchLimitError
 from repro.graph.data_graph import DataGraph
 from repro.graph.traversal import TuplePathStep, _sort_key
+from repro.graph.vector import get_backend
 from repro.relational.database import TupleId
 
 __all__ = [
@@ -100,9 +102,20 @@ class FrozenGraph:
     min_compaction_nodes = 64
     #: Most distance rows kept at once; each is O(capacity) ints.
     max_distance_maps = 1024
+    #: Below this many members, the scalar per-member union over the
+    #: memoized ``neighbour_ints`` rows beats the vector gather, which
+    #: re-reads CSR slices every call (measured crossover ~512 on the
+    #: large synthetic workload; joining-tree member sets stay far
+    #: smaller, so trees take the scalar path in practice and tests
+    #: lower this to force the vector one).
+    vector_frontier_min = 512
 
-    def __init__(self, data_graph: DataGraph, counters=None) -> None:
+    def __init__(
+        self, data_graph: DataGraph, counters=None, vector: Optional[bool] = None
+    ) -> None:
         self.data_graph = data_graph
+        self._backend = get_backend(vector)
+        self._vector_state = None
         #: Distance-row lookups served from cache / computed fresh.
         self.hits = 0
         self.misses = 0
@@ -131,6 +144,7 @@ class FrozenGraph:
         edge_keys: Sequence[str],
         edge_data: Sequence[dict],
         counters=None,
+        vector: Optional[bool] = None,
     ) -> "FrozenGraph":
         """Assemble a compiled graph from pre-built flat structures.
 
@@ -145,6 +159,8 @@ class FrozenGraph:
         """
         frozen = cls.__new__(cls)
         frozen.data_graph = data_graph
+        frozen._backend = get_backend(vector)
+        frozen._vector_state = None
         frozen.hits = 0
         frozen.misses = 0
         frozen.compactions = 0
@@ -165,7 +181,7 @@ class FrozenGraph:
         frozen._edge_data = edge_data
         frozen._alive = bytearray(b"\x01") * len(tids)
         frozen._override = {}
-        frozen._distances = {}
+        frozen._distances = OrderedDict()
         frozen._components = None
         frozen._neighbour_rows = {}
         return frozen
@@ -204,9 +220,12 @@ class FrozenGraph:
         #: tombstoned nodes always live here (their CSR slice is empty
         #: or stale); an entry shadows the node's CSR slice entirely.
         self._override: dict[int, tuple[list[int], list[str], list[dict]]] = {}
-        self._distances: dict[int, array] = {}
+        #: LRU of cached BFS rows: hits refresh recency
+        #: (``move_to_end``), eviction pops the least recent.
+        self._distances: OrderedDict[int, array] = OrderedDict()
         self._components: Optional[array] = None
         self._neighbour_rows: dict[int, tuple[int, ...]] = {}
+        self._vector_state = None
 
     @property
     def capacity(self) -> int:
@@ -342,17 +361,64 @@ class FrozenGraph:
             return sorted(nodes)
         return sorted(nodes, key=self._keys.__getitem__)
 
+    def frontier_neighbour_ints(self, members) -> list[int]:
+        """Distinct neighbours of a member set in expansion order,
+        members excluded — the joining-tree growth step.
+
+        On the vector backend this is one batched gather over the whole
+        member set's CSR slices; ascending-int output equals expansion
+        order only while :attr:`_ints_sorted` holds, so patched graphs
+        with appended nodes take the scalar union, as do tiny sets.
+        """
+        backend = self._backend
+        if (
+            backend.vectorized
+            and self._ints_sorted
+            and len(members) >= self.vector_frontier_min
+        ):
+            return backend.frontier_neighbours(
+                self._vector_adjacency(), members
+            )
+        neighbours: set[int] = set()
+        for member in members:
+            for other in self.neighbour_ints(member):
+                if other not in members:
+                    neighbours.add(other)
+        return self._sort_ints(neighbours)
+
     # ------------------------------------------------------------------
     # distance rows and components
     # ------------------------------------------------------------------
-    def distances(self, node: int) -> array:
-        """Flat BFS distance row from ``node``; unreachable slots hold
-        a value larger than any admissible budget."""
-        cached = self._distances.get(node)
-        if cached is not None:
-            self._counters.hits += 1
-            return cached
-        self._counters.misses += 1
+    @property
+    def backend_name(self) -> str:
+        """Name of the active vector backend (``numpy`` or ``stdlib``)."""
+        return self._backend.name
+
+    def release_vector_views(self) -> None:
+        """Drop the backend's zero-copy views over the CSR buffers.
+
+        On mmap-backed graphs the views pin the snapshot's exported
+        buffers — ``mmap.close()`` raises ``BufferError`` while any
+        live — so the engine releases them before closing its snapshot.
+        They rebuild lazily on the next vector kernel call.
+        """
+        self._vector_state = None
+
+    def _vector_adjacency(self):
+        """The backend's (lazily built) view of the current adjacency."""
+        state = self._vector_state
+        if state is None:
+            state = self._vector_state = self._backend.adjacency(
+                self._offsets, self._targets, self._override, self.capacity
+            )
+        return state
+
+    def _store_row(self, node: int, row: array) -> None:
+        while len(self._distances) >= self.max_distance_maps:
+            self._distances.popitem(last=False)  # least recently used
+        self._distances[node] = row
+
+    def _bfs_row_scalar(self, node: int) -> array:
         row = array("i", [_UNREACHABLE]) * self.capacity
         row[node] = 0
         frontier = [node]
@@ -368,10 +434,73 @@ class FrozenGraph:
                         row[other] = depth
                         next_frontier.append(other)
             frontier = next_frontier
-        while len(self._distances) >= self.max_distance_maps:
-            self._distances.pop(next(iter(self._distances)))  # oldest first
-        self._distances[node] = row
         return row
+
+    def _bfs_rows(self, sources: Sequence[int]) -> list[array]:
+        """Fresh BFS rows for distinct sources, in the given order.
+
+        Multi-source blocks run one bit-parallel sweep per
+        ``max_sources_per_sweep`` chunk on the vector backend; single
+        probes (and the stdlib fallback) run the scalar loop, which is
+        faster for one source and defines the reference semantics.
+        Rows are plain ``array('i')`` either way — the DFS inner loops
+        index them, and cached state stays backend-independent.
+        """
+        backend = self._backend
+        if not backend.vectorized or len(sources) < 2:
+            return [self._bfs_row_scalar(node) for node in sources]
+        adjacency = self._vector_adjacency()
+        capacity = self.capacity
+        rows: list[array] = []
+        chunk = backend.max_sources_per_sweep
+        for start in range(0, len(sources), chunk):
+            block = sources[start : start + chunk]
+            matrix = backend.multi_source_distances(
+                adjacency, block, capacity, _UNREACHABLE
+            )
+            for position in range(len(block)):
+                row = array("i")
+                row.frombytes(matrix[position].tobytes())
+                rows.append(row)
+        return rows
+
+    def distances(self, node: int) -> array:
+        """Flat BFS distance row from ``node``; unreachable slots hold
+        a value larger than any admissible budget."""
+        cached = self._distances.get(node)
+        if cached is not None:
+            self._counters.hits += 1
+            self._distances.move_to_end(node)
+            return cached
+        self._counters.misses += 1
+        row = self._bfs_row_scalar(node)
+        self._store_row(node, row)
+        return row
+
+    def distances_block(self, nodes: Sequence[int]) -> dict[int, array]:
+        """Distance rows for many sources at once: ``{node: row}``.
+
+        Cached rows are served (and LRU-refreshed) directly; the
+        remaining sources share one frontier-at-a-time sweep on the
+        vector backend instead of one BFS each.  Rows are identical to
+        per-source :meth:`distances` calls on any backend.
+        """
+        result: dict[int, array] = {}
+        missing: list[int] = []
+        for node in dict.fromkeys(nodes):
+            cached = self._distances.get(node)
+            if cached is not None:
+                self._counters.hits += 1
+                self._distances.move_to_end(node)
+                result[node] = cached
+            else:
+                self._counters.misses += 1
+                missing.append(node)
+        if missing:
+            for node, row in zip(missing, self._bfs_rows(missing)):
+                self._store_row(node, row)
+                result[node] = row
+        return result
 
     def components(self) -> array:
         """Connected-component id per node int (tombstones hold ``-1``).
@@ -381,6 +510,14 @@ class FrozenGraph:
         """
         if self._components is not None:
             return self._components
+        if self._backend.vectorized:
+            matrix = self._backend.component_labels(
+                self._vector_adjacency(), self._alive, self.capacity
+            )
+            labels = array("i")
+            labels.frombytes(matrix.tobytes())
+            self._components = labels
+            return labels
         labels = array("i", [-1]) * self.capacity
         alive = self._alive
         label = 0
@@ -461,6 +598,7 @@ class FrozenGraph:
         if not changed:
             return 0
         self._components = None
+        self._vector_state = None  # override table / liveness changed
         for node in changed:
             self._neighbour_rows.pop(node, None)
         # A distance row is global within its source's old component:
@@ -708,11 +846,6 @@ def csr_enumerate_joining_trees(
                         break
                 if not feasible:
                     continue
-            neighbours: set[int] = set()
-            for member in current:
-                for other in frozen.neighbour_ints(member):
-                    if other not in current:
-                        neighbours.add(other)
-            for other in frozen._sort_ints(neighbours):
+            for other in frozen.frontier_neighbour_ints(current):
                 next_frontier.add(current | {other})
         frontier = list(next_frontier)

@@ -40,6 +40,7 @@ the compiled graph instead of patching it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SearchLimitError
@@ -145,11 +146,16 @@ class TraversalCache:
     #: cache at O(nodes * max_distance_maps) for a long-lived served engine.
     max_distance_maps = 1024
 
-    def __init__(self, data_graph: DataGraph) -> None:
+    def __init__(
+        self, data_graph: DataGraph, vector: Optional[bool] = None
+    ) -> None:
         self.data_graph = data_graph
+        #: Vector-backend override threaded into the compiled CSR graph
+        #: (``None`` = import-time default, ``False`` = force stdlib).
+        self.vector = vector
         self._expansions: dict[TupleId, tuple] = {}
         self._neighbours: dict[TupleId, tuple[TupleId, ...]] = {}
-        self._distances: dict[TupleId, dict[TupleId, int]] = {}
+        self._distances: OrderedDict[TupleId, dict[TupleId, int]] = OrderedDict()
         self._frozen = None
         self.hits = 0
         self.misses = 0
@@ -178,7 +184,9 @@ class TraversalCache:
         if self._frozen is None:
             from repro.graph.csr import FrozenGraph
 
-            self._frozen = FrozenGraph(self.data_graph, counters=self)
+            self._frozen = FrozenGraph(
+                self.data_graph, counters=self, vector=self.vector
+            )
         return self._frozen
 
     def apply_changeset(self, changeset) -> int:
@@ -281,6 +289,7 @@ class TraversalCache:
         cached = self._distances.get(tid)
         if cached is not None:
             self.hits += 1
+            self._distances.move_to_end(tid)
             return cached
         self.misses += 1
         distances = {tid: 0}
@@ -296,7 +305,7 @@ class TraversalCache:
                         next_frontier.append(other)
             frontier = next_frontier
         while len(self._distances) >= self.max_distance_maps:
-            self._distances.pop(next(iter(self._distances)))  # oldest first
+            self._distances.popitem(last=False)  # least recently used
         self._distances[tid] = distances
         return distances
 

@@ -25,11 +25,25 @@ Results cross the process boundary in a *portable* form (tuple ids,
 path steps, keyword bindings, scores) and are revived against the
 coordinator's data graph; revival is allocation-cheap because
 connection metrics and network spanning trees are computed lazily.
+
+Transport is a ``multiprocessing.shared_memory`` arena when available:
+the coordinator creates one arena with a fixed-size region per worker,
+workers serialise their chunk outcomes as length-prefixed records
+(``<u32 length><pickle bytes>`` each) straight into their own region
+and send only ``("shm", (record_count, total_bytes))`` over the pipe —
+the pipe never carries answer payloads.  Regions are disjoint and each
+worker has at most one outstanding chunk, so the pipe message *is* the
+write barrier.  A chunk that outgrows its region (or an arena that
+could not be created) falls back to the classic pickled-pipe message
+``("ok", outcomes)`` — byte-identical outcomes either way, so the
+fallback is invisible above this module.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import struct
 from dataclasses import replace
 from typing import Optional, Sequence
 
@@ -134,12 +148,52 @@ def _run_chunk(chunk):
     return outcomes
 
 
+def _encode_outcomes(outcomes) -> tuple[list[bytes], int]:
+    """Length-prefixed records for one chunk's outcomes.
+
+    Returns ``(parts, total_bytes)``; each outcome contributes a 4-byte
+    little-endian length followed by its pickle — the same pickle the
+    pipe transport would have sent, so both transports carry identical
+    bytes per outcome.
+    """
+    parts: list[bytes] = []
+    total = 0
+    for outcome in outcomes:
+        blob = pickle.dumps(outcome, pickle.HIGHEST_PROTOCOL)
+        parts.append(struct.pack("<I", len(blob)))
+        parts.append(blob)
+        total += 4 + len(blob)
+    return parts, total
+
+
+def _attach_arena(arena_name: Optional[str]):
+    """Map the coordinator's answer arena inside a worker, or ``None``.
+
+    The attach re-registers the segment with the resource tracker
+    (bpo-38119), but workers inherit the *coordinator's* tracker — the
+    registry is one shared set, so the duplicate registration is a
+    no-op and the coordinator's ``unlink()`` remains the single cleanup
+    point.  (Unregistering here would delete the coordinator's entry.)
+    """
+    if arena_name is None:
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        return shared_memory.SharedMemory(name=arena_name)
+    except (ImportError, OSError, ValueError):  # pragma: no cover - no shm
+        return None
+
+
 def _worker_loop(
     connection,
     snapshot_path: str,
     core: Optional[str],
     shards: Optional[int],
     result_cache_entries: int,
+    arena_name: Optional[str] = None,
+    region_start: int = 0,
+    region_size: int = 0,
 ) -> None:
     """One dedicated worker: open the snapshot once, serve chunks forever."""
     try:
@@ -147,19 +201,34 @@ def _worker_loop(
     except BaseException as error:  # surface startup failures, don't hang
         connection.send(("crashed", repr(error)))
         return
+    arena = _attach_arena(arena_name)
     connection.send(("ready", None))
-    while True:
-        try:
-            chunk = connection.recv()
-        except EOFError:
-            return
-        if chunk is None:
-            return
-        try:
-            connection.send(("ok", _run_chunk(chunk)))
-        except BaseException as error:  # pragma: no cover - worker bug guard
-            connection.send(("crashed", repr(error)))
-            return
+    try:
+        while True:
+            try:
+                chunk = connection.recv()
+            except EOFError:
+                return
+            if chunk is None:
+                return
+            try:
+                outcomes = _run_chunk(chunk)
+                if arena is not None:
+                    parts, total = _encode_outcomes(outcomes)
+                    if total <= region_size:
+                        offset = region_start
+                        for part in parts:
+                            arena.buf[offset : offset + len(part)] = part
+                            offset += len(part)
+                        connection.send(("shm", (len(outcomes), total)))
+                        continue
+                connection.send(("ok", outcomes))
+            except BaseException as error:  # pragma: no cover - worker bug guard
+                connection.send(("crashed", repr(error)))
+                return
+    finally:
+        if arena is not None:
+            arena.close()
 
 
 class ParallelSearcher:
@@ -170,7 +239,17 @@ class ParallelSearcher:
     traversal/answer caches already hold their state, so steady-state
     latency is the warm cost.  Workers are daemonic and die with the
     coordinator; :meth:`close` shuts them down explicitly.
+
+    Answers travel through a shared-memory arena (one
+    :attr:`region_bytes` region per worker) when the platform provides
+    one; the pipe then carries only ``(record_count, total_bytes)``.
+    Oversized chunks and arena-less platforms fall back to pipe
+    pickling per chunk — :attr:`shm_batches` / :attr:`pipe_batches`
+    count which transport served each chunk.
     """
+
+    #: Shared-memory bytes reserved per worker for one chunk's answers.
+    region_bytes = 1 << 20
 
     def __init__(
         self,
@@ -189,12 +268,28 @@ class ParallelSearcher:
         self.shards = shards
         self.result_cache_entries = result_cache_entries
         self._workers: Optional[list] = None
+        self._arena = None
+        self.shm_batches = 0
+        self.pipe_batches = 0
+
+    def _ensure_arena(self):
+        if self._arena is None:
+            try:
+                from multiprocessing import shared_memory
+
+                self._arena = shared_memory.SharedMemory(
+                    create=True, size=self.jobs * self.region_bytes
+                )
+            except (ImportError, OSError, ValueError):  # pragma: no cover
+                return None  # no shm on this platform: pipe transport only
+        return self._arena
 
     def _ensure_workers(self) -> list:
         if self._workers is None:
             context = _pool_context()
+            arena = self._ensure_arena()
             workers = []
-            for __ in range(self.jobs):
+            for index in range(self.jobs):
                 parent_end, worker_end = context.Pipe()
                 process = context.Process(
                     target=_worker_loop,
@@ -204,6 +299,9 @@ class ParallelSearcher:
                         self.core,
                         self.shards,
                         self.result_cache_entries,
+                        arena.name if arena is not None else None,
+                        index * self.region_bytes,
+                        self.region_bytes,
                     ),
                     daemon=True,
                 )
@@ -240,15 +338,37 @@ class ParallelSearcher:
             chunk = (positions, [queries[p] for p in positions], options)
             __, connection = workers[index]
             connection.send(chunk)
-            busy.append(connection)
+            busy.append((index, connection))
         outcomes: dict[str, tuple] = {}
-        for connection in busy:
-            status, chunk_outcomes = connection.recv()
-            if status != "ok":
+        for index, connection in busy:
+            status, chunk_payload = connection.recv()
+            if status == "shm":
+                # The recv() *is* the barrier: the worker wrote its
+                # region before sending, and no other worker shares it.
+                count, total = chunk_payload
+                chunk_outcomes = self._read_region(index, count, total)
+                self.shm_batches += 1
+            elif status == "ok":
+                chunk_outcomes = chunk_payload
+                self.pipe_batches += 1
+            else:
                 self.close()
-                raise RuntimeError(f"snapshot worker crashed: {chunk_outcomes}")
+                raise RuntimeError(f"snapshot worker crashed: {chunk_payload}")
             for position, result_status, payload, stats in chunk_outcomes:
                 outcomes[queries[position]] = (result_status, payload, stats)
+        return outcomes
+
+    def _read_region(self, index: int, count: int, total: int) -> list:
+        """Decode one worker's length-prefixed records from its region."""
+        start = index * self.region_bytes
+        view = bytes(self._arena.buf[start : start + total])
+        outcomes = []
+        offset = 0
+        for __ in range(count):
+            (length,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            outcomes.append(pickle.loads(view[offset : offset + length]))
+            offset += length
         return outcomes
 
     def _shutdown(self, workers) -> None:
@@ -268,6 +388,13 @@ class ParallelSearcher:
         if self._workers is not None:
             self._shutdown(self._workers)
             self._workers = None
+        if self._arena is not None:
+            self._arena.close()
+            try:
+                self._arena.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._arena = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self._workers is not None else "idle"

@@ -272,6 +272,7 @@ class ShardPlan:
             edge_keys,
             edge_data,
             counters=self.cache,
+            vector=self.cache.vector,
         )
         self._graphs[shard_id] = shard_graph
         return shard_graph

@@ -665,10 +665,14 @@ def load_engine(
         return low, targets[position]
 
     edge_data = _LazyEdgeData(fk_by_name, tid_of, edge_keys, edge_ref, owner_of_entry)
+    # The vector backend wraps the mmap-backed CSR sections in zero-copy
+    # numpy views (engine.close() drops them before the mmap closes).
+    vector = engine_options.get("vector")
     frozen = FrozenGraph.from_parts(
-        data_graph, tid_of, offsets, targets, edge_keys, edge_data
+        data_graph, tid_of, offsets, targets, edge_keys, edge_data,
+        vector=vector,
     )
-    cache = TraversalCache(data_graph)
+    cache = TraversalCache(data_graph, vector=vector)
     cache._frozen = frozen
     frozen._counters = cache
 

@@ -168,6 +168,52 @@ class TestParallelErrors:
         assert serial == parallel
 
 
+class TestSharedMemoryTransport:
+    def test_answers_travel_through_the_arena(self, engine):
+        serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+        fresh = KeywordSearchEngine(planted_database(), shards=3)
+        try:
+            parallel = rendered(
+                fresh.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            searcher = fresh._searcher
+            assert searcher is not None
+            if searcher._arena is None:  # pragma: no cover - no shm host
+                pytest.skip("platform offers no shared memory")
+            assert searcher.shm_batches > 0
+            assert searcher.pipe_batches == 0
+        finally:
+            fresh.close_pool()
+        assert serial == parallel
+
+    def test_oversize_batches_fall_back_to_the_pipe(self, engine, monkeypatch):
+        from repro.scale.parallel import ParallelSearcher
+
+        # A region too small for any record forces every batch down the
+        # pipe path; answers must stay bit-identical either way.
+        monkeypatch.setattr(ParallelSearcher, "region_bytes", 16)
+        serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+        fresh = KeywordSearchEngine(planted_database(), shards=3)
+        try:
+            parallel = rendered(
+                fresh.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            searcher = fresh._searcher
+            assert searcher is not None
+            assert searcher.shm_batches == 0
+            assert searcher.pipe_batches > 0
+        finally:
+            fresh.close_pool()
+        assert serial == parallel
+
+    def test_close_releases_the_arena(self):
+        engine = KeywordSearchEngine(planted_database(), shards=3)
+        engine.search_batch(QUERIES[:2], limits=LIMITS, jobs=2)
+        searcher = engine._searcher
+        engine.close_pool()
+        assert searcher._arena is None
+
+
 class TestPoolLifecycle:
     def test_apply_refreshes_the_snapshot_and_pool(self, engine):
         before = rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
