@@ -8,10 +8,11 @@ PR.  The schema is documented in EXPERIMENTS.md ("Benchmark report
 schema"); in short::
 
     {
-      "schema": "repro-bench-report/2",
+      "schema": "repro-bench-report/3",
       "quick": true,
       "python": "3.11.7",
       "vector_backend": "numpy",     # or "stdlib" (no numpy / REPRO_NO_VECTOR)
+      "obs": 0.09,                   # bench_obs disabled-mode overhead, %
       "benchmarks": [
         {"name": "bench_csr_kernel", "exit_code": 0, "status": "ok",
          "elapsed_s": 1.93, "speedups": [4.0, 3.0, ...],
@@ -43,6 +44,7 @@ import time
 from pathlib import Path
 
 _SPEEDUP = re.compile(r"(\d+(?:\.\d+)?)x\b")
+_OBS_OVERHEAD = re.compile(r"^obs-overhead-pct: (\d+(?:\.\d+)?)$", re.M)
 
 
 def discover(directory: Path) -> list[Path]:
@@ -146,11 +148,19 @@ def main(argv=None, out=None) -> int:
         failures.append("repro.analysis")
     from repro.graph.vector import BACKEND
 
+    obs_overhead = None
+    for result in results:
+        if result["name"] == "bench_obs":
+            match = _OBS_OVERHEAD.search(result["output"])
+            if match:
+                obs_overhead = float(match.group(1))
+
     report = {
-        "schema": "repro-bench-report/2",
+        "schema": "repro-bench-report/3",
         "quick": quick,
         "python": platform.python_version(),
         "vector_backend": BACKEND.name,
+        "obs": obs_overhead,
         "benchmarks": results,
         "lint": lint,
         "failures": failures,

@@ -995,7 +995,7 @@ class Api01SwallowedException(Rule):
 # SLOT01
 # ----------------------------------------------------------------------
 #: Modules whose object churn sits on the query hot path.
-_HOT_MODULE_MARKERS = ("/graph/", "/scale/")
+_HOT_MODULE_MARKERS = ("/graph/", "/scale/", "/obs/")
 _HOT_MODULE_SUFFIXES = ("core/plan.py", "core/executor.py")
 
 

@@ -7,6 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro search "Smith XML" --top 3 --stream
     python -m repro search "Smith XML; Brown CS; Smith Brown" --batch
     python -m repro search "Smith XML" --mutations updates.json
+    python -m repro search "Smith XML" --analyze    # EXPLAIN ANALYZE table
+    python -m repro search "Smith XML" --json --trace trace.jsonl
+    python -m repro stats                           # metrics-registry report
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
     python -m repro lint --strict                   # invariant linter
@@ -118,6 +121,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force the pure-stdlib CSR kernels even "
                                 "when numpy is available (answers are "
                                 "bit-identical, only slower)")
+    observability = search.add_argument_group(
+        "observability",
+        "query spans, metrics and EXPLAIN ANALYZE (see also 'repro stats'); "
+        "instrumentation is off unless one of these flags turns it on, and "
+        "never changes answers or their order",
+    )
+    observability.add_argument("--analyze", action="store_true",
+                               help="EXPLAIN ANALYZE: answer QUERY with "
+                                    "tracing forced on and print a per-plan-"
+                                    "node table of timings and counters "
+                                    "(with --jobs N, also reports the pool "
+                                    "pass)")
+    observability.add_argument("--json", action="store_true",
+                               help="emit results plus execution stats (and "
+                                    "a trace summary when tracing is on) as "
+                                    "JSON instead of text")
+    observability.add_argument("--trace", metavar="FILE",
+                               help="enable span tracing for this run and "
+                                    "write the query trace to FILE as JSON "
+                                    "lines")
 
     snapshot = commands.add_parser(
         "snapshot", help="save / load mmap-able engine snapshots"
@@ -161,6 +184,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro/analysis/baseline.json)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline to the current findings")
+
+    stats = commands.add_parser(
+        "stats",
+        help="run queries with the metrics registry on and print the report",
+        description="Runs the given ';'-separated queries with the repro.obs "
+        "metrics registry enabled and prints the counters, gauges and "
+        "histograms the workload produced.  Without QUERY the paper's "
+        "running-example workload is used (requires the default --db).",
+    )
+    stats.add_argument("query", nargs="?", default=None,
+                       help="';'-separated queries (default: a built-in "
+                            "workload over the company example)")
+    stats.add_argument("--top", type=int, default=None, help="top-k cut")
+    stats.add_argument("--semantics", choices=("and", "or"), default="and")
+    stats.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="partition the compiled graph into K shards")
+    stats.add_argument("--core", choices=("csr", "fast", "reference"),
+                       default=None, help="traversal kernel")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -313,10 +354,95 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
         print("--mutations cannot be combined with --batch or --stream",
               file=out)
         return 2
-    if args.jobs is not None and not args.batch:
-        print("--jobs needs --batch (parallel execution is per batch)",
-              file=out)
+    if args.jobs is not None and not (args.batch or args.analyze):
+        print("--jobs needs --batch or --analyze "
+              "(parallel execution is per batch)", file=out)
         return 2
+    if args.analyze and (args.batch or args.stream or args.mutations
+                         or args.group):
+        print("--analyze answers one query on its own "
+              "(no --batch/--stream/--mutations/--group)", file=out)
+        return 2
+    if args.json and (args.stream or args.mutations or args.group):
+        print("--json cannot be combined with "
+              "--stream, --mutations or --group", file=out)
+        return 2
+    if args.analyze:
+        return _search_analyze(engine, args, ranker, limits, out)
+    if args.trace:
+        from repro.obs import trace as obs_trace
+
+        saved = obs_trace.ENABLED
+        obs_trace.set_enabled(True)
+        try:
+            code = _dispatch_search(engine, args, ranker, limits, out)
+        finally:
+            obs_trace.set_enabled(saved)
+        if engine.save_trace(args.trace):
+            print(f"# trace: {args.trace}", file=out)
+        return code
+    return _dispatch_search(engine, args, ranker, limits, out)
+
+
+def _search_analyze(engine, args, ranker, limits, out) -> int:
+    """EXPLAIN ANALYZE: per-plan-node timings/counters for one query."""
+    report = engine.explain_analyze(
+        args.query,
+        ranker=ranker,
+        limits=limits,
+        top_k=args.top,
+        semantics=args.semantics,
+        jobs=args.jobs,
+    )
+    if args.jobs is not None and args.jobs > 1:
+        engine.close_pool()
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(report.render(), file=out)
+    if args.trace and engine.save_trace(args.trace):
+        print(f"# trace: {args.trace}", file=out)
+    return 0 if report.results else 1
+
+
+def _trace_summary(trace) -> dict:
+    """Small JSON-able digest of a query trace for ``--json`` output."""
+    root = trace.root
+    return {
+        "root": root.name,
+        "spans": sum(1 for __ in root.walk()),
+        "duration_ms": round(root.duration * 1000.0, 3),
+        "children": [
+            {"name": child.name, "ms": round(child.duration * 1000.0, 3)}
+            for child in root.children
+        ],
+    }
+
+
+def _json_doc(engine, payload: dict) -> str:
+    import json
+
+    payload["stats"] = engine.last_stats.to_dict()
+    if engine.last_trace is not None:
+        payload["trace"] = _trace_summary(engine.last_trace)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _json_results(results) -> list:
+    return [
+        {
+            "rank": result.rank,
+            "score": list(result.score),
+            "answer": result.answer.render(),
+        }
+        for result in results
+    ]
+
+
+def _dispatch_search(engine, args, ranker, limits, out) -> int:
     if args.mutations:
         return _search_with_mutations(engine, args, ranker, limits, out)
     if args.stream:
@@ -353,6 +479,17 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             semantics=args.semantics,
             jobs=args.jobs,
         )
+        if args.json:
+            print(_json_doc(engine, {
+                "queries": queries,
+                "results": [
+                    {"query": query, "results": _json_results(results)}
+                    for query, results in zip(queries, batched)
+                ],
+            }), file=out)
+            if args.jobs is not None and args.jobs > 1:
+                engine.close_pool()
+            return 0 if any(batched) else 1
         answered = 0
         for query, results in zip(queries, batched):
             print(f"== {query} ==", file=out)
@@ -375,6 +512,13 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
         top_k=args.top,
         semantics=args.semantics,
     )
+    if args.json:
+        print(_json_doc(engine, {
+            "query": args.query,
+            "semantics": args.semantics,
+            "results": _json_results(results),
+        }), file=out)
+        return 0 if results else 1
     if not results:
         print("no answers", file=out)
         return 1
@@ -436,6 +580,44 @@ def _cmd_lint(args: argparse.Namespace, out) -> int:
     if args.update_baseline:
         argv.append("--update-baseline")
     return lint_main(argv, out)
+
+
+#: Workload `repro stats` runs when no QUERY is given (company example).
+_STATS_WORKLOAD = ("Smith XML", "Brown CS", "Smith Brown")
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    """Run a workload with the metrics registry on and print the report."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.metrics import REGISTRY, diff_snapshots, render_report
+
+    if args.query:
+        queries = [part.strip() for part in args.query.split(";")
+                   if part.strip()]
+    elif args.db is None:
+        queries = list(_STATS_WORKLOAD)
+    else:
+        print("stats needs QUERY when --db is given "
+              "(the built-in workload only fits the company example)",
+              file=out)
+        return 2
+    engine = KeywordSearchEngine(
+        _load_database(args.db), core=args.core, shards=args.shards
+    )
+    saved = obs_metrics.ENABLED
+    before = REGISTRY.snapshot()
+    obs_metrics.set_enabled(True)
+    try:
+        for query in queries:
+            engine.search(
+                query, top_k=args.top, semantics=args.semantics
+            )
+    finally:
+        obs_metrics.set_enabled(saved)
+    delta = diff_snapshots(before, REGISTRY.snapshot())
+    title = f"repro stats — {len(queries)} queries"
+    print(render_report(delta, title=title), file=out)
+    return 0
 
 
 def _cmd_reproduce(args: argparse.Namespace, out) -> int:
@@ -531,6 +713,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "snapshot": _cmd_snapshot,
     "lint": _cmd_lint,
+    "stats": _cmd_stats,
     "reproduce": _cmd_reproduce,
     "analyze": _cmd_analyze,
     "mtjnt": _cmd_mtjnt,

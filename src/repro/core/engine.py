@@ -55,6 +55,8 @@ from repro.graph.fast_traversal import TraversalCache
 from repro.live.changes import ChangeSet, Mutation, apply_to_database
 from repro.live.maintain import affected_tuples, apply_changeset
 from repro.live.result_cache import CacheEntry, ResultCache
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relational.database import Database
 from repro.relational.index import InvertedIndex
 
@@ -145,6 +147,10 @@ class KeywordSearchEngine:
         #: Counters of the most recent search/stream/batch call (the
         #: CLI's ``--top`` report and the pipeline benchmark read them).
         self.last_stats = ExecutionStats()
+        #: :class:`~repro.obs.trace.QueryTrace` of the most recent
+        #: search/stream/batch/explain call while tracing is enabled
+        #: (``repro.obs.set_enabled``); ``None`` otherwise.
+        self.last_trace = None
         #: Sub-plan sharing table of the most recent ``search_batch``.
         self.last_shared = SharedEnumerations()
         #: Monotonically increasing engine state version; every
@@ -383,19 +389,37 @@ class KeywordSearchEngine:
         """
         ranker = ranker or self.ranker
         limits = limits or self.limits
-        key = self._cache_key(query, ranker, limits, top_k, semantics, pushdown)
-        entry = self.result_cache.lookup(key) if key is not None else None
-        if entry is not None:
-            self.last_stats = replace(entry.stats)
-            return list(entry.results)
-        plan, matches = self._plan(query, top_k, semantics)
-        version = self.version
-        executor = self._executor()
-        results = executor.run(plan, ranker, limits, pushdown=pushdown)
-        self.last_stats = executor.stats
-        if key is not None and self.version == version:
-            self._cache_store(key, ranker, matches, results, executor.stats)
-        return results
+        qtrace = None
+        if obs_trace.ENABLED:
+            qtrace = obs_trace.begin_trace(
+                "query", query=query, semantics=semantics
+            )
+            self.last_trace = qtrace
+        try:
+            key = self._cache_key(
+                query, ranker, limits, top_k, semantics, pushdown
+            )
+            with obs_trace.span("result_cache.lookup") as lookup_span:
+                entry = (
+                    self.result_cache.lookup(key) if key is not None else None
+                )
+                if lookup_span is not None:
+                    lookup_span.tag(hit=entry is not None)
+            if entry is not None:
+                self.last_stats = replace(entry.stats)
+                return list(entry.results)
+            with obs_trace.span("plan.compile"):
+                plan, matches = self._plan(query, top_k, semantics)
+            version = self.version
+            executor = self._executor()
+            results = executor.run(plan, ranker, limits, pushdown=pushdown)
+            self.last_stats = executor.stats
+            if key is not None and self.version == version:
+                self._cache_store(key, ranker, matches, results, executor.stats)
+            return results
+        finally:
+            if qtrace is not None:
+                obs_trace.end_trace(qtrace)
 
     def search_stream(
         self,
@@ -421,43 +445,64 @@ class KeywordSearchEngine:
         """
         ranker = ranker or self.ranker
         limits = limits or self.limits
-        key = self._cache_key(query, ranker, limits, top_k, semantics, pushdown)
-        version = self.version
-        entry = self.result_cache.lookup(key) if key is not None else None
-        if entry is not None:
-            self.last_stats = replace(entry.stats)
-            for result in entry.results:
-                self._check_stream_version(version)
-                yield result
-            return
-        plan, matches = self._plan(query, top_k, semantics)
-        executor = self._executor()
-        # Buffered only while a cache store is still possible — an
-        # uncacheable query keeps the O(1) streaming memory profile.
-        collected: Optional[list[SearchResult]] = (
-            [] if key is not None else None
-        )
-        stream = executor.stream(plan, ranker, limits, pushdown=pushdown)
+        qtrace = None
+        if obs_trace.ENABLED:
+            qtrace = obs_trace.begin_trace(
+                "query.stream", query=query, semantics=semantics
+            )
+            self.last_trace = qtrace
         try:
-            while True:
-                # Checked on every resume, before the executor touches
-                # state an interleaved apply() may have mutated.
-                self._check_stream_version(version)
-                try:
-                    result = next(stream)
-                except StopIteration:
-                    break
+            key = self._cache_key(
+                query, ranker, limits, top_k, semantics, pushdown
+            )
+            version = self.version
+            with obs_trace.span("result_cache.lookup") as lookup_span:
+                entry = (
+                    self.result_cache.lookup(key) if key is not None else None
+                )
+                if lookup_span is not None:
+                    lookup_span.tag(hit=entry is not None)
+            if entry is not None:
+                self.last_stats = replace(entry.stats)
+                for result in entry.results:
+                    self._check_stream_version(version)
+                    yield result
+                return
+            with obs_trace.span("plan.compile"):
+                plan, matches = self._plan(query, top_k, semantics)
+            executor = self._executor()
+            # Buffered only while a cache store is still possible — an
+            # uncacheable query keeps the O(1) streaming memory profile.
+            collected: Optional[list[SearchResult]] = (
+                [] if key is not None else None
+            )
+            stream = executor.stream(plan, ranker, limits, pushdown=pushdown)
+            try:
+                while True:
+                    # Checked on every resume, before the executor touches
+                    # state an interleaved apply() may have mutated.
+                    self._check_stream_version(version)
+                    try:
+                        result = next(stream)
+                    except StopIteration:
+                        break
+                    self.last_stats = executor.stats
+                    if collected is not None:
+                        collected.append(result)
+                    yield result
+            finally:
+                # Capture the run's counters even when the stream yields
+                # nothing or the consumer stops early (stream() replaces
+                # executor.stats once it starts running).  Close the
+                # executor's generator inside the trace window so its
+                # span totals land on this query's trace, not ambient.
+                stream.close()
                 self.last_stats = executor.stats
-                if collected is not None:
-                    collected.append(result)
-                yield result
+            if collected is not None and self.version == version:
+                self._cache_store(key, ranker, matches, collected, executor.stats)
         finally:
-            # Capture the run's counters even when the stream yields
-            # nothing or the consumer stops early (stream() replaces
-            # executor.stats once it starts running).
-            self.last_stats = executor.stats
-        if collected is not None and self.version == version:
-            self._cache_store(key, ranker, matches, collected, executor.stats)
+            if qtrace is not None:
+                obs_trace.end_trace(qtrace)
 
     def _check_stream_version(self, version: int) -> None:
         """Refuse to keep streaming across an interleaved mutation.
@@ -527,31 +572,49 @@ class KeywordSearchEngine:
         stats = ExecutionStats()
         resolved: dict[str, list[SearchResult]] = {}
         batched = []
-        for query in queries:
-            if query not in resolved:
-                key = self._cache_key(
-                    query, ranker, limits, top_k, semantics, pushdown
-                )
-                entry = (
-                    self.result_cache.lookup(key) if key is not None else None
-                )
-                if entry is not None:
-                    resolved[query] = list(entry.results)
-                    stats.merge(entry.stats)
-                else:
-                    plan, matches = self._plan(query, top_k, semantics)
-                    version = self.version
-                    executor = self._executor(shared)
-                    resolved[query] = executor.run(
-                        plan, ranker, limits, pushdown=pushdown
+        qtrace = None
+        if obs_trace.ENABLED:
+            qtrace = obs_trace.begin_trace(
+                "query.batch", queries=len(queries), semantics=semantics
+            )
+            self.last_trace = qtrace
+        try:
+            for query in queries:
+                if query not in resolved:
+                    key = self._cache_key(
+                        query, ranker, limits, top_k, semantics, pushdown
                     )
-                    stats.merge(executor.stats)
-                    if key is not None and self.version == version:
-                        self._cache_store(
-                            key, ranker, matches,
-                            resolved[query], executor.stats,
+                    with obs_trace.span(
+                        "result_cache.lookup", query=query
+                    ) as lookup_span:
+                        entry = (
+                            self.result_cache.lookup(key)
+                            if key is not None
+                            else None
                         )
-            batched.append(resolved[query])
+                        if lookup_span is not None:
+                            lookup_span.tag(hit=entry is not None)
+                    if entry is not None:
+                        resolved[query] = list(entry.results)
+                        stats.merge(entry.stats)
+                    else:
+                        with obs_trace.span("plan.compile", query=query):
+                            plan, matches = self._plan(query, top_k, semantics)
+                        version = self.version
+                        executor = self._executor(shared)
+                        resolved[query] = executor.run(
+                            plan, ranker, limits, pushdown=pushdown
+                        )
+                        stats.merge(executor.stats)
+                        if key is not None and self.version == version:
+                            self._cache_store(
+                                key, ranker, matches,
+                                resolved[query], executor.stats,
+                            )
+                batched.append(resolved[query])
+        finally:
+            if qtrace is not None:
+                obs_trace.end_trace(qtrace)
         self.last_stats = stats
         self.last_shared = shared
         return batched
@@ -577,22 +640,28 @@ class KeywordSearchEngine:
         """
         changeset = apply_to_database(self.database, mutations)
         if not changeset.is_empty():
-            apply_changeset(
-                changeset,
-                self.database,
-                index=self.index,
-                data_graph=self.data_graph,
-                traversal_cache=self.traversal_cache,
-                shard_plan=self._shard_plan,
-            )
+            with obs_trace.span("live.apply"):
+                apply_changeset(
+                    changeset,
+                    self.database,
+                    index=self.index,
+                    data_graph=self.data_graph,
+                    traversal_cache=self.traversal_cache,
+                    shard_plan=self._shard_plan,
+                )
             if len(self.result_cache):
                 # Component tainting costs a BFS; with no live entries
                 # there is nothing it could invalidate.
-                self.result_cache.invalidate(
-                    affected_tuples(self.data_graph, changeset), self.index
-                )
+                with obs_trace.span("result_cache.invalidate") as inv_span:
+                    dropped = self.result_cache.invalidate(
+                        affected_tuples(self.data_graph, changeset), self.index
+                    )
+                    if inv_span is not None:
+                        inv_span.add(dropped=dropped)
             # Instance statistics move with the data; recomputed lazily.
             self.statistics = None
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("engine.changesets_applied")
         self.version += 1
         changeset.version = self.version
         return changeset
@@ -600,6 +669,51 @@ class KeywordSearchEngine:
     # ------------------------------------------------------------------
     # analysis helpers
     # ------------------------------------------------------------------
+    def explain_analyze(
+        self,
+        query: str,
+        ranker: Optional[Ranker] = None,
+        limits: Optional[SearchLimits] = None,
+        top_k: Optional[int] = None,
+        semantics: str = "and",
+        pushdown: Optional[bool] = None,
+        jobs: Optional[int] = None,
+    ):
+        """Run a query with tracing forced on and fuse its plan with the
+        collected trace into a per-node report.
+
+        Returns an :class:`~repro.obs.explain.ExplainReport` — call
+        ``.render()`` for the table, ``.results`` for the (bit-identical)
+        answers, ``.trace`` for the raw spans.  ``jobs > 1`` additionally
+        routes one pass through the worker pool so the report carries the
+        pooled trace (transport used, per-worker batches).
+        """
+        from repro.obs.explain import analyze
+
+        return analyze(
+            self,
+            query,
+            ranker=ranker,
+            limits=limits,
+            top_k=top_k,
+            semantics=semantics,
+            pushdown=pushdown,
+            jobs=jobs,
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-dict view of the process metrics registry (counters,
+        gauges, histogram buckets) — empty unless metrics are enabled
+        via ``repro.obs.set_enabled``."""
+        return obs_metrics.REGISTRY.snapshot()
+
+    def save_trace(self, path) -> bool:
+        """Write :attr:`last_trace` as JSONL; False when no trace exists."""
+        if self.last_trace is None:
+            return False
+        self.last_trace.save_jsonl(path)
+        return True
+
     def explain(self, result: SearchResult) -> str:
         """A human-readable explanation of one ranked answer."""
         answer = result.answer

@@ -42,6 +42,7 @@ the whole batch.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from itertools import product
 from typing import Iterator, Optional, Sequence, Union
@@ -78,6 +79,8 @@ from repro.graph.traversal import (
     enumerate_joining_trees,
     enumerate_simple_paths,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relational.database import TupleId
 
 __all__ = [
@@ -133,6 +136,24 @@ class ExecutionStats:
         self.pushdown = self.pushdown or other.pushdown
         self.shard_skips += other.shard_skips
 
+    def to_dict(self) -> dict:
+        """JSON-safe view (CLI ``--json``, trace summaries)."""
+        return {
+            "candidates": self.candidates,
+            "emitted": self.emitted,
+            "pushdown": self.pushdown,
+            "shard_skips": self.shard_skips,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionStats":
+        return cls(
+            candidates=int(payload.get("candidates", 0)),
+            emitted=int(payload.get("emitted", 0)),
+            pushdown=bool(payload.get("pushdown", False)),
+            shard_skips=int(payload.get("shard_skips", 0)),
+        )
+
 
 class SharedEnumerations:
     """Keyed table of shared enumeration streams (plan-level sharing).
@@ -159,6 +180,15 @@ class SharedEnumerations:
 
     def __len__(self) -> int:
         return len(self._streams)
+
+
+def _op_label(op) -> str:
+    """Span name of one plan source (explain keys ops by tag, not name)."""
+    if isinstance(op, SingleScan):
+        return "op.scan"
+    if isinstance(op, PairPaths):
+        return "op.paths"
+    return "op.networks"
 
 
 def _coverage(answer: AnswerType) -> int:
@@ -204,6 +234,10 @@ class Executor:
         #: graph, whose scratch state is O(shard) instead of O(graph).
         self.shard_plan = shard_plan
         self.stats = ExecutionStats()
+        #: Live span of the run in flight (``None`` while tracing is
+        #: off or between runs); the mode-specific emitters hang their
+        #: per-op and rank/cut children off it.
+        self._exec_span = None
 
     # ------------------------------------------------------------------
     # shard routing
@@ -298,16 +332,86 @@ class Executor:
         else:
             use_pushdown = pushdown and bounded
         stats.pushdown = use_pushdown
+
+        # Observability is sampled once per run; with both layers off
+        # the whole run pays two module-attribute reads and no more.
+        # Spans are accumulated as direct children (never pushed on the
+        # trace stack) because this generator can suspend mid-span.
+        tracing = obs_trace.ENABLED
+        metered = obs_metrics.ENABLED
+        exec_span = None
+        started = 0.0
+        cache_hits = cache_misses = shared_hits = shared_misses = 0
+        if tracing or metered:
+            cache_hits, cache_misses = self.cache.hits, self.cache.misses
+            shared_hits, shared_misses = self.shared.hits, self.shared.misses
+        if tracing:
+            host = obs_trace.current_trace()
+            if host is None:
+                host = obs_trace.ambient_trace()
+            exec_span = host.current().child(
+                "executor.execute",
+                mode="pushdown" if use_pushdown else "full",
+                core=self.core,
+            )
+            started = time.perf_counter()
+        self._exec_span = exec_span
+
         if self.core == "csr":
-            self._prefetch_distances(plan)
+            if exec_span is not None:
+                t0 = time.perf_counter()
+                self._prefetch_distances(plan)
+                exec_span.child("prefetch").add_time(time.perf_counter() - t0)
+            else:
+                self._prefetch_distances(plan)
 
         if use_pushdown:
             emitter = self._stream_pushdown(plan, ranker, limits)
         else:
             emitter = self._stream_full(plan, ranker, limits)
-        for position, (answer, score) in enumerate(emitter):
-            stats.emitted += 1
-            yield SearchResult(answer=answer, score=score, rank=position + 1)
+        try:
+            for position, (answer, score) in enumerate(emitter):
+                stats.emitted += 1
+                yield SearchResult(answer=answer, score=score, rank=position + 1)
+        finally:
+            # Runs at exhaustion *and* when a streaming consumer closes
+            # the generator early — the span/metric totals always land.
+            if exec_span is not None:
+                exec_span.add_time(time.perf_counter() - started)
+                frozen = self.cache._frozen
+                exec_span.tag(
+                    backend=(
+                        frozen.backend_name
+                        if self.core == "csr" and frozen is not None
+                        else "-"
+                    )
+                )
+                exec_span.add(
+                    candidates=stats.candidates,
+                    emitted=stats.emitted,
+                    shard_skips=stats.shard_skips,
+                    cache_hits=self.cache.hits - cache_hits,
+                    cache_misses=self.cache.misses - cache_misses,
+                )
+                self._exec_span = None
+            if metered:
+                registry = obs_metrics.REGISTRY
+                registry.inc("executor.runs")
+                registry.inc("executor.candidates", stats.candidates)
+                registry.inc("executor.emitted", stats.emitted)
+                if stats.shard_skips:
+                    registry.inc("executor.shard_skips", stats.shard_skips)
+                if use_pushdown:
+                    registry.inc("executor.pushdown_runs")
+                for name, delta in (
+                    ("traversal_cache.hits", self.cache.hits - cache_hits),
+                    ("traversal_cache.misses", self.cache.misses - cache_misses),
+                    ("shared_enum.hits", self.shared.hits - shared_hits),
+                    ("shared_enum.misses", self.shared.misses - shared_misses),
+                ):
+                    if delta:
+                        registry.inc(name, delta)
+                registry.observe("executor.candidates_per_run", stats.candidates)
 
     # ------------------------------------------------------------------
     # scoring
@@ -505,14 +609,28 @@ class Executor:
         self, plan: QueryPlan, ranker: Ranker, limits: SearchLimits
     ) -> Iterator[tuple[AnswerType, tuple[float, ...]]]:
         coverage_major = plan.merge.coverage_major
+        exec_span = self._exec_span
         answers: list[AnswerType] = []
-        for op in plan.sources:
+        for position, op in enumerate(plan.sources):
+            if exec_span is not None:
+                op_span = exec_span.child(_op_label(op), op=position)
+                produced0 = len(answers)
+                skips0 = self.stats.shard_skips
+                t0 = time.perf_counter()
             if isinstance(op, SingleScan):
                 answers.extend(self._iter_singles(plan.matches, op))
             elif isinstance(op, PairPaths):
                 answers.extend(self._iter_pair(plan.matches, op, limits))
             else:
                 answers.extend(self._iter_networks(plan.matches, op, limits))
+            if exec_span is not None:
+                op_span.add_time(time.perf_counter() - t0)
+                op_span.add(
+                    produced=len(answers) - produced0,
+                    shard_skips=self.stats.shard_skips - skips0,
+                )
+        if exec_span is not None:
+            t0 = time.perf_counter()
         scored = [
             (answer, self._score(answer, ranker, coverage_major))
             for answer in answers
@@ -520,6 +638,8 @@ class Executor:
         scored.sort(key=lambda pair: (pair[1], pair[0].render()))
         if plan.cut.k is not None:
             scored = scored[: plan.cut.k]
+        if exec_span is not None:
+            exec_span.child("rank_cut").add_time(time.perf_counter() - t0)
         yield from scored
 
     # ------------------------------------------------------------------
@@ -551,22 +671,57 @@ class Executor:
         k = plan.cut.k
         if k is not None and k <= 0:
             return
-        states = [
-            self._make_state(plan, op, ranker, limits) for op in plan.sources
-        ]
+        # Per-op attribution works by stats-counter deltas around each
+        # bound()/pull() call (which is where lazy heap setup, shard
+        # skips and candidate scoring actually happen), so the state
+        # classes stay untouched; disabled mode pays one local-bool
+        # branch per call.
+        exec_span = self._exec_span
+        tracing = exec_span is not None
+        stats = self.stats
+        states = []
+        op_spans = []
+        if tracing:
+            for position, op in enumerate(plan.sources):
+                op_span = exec_span.child(_op_label(op), op=position)
+                skips0 = stats.shard_skips
+                t0 = time.perf_counter()
+                states.append(self._make_state(plan, op, ranker, limits))
+                op_span.add_time(time.perf_counter() - t0)
+                delta = stats.shard_skips - skips0
+                if delta:
+                    op_span.add(shard_skips=delta)
+                op_spans.append(op_span)
+        else:
+            states = [
+                self._make_state(plan, op, ranker, limits)
+                for op in plan.sources
+            ]
         buffer: list[tuple] = []  # (score, render, sequence, answer)
         sequence = 0
         emitted = 0
         while True:
             best = None
+            best_index = -1
             best_bound = None
-            for state in states:
-                bound = state.bound()
+            for index, state in enumerate(states):
+                if tracing:
+                    skips0 = stats.shard_skips
+                    t0 = time.perf_counter()
+                    bound = state.bound()
+                    op_span = op_spans[index]
+                    op_span.add_time(time.perf_counter() - t0)
+                    delta = stats.shard_skips - skips0
+                    if delta:
+                        op_span.add(shard_skips=delta)
+                else:
+                    bound = state.bound()
                 if bound is None:
                     continue
                 if best_bound is None or bound < best_bound:
                     best_bound = bound
                     best = state
+                    best_index = index
             # Everything buffered that strictly beats every remaining
             # bound is final — equal bounds must wait, because an unseen
             # answer could tie the score and win the render tie-break.
@@ -578,7 +733,18 @@ class Executor:
                     return
             if best is None:
                 return
-            pulled = best.pull()
+            if tracing:
+                candidates0 = stats.candidates
+                t0 = time.perf_counter()
+                pulled = best.pull()
+                op_span = op_spans[best_index]
+                op_span.add_time(time.perf_counter() - t0)
+                op_span.add(pulls=1)
+                delta = stats.candidates - candidates0
+                if delta:
+                    op_span.add(produced=delta)
+            else:
+                pulled = best.pull()
             if pulled is not None:
                 answer, score = pulled
                 heapq.heappush(buffer, (score, answer.render(), sequence, answer))

@@ -47,6 +47,8 @@ from repro.errors import QueryError, SearchLimitError
 from repro.graph.data_graph import DataGraph
 from repro.graph.traversal import TuplePathStep, _sort_key
 from repro.graph.vector import get_backend
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relational.database import TupleId
 
 __all__ = [
@@ -376,6 +378,11 @@ class FrozenGraph:
             and self._ints_sorted
             and len(members) >= self.vector_frontier_min
         ):
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("csr.frontier_batches")
+                obs_metrics.REGISTRY.observe(
+                    "csr.frontier_members", len(members)
+                )
             return backend.frontier_neighbours(
                 self._vector_adjacency(), members
             )
@@ -497,9 +504,17 @@ class FrozenGraph:
                 self._counters.misses += 1
                 missing.append(node)
         if missing:
-            for node, row in zip(missing, self._bfs_rows(missing)):
-                self._store_row(node, row)
-                result[node] = row
+            with obs_trace.span("csr.distances_block") as sweep_span:
+                for node, row in zip(missing, self._bfs_rows(missing)):
+                    self._store_row(node, row)
+                    result[node] = row
+                if sweep_span is not None:
+                    sweep_span.tag(backend=self._backend.name)
+                    sweep_span.add(sources=len(missing))
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("csr.distance_sweeps")
+                obs_metrics.REGISTRY.inc("csr.distance_rows", len(missing))
+                obs_metrics.REGISTRY.observe("csr.sweep_sources", len(missing))
         return result
 
     def components(self) -> array:
@@ -510,33 +525,34 @@ class FrozenGraph:
         """
         if self._components is not None:
             return self._components
-        if self._backend.vectorized:
-            matrix = self._backend.component_labels(
-                self._vector_adjacency(), self._alive, self.capacity
-            )
-            labels = array("i")
-            labels.frombytes(matrix.tobytes())
+        with obs_trace.span("csr.components", backend=self._backend.name):
+            if self._backend.vectorized:
+                matrix = self._backend.component_labels(
+                    self._vector_adjacency(), self._alive, self.capacity
+                )
+                labels = array("i")
+                labels.frombytes(matrix.tobytes())
+                self._components = labels
+                return labels
+            labels = array("i", [-1]) * self.capacity
+            alive = self._alive
+            label = 0
+            for start in range(self.capacity):
+                if not alive[start] or labels[start] != -1:
+                    continue
+                labels[start] = label
+                stack = [start]
+                while stack:
+                    at = stack.pop()
+                    row_targets, __, __, lo, hi = self._row(at)
+                    for position in range(lo, hi):
+                        other = row_targets[position]
+                        if labels[other] == -1:
+                            labels[other] = label
+                            stack.append(other)
+                label += 1
             self._components = labels
             return labels
-        labels = array("i", [-1]) * self.capacity
-        alive = self._alive
-        label = 0
-        for start in range(self.capacity):
-            if not alive[start] or labels[start] != -1:
-                continue
-            labels[start] = label
-            stack = [start]
-            while stack:
-                at = stack.pop()
-                row_targets, __, __, lo, hi = self._row(at)
-                for position in range(lo, hi):
-                    other = row_targets[position]
-                    if labels[other] == -1:
-                        labels[other] = label
-                        stack.append(other)
-            label += 1
-        self._components = labels
-        return labels
 
     def component_of(self, node: int) -> int:
         return self.components()[node]
@@ -620,8 +636,11 @@ class FrozenGraph:
             self.capacity >= self.min_compaction_nodes
             and len(self._override) > self.compaction_threshold * self.capacity
         ):
-            self._compile()
+            with obs_trace.span("csr.compact", capacity=self.capacity):
+                self._compile()
             self.compactions += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("csr.compactions")
         return len(stale)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

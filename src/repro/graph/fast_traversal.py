@@ -46,6 +46,8 @@ from typing import Iterable, Iterator, Optional, Sequence
 from repro.errors import SearchLimitError
 from repro.graph.data_graph import DataGraph
 from repro.graph.traversal import TuplePathStep, _sort_key
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relational.database import TupleId
 
 __all__ = [
@@ -184,9 +186,14 @@ class TraversalCache:
         if self._frozen is None:
             from repro.graph.csr import FrozenGraph
 
-            self._frozen = FrozenGraph(
-                self.data_graph, counters=self, vector=self.vector
-            )
+            with obs_trace.span("csr.compile") as compile_span:
+                self._frozen = FrozenGraph(
+                    self.data_graph, counters=self, vector=self.vector
+                )
+                if compile_span is not None:
+                    compile_span.tag(backend=self._frozen.backend_name)
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("csr.compiles")
         return self._frozen
 
     def apply_changeset(self, changeset) -> int:
@@ -202,6 +209,10 @@ class TraversalCache:
         dropped = self._invalidate_changed(changeset.structural_tuples())
         if self._frozen is not None:
             self._frozen.apply_changeset(changeset)
+        if obs_metrics.ENABLED and dropped:
+            obs_metrics.REGISTRY.inc(
+                "traversal_cache.distance_maps_dropped", dropped
+            )
         return dropped
 
     def invalidate_tuples(self, changed: Iterable[TupleId]) -> int:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import AbstractSet, Hashable, Optional
 
 from repro.core.matching import match_keywords
+from repro.obs import metrics as obs_metrics
 from repro.relational.database import TupleId
 from repro.relational.index import InvertedIndex
 
@@ -90,9 +91,13 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc("result_cache.misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("result_cache.hits")
         return entry
 
     def store(self, key: Hashable, entry: CacheEntry) -> None:
@@ -102,9 +107,15 @@ class ResultCache:
             self._entries.move_to_end(key)
         self._entries[key] = entry
         self.stats.stores += 1
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evicted += 1
+            evicted += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("result_cache.stores")
+            if evicted:
+                obs_metrics.REGISTRY.inc("result_cache.evicted", evicted)
 
     def invalidate(
         self, affected: AbstractSet[TupleId], index: InvertedIndex
@@ -134,6 +145,8 @@ class ResultCache:
         for key in dropped:
             del self._entries[key]
         self.stats.invalidated += len(dropped)
+        if obs_metrics.ENABLED and dropped:
+            obs_metrics.REGISTRY.inc("result_cache.invalidated", len(dropped))
         return len(dropped)
 
     def clear(self) -> None:

@@ -52,6 +52,8 @@ from repro.core.search import JoiningNetwork, SingleTupleAnswer
 from repro.core.connections import Connection
 from repro.errors import ReproError
 from repro.graph.traversal import TuplePathStep
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["ParallelSearcher", "run_batch"]
 
@@ -124,9 +126,28 @@ def _run_chunk(chunk):
     A failing query aborts the rest of its chunk (the coordinator never
     uses outcomes past the first batch error anyway) but keeps the
     chunk's earlier successes, mirroring the serial loop.
+
+    Observability rides the same outcome stream: the coordinator's
+    enablement travels in ``options["observe"]`` (explicit so spawned
+    workers match forked ones), the worker's per-query trace roots and
+    its metrics *delta* for the chunk come back as one trailing
+    ``(None, "obs", (trace_root, metrics_delta), None)`` pseudo-record
+    — identical bytes through the shm and pipe transports, because both
+    pickle the same records.
     """
     positions, queries, options = chunk
     engine = _WORKER_ENGINE
+    trace_on, metrics_on = options.get("observe", (False, False))
+    # The coordinator's setting is authoritative each chunk — a forked
+    # worker may have inherited flags the coordinator has since flipped.
+    obs_trace.set_enabled(trace_on)
+    obs_metrics.set_enabled(metrics_on)
+    metrics_before = obs_metrics.REGISTRY.snapshot() if metrics_on else None
+    chunk_trace = (
+        obs_trace.begin_trace("worker.batch", queries=len(queries))
+        if trace_on
+        else None
+    )
     outcomes = []
     for position, query in zip(positions, queries):
         try:
@@ -141,10 +162,31 @@ def _run_chunk(chunk):
         except ReproError as error:
             outcomes.append((position, "error", error, None))
             break
+        finally:
+            if chunk_trace is not None and engine.last_trace is not None:
+                # engine.search ran its own query trace; re-root it
+                # under the chunk so one span tree ships back.
+                root = engine.last_trace.root
+                root.tag(position=position)
+                chunk_trace.adopt(root)
+                engine.last_trace = None
         portable = [
             (_portable_answer(result.answer), result.score) for result in results
         ]
         outcomes.append((position, "ok", portable, replace(engine.last_stats)))
+    if trace_on or metrics_on:
+        delta = (
+            obs_metrics.diff_snapshots(
+                metrics_before, obs_metrics.REGISTRY.snapshot()
+            )
+            if metrics_on
+            else None
+        )
+        root = None
+        if chunk_trace is not None:
+            obs_trace.end_trace(chunk_trace)
+            root = chunk_trace.root
+        outcomes.append((None, "obs", (root, delta), None))
     return outcomes
 
 
@@ -271,6 +313,10 @@ class ParallelSearcher:
         self._arena = None
         self.shm_batches = 0
         self.pipe_batches = 0
+        #: Per-chunk observability payloads from the most recent
+        #: :meth:`run` — ``(worker_index, transport, (trace_root,
+        #: metrics_delta))`` tuples, coordinator-ordered.
+        self.last_obs: list = []
 
     def _ensure_arena(self):
         if self._arena is None:
@@ -327,6 +373,7 @@ class ParallelSearcher:
         failure and chunk contiguity keeps everything before it
         populated.
         """
+        self.last_obs = []
         if not queries:
             return {}
         workers = self._ensure_workers()
@@ -354,7 +401,14 @@ class ParallelSearcher:
             else:
                 self.close()
                 raise RuntimeError(f"snapshot worker crashed: {chunk_payload}")
+            transport = "shm" if status == "shm" else "pipe"
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.inc(f"pool.{transport}_batches")
             for position, result_status, payload, stats in chunk_outcomes:
+                if result_status == "obs":
+                    # Trailing worker-observability record, not a query.
+                    self.last_obs.append((index, transport, payload))
+                    continue
                 outcomes[queries[position]] = (result_status, payload, stats)
         return outcomes
 
@@ -422,6 +476,47 @@ def run_batch(
     the first failing query (in input order) re-raises its worker error
     after the queries before it committed.
     """
+    tracing = obs_trace.ENABLED
+    metered = obs_metrics.ENABLED
+    qtrace = None
+    if tracing:
+        qtrace = obs_trace.begin_trace(
+            "query.batch", queries=len(queries), jobs=jobs, parallel=True
+        )
+        engine.last_trace = qtrace
+    try:
+        return _run_batch_traced(
+            engine,
+            queries,
+            jobs=jobs,
+            ranker=ranker,
+            limits=limits,
+            top_k=top_k,
+            semantics=semantics,
+            pushdown=pushdown,
+            qtrace=qtrace,
+            tracing=tracing,
+            metered=metered,
+        )
+    finally:
+        if qtrace is not None:
+            obs_trace.end_trace(qtrace)
+
+
+def _run_batch_traced(
+    engine,
+    queries: Sequence[str],
+    *,
+    jobs: int,
+    ranker,
+    limits,
+    top_k: Optional[int],
+    semantics: str,
+    pushdown: Optional[bool],
+    qtrace,
+    tracing: bool,
+    metered: bool,
+) -> list:
     searcher = engine._ensure_searcher(jobs)
     stats = ExecutionStats()
     resolved: dict[str, list] = {}
@@ -443,8 +538,21 @@ def run_batch(
         "top_k": top_k,
         "semantics": semantics,
         "pushdown": pushdown,
+        "observe": (tracing, metered),
     }
     outcomes = searcher.run(pending, options)
+    if tracing or metered:
+        # Worker-index order, not arrival order, so the merged trace and
+        # registry are identical however the OS scheduled the chunks —
+        # and the metric merge itself is commutative (sums and maxima).
+        for worker, transport, (root, delta) in sorted(
+            searcher.last_obs, key=lambda record: record[0]
+        ):
+            if qtrace is not None and root is not None:
+                root.tag(worker=worker, transport=transport)
+                qtrace.adopt(root)
+            if metered and delta:
+                obs_metrics.REGISTRY.merge_snapshot(delta)
 
     for query in pending:
         status, payload, worker_stats = outcomes[query]

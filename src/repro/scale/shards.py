@@ -241,6 +241,19 @@ class ShardPlan:
         cached = self._graphs.get(shard_id)
         if cached is not None:
             return cached
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        with obs_trace.span("shards.extract", shard=shard_id) as extract_span:
+            shard_graph = self._extract_graph(shard_id)
+            if extract_span is not None:
+                extract_span.add(nodes=shard_graph.capacity)
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("shards.extracted")
+        self._graphs[shard_id] = shard_graph
+        return shard_graph
+
+    def _extract_graph(self, shard_id: int) -> FrozenGraph:
         frozen = self.cache.frozen()
         assignment = self._assignment
         alive = frozen._alive
@@ -274,7 +287,6 @@ class ShardPlan:
             counters=self.cache,
             vector=self.cache.vector,
         )
-        self._graphs[shard_id] = shard_graph
         return shard_graph
 
     def cache_for(self, shard_id: int) -> ShardCache:

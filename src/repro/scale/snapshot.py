@@ -597,7 +597,36 @@ def load_engine(
     order, same compiled CSR expansion order.  ``core`` and ``shards``
     default to the writer's settings; any other
     :class:`KeywordSearchEngine` construction options pass through.
+
+    Observability: emits a ``snapshot.open`` span (on the ambient trace
+    unless a query trace is active) and bumps ``snapshot.opens`` when
+    the obs layer is enabled — pool workers inherit the same site, so
+    ``repro stats`` shows coordinator and worker opens alike.
     """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.span("snapshot.open", path=str(path)) as open_span:
+        engine = _load_engine(
+            path, core=core, shards=shards, **engine_options
+        )
+        if open_span is not None:
+            open_span.tag(
+                nodes=engine._snapshot.meta.get("nodes"),
+                version=engine.version,
+            )
+    if obs_metrics.ENABLED:
+        obs_metrics.REGISTRY.inc("snapshot.opens")
+    return engine
+
+
+def _load_engine(
+    path: Union[str, Path],
+    *,
+    core: Optional[str] = None,
+    shards: Optional[int] = None,
+    **engine_options,
+):
     from repro.core.engine import KeywordSearchEngine
 
     snapshot = Snapshot(path)

@@ -54,6 +54,21 @@ def engine(company_db):
     return KeywordSearchEngine(company_db)
 
 
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Leave observability disabled and empty around every test.
+
+    Tests that enable repro.obs flip process-global flags and fill the
+    process-global registry/ambient trace; resetting afterwards keeps
+    them from leaking determinism-breaking state into later tests.
+    """
+    yield
+    from repro import obs
+
+    obs.set_enabled(False)
+    obs.reset()
+
+
 @pytest.fixture(scope="session")
 def small_synthetic():
     """A small deterministic synthetic database (shared, do not mutate)."""

@@ -415,3 +415,85 @@ class TestMainModule:
         )
         assert result.returncode == 0
         assert "e1(Smith)" in result.stdout
+
+
+class TestObservabilityFlags:
+    def test_analyze_renders_per_node_table(self):
+        code, output = run("search", "Smith XML", "--analyze")
+        assert code == 0
+        lines = output.splitlines()
+        assert lines[0].startswith("EXPLAIN ANALYZE  query='Smith XML'")
+        assert any(line.startswith("match") for line in lines)
+        assert any(line.startswith("total") for line in lines)
+
+    def test_analyze_rejects_batch(self):
+        code, output = run("search", "a; b", "--analyze", "--batch")
+        assert code == 2
+        assert "--analyze answers one query on its own" in output
+
+    def test_json_carries_stats(self):
+        import json
+
+        code, output = run("search", "Smith XML", "--json")
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["results"][0]["rank"] == 1
+        assert doc["stats"]["candidates"] >= len(doc["results"])
+        assert "trace" not in doc  # tracing was off
+
+    def test_json_batch_groups_per_query(self):
+        import json
+
+        code, output = run("search", "Smith XML; Brown CS", "--batch",
+                           "--json")
+        assert code == 0
+        doc = json.loads(output)
+        assert [entry["query"] for entry in doc["results"]] == [
+            "Smith XML", "Brown CS"
+        ]
+        assert doc["stats"]["emitted"] >= 1
+
+    def test_trace_writes_jsonl_and_adds_summary(self, tmp_path):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        code, output = run("search", "Smith XML", "--json",
+                           "--trace", str(target))
+        assert code == 0
+        body, footer = output.rsplit("}\n", 1)
+        doc = json.loads(body + "}")
+        assert doc["trace"]["root"] == "query"
+        assert doc["trace"]["spans"] >= 3
+        assert f"# trace: {target}" in footer
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        assert records[0]["path"] == "query"
+        assert any(r["name"] == "executor.execute" for r in records)
+        from repro.obs import trace as obs_trace
+
+        assert not obs_trace.ENABLED  # flag restored after the command
+
+    def test_stats_command_prints_registry_report(self):
+        code, output = run("stats")
+        assert code == 0
+        assert output.startswith("== repro stats — 3 queries ==")
+        assert "executor.runs" in output
+        assert "result_cache.misses" in output
+        from repro.obs import metrics as obs_metrics
+
+        assert not obs_metrics.ENABLED
+        obs_metrics.REGISTRY.reset()
+
+    def test_stats_custom_db_requires_query(self, tmp_path):
+        code, output = run("--db", str(tmp_path / "x.json"), "stats")
+        assert code == 2
+        assert "stats needs QUERY" in output
+
+    def test_stats_explicit_queries(self, tmp_path):
+        db = tmp_path / "db.json"
+        run("generate", "--departments", "2", "--out", str(db))
+        code, output = run("--db", str(db), "stats", "kwx; kwy")
+        assert code == 0
+        assert "2 queries" in output
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.REGISTRY.reset()

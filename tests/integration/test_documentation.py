@@ -39,8 +39,8 @@ class TestCliDocumentation:
             if hasattr(action, "choices") and action.choices
         )
         assert set(subparsers.choices) == {
-            "search", "snapshot", "lint", "reproduce", "analyze", "mtjnt",
-            "generate",
+            "search", "snapshot", "lint", "stats", "reproduce", "analyze",
+            "mtjnt", "generate",
         }
 
 

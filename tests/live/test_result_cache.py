@@ -100,6 +100,32 @@ class TestEngineIntegration:
         engine.search("Smith XML")
         assert engine.result_cache.stats.hits == 1
 
+    def test_metrics_registry_mirrors_cache_counters(self, company_db):
+        # The same hit/miss/store/invalidation transitions the CacheStats
+        # object records are exported through the repro.obs registry when
+        # metrics are enabled.
+        from repro.obs import metrics as obs_metrics
+
+        engine = KeywordSearchEngine(company_db)
+        obs_metrics.REGISTRY.reset()
+        obs_metrics.set_enabled(True)
+        try:
+            engine.search("Smith XML")           # miss + store
+            engine.search("Smith XML")           # hit
+            engine.apply([Update(tid("DEPARTMENT", "d1"),
+                                 {"D_DESCRIPTION": "XML bases"})])
+            engine.search("Smith XML")           # invalidated -> miss again
+        finally:
+            obs_metrics.set_enabled(False)
+        counters = obs_metrics.REGISTRY.snapshot()["counters"]
+        obs_metrics.REGISTRY.reset()
+        stats = engine.result_cache.stats
+        assert counters["result_cache.hits"] == stats.hits == 1
+        assert counters["result_cache.misses"] == stats.misses == 2
+        assert counters["result_cache.stores"] == stats.stores == 2
+        assert counters["result_cache.invalidated"] == stats.invalidated == 1
+        assert counters["engine.changesets_applied"] == 1
+
     def test_hit_replays_identical_results_and_stats(self, engine):
         cold = engine.search("Smith XML", top_k=3)
         cold_stats = engine.last_stats

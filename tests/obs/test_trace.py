@@ -1,0 +1,138 @@
+"""Unit tests for the query-span layer (repro.obs.trace)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _tracing_on():
+    trace.set_enabled(True)
+    trace.reset()
+    yield
+    trace.set_enabled(False)
+    trace.reset()
+
+
+class TestSpan:
+    def test_child_nesting_and_walk_order(self):
+        root = trace.Span("root")
+        a = root.child("a")
+        a.child("a1")
+        root.child("b")
+        assert [node.name for node in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_counters_accumulate(self):
+        span = trace.Span("s")
+        span.add(produced=3)
+        span.add(produced=2, skipped=1)
+        assert span.counters == {"produced": 5, "skipped": 1}
+
+    def test_total_sums_descendants(self):
+        root = trace.Span("root")
+        root.add(n=1)
+        root.child("a").add(n=2)
+        root.children[0].child("b").add(n=4)
+        assert root.total("n") == 7
+
+    def test_shape_excludes_timings(self):
+        one, two = trace.Span("s", {"k": 1}), trace.Span("s", {"k": 1})
+        one.add(n=2)
+        two.add(n=2)
+        one.duration, two.duration = 1.0, 99.0
+        one.start, two.start = 5.0, 7.0
+        assert one.shape() == two.shape()
+
+    def test_shape_sees_structure(self):
+        one, two = trace.Span("s"), trace.Span("s")
+        one.child("a")
+        two.child("b")
+        assert one.shape() != two.shape()
+
+    def test_spans_pickle_round_trip(self):
+        root = trace.Span("root", {"query": "x"})
+        root.child("child").add(n=3)
+        revived = pickle.loads(pickle.dumps(root))
+        assert revived.shape() == root.shape()
+
+
+class TestQueryTrace:
+    def test_span_context_nests_on_stack(self):
+        qtrace = trace.begin_trace("query")
+        with trace.span("outer"):
+            with trace.span("inner", op=0) as inner:
+                inner.add(produced=2)
+        trace.end_trace(qtrace)
+        outer = next(qtrace.find("outer"))
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.children[0].tags == {"op": 0}
+        assert qtrace.root.total("produced") == 2
+
+    def test_innermost_active_trace_collects(self):
+        first = trace.begin_trace("first")
+        second = trace.begin_trace("second")
+        with trace.span("work"):
+            pass
+        trace.end_trace(second)
+        trace.end_trace(first)
+        assert next(second.find("work"), None) is not None
+        assert next(first.find("work"), None) is None
+
+    def test_disabled_span_is_shared_null(self):
+        trace.set_enabled(False)
+        context = trace.span("anything")
+        assert context is trace.span("other")
+        with context as live:
+            assert live is None
+
+    def test_ambient_trace_collects_outside_queries(self):
+        with trace.span("loose"):
+            pass
+        assert next(trace.ambient_trace().find("loose"), None) is not None
+
+    def test_ambient_child_cap_counts_drops(self):
+        ambient = trace.ambient_trace()
+        for index in range(trace.AMBIENT_CHILD_CAP + 5):
+            with trace.span("s", i=index):
+                pass
+        assert len(ambient.root.children) == trace.AMBIENT_CHILD_CAP
+        assert ambient.root.counters["dropped_spans"] == 5
+
+    def test_adopt_attaches_external_tree(self):
+        qtrace = trace.begin_trace("query")
+        foreign = trace.Span("worker.batch")
+        foreign.child("query")
+        qtrace.adopt(foreign)
+        trace.end_trace(qtrace)
+        assert [c.name for c in qtrace.root.children] == ["worker.batch"]
+
+    def test_jsonl_paths_qualify_depth_first(self):
+        qtrace = trace.begin_trace("query")
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+        trace.end_trace(qtrace)
+        lines = qtrace.to_jsonl().strip().splitlines()
+        import json
+
+        paths = [json.loads(line)["path"] for line in lines]
+        assert paths == ["query", "query/a", "query/a/b"]
+
+    def test_save_jsonl_writes_file(self, tmp_path):
+        qtrace = trace.begin_trace("query")
+        with trace.span("a"):
+            pass
+        trace.end_trace(qtrace)
+        target = tmp_path / "trace.jsonl"
+        qtrace.save_jsonl(target)
+        assert target.read_text().count("\n") == 2
+
+    def test_reset_clears_active_and_ambient(self):
+        trace.begin_trace("left-open")
+        with trace.span("x"):
+            pass
+        trace.reset()
+        assert trace.current_trace() is None
+        assert trace.ambient_trace().span_count() == 1

@@ -240,3 +240,85 @@ class TestPoolLifecycle:
         engine.search_batch(QUERIES[:1], limits=LIMITS, jobs=2)
         engine.rebuild()
         assert engine._searcher is None
+
+
+class TestObservability:
+    """Worker traces and metric deltas merge commutatively, both
+    transports, without touching answers."""
+
+    def _observed_batch(self, jobs=2, region_bytes=None, monkeypatch=None):
+        from repro import obs
+        from repro.obs import metrics as obs_metrics
+
+        if region_bytes is not None:
+            from repro.scale.parallel import ParallelSearcher
+
+            monkeypatch.setattr(ParallelSearcher, "region_bytes",
+                                region_bytes)
+        engine = KeywordSearchEngine(planted_database(), shards=3)
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            batches = engine.search_batch(QUERIES, limits=LIMITS, jobs=jobs)
+            trace = engine.last_trace
+            counters = dict(obs_metrics.REGISTRY.snapshot()["counters"])
+        finally:
+            obs.set_enabled(False)
+            obs.reset()
+            engine.close_pool()
+        return rendered(batches), trace, counters
+
+    def test_worker_traces_merge_into_batch_trace(self, engine):
+        serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+        parallel, trace, counters = self._observed_batch()
+        assert parallel == serial
+        assert trace.root.name == "query.batch"
+        assert trace.root.tags["jobs"] == 2
+        workers = [
+            span for span in trace.walk() if span.name == "worker.batch"
+        ]
+        assert len(workers) == 2
+        # input-position order, whatever order the chunks completed in
+        assert [w.tags["worker"] for w in workers] == [0, 1]
+        queries = [
+            span.tags["query"] for w in workers for span in w.children
+            if span.name == "query"
+        ]
+        assert queries == [q for q in dict.fromkeys(QUERIES)]
+        assert all(w.tags["transport"] in ("shm", "pipe") for w in workers)
+
+    def test_worker_metrics_merge_into_registry(self):
+        __, __, counters = self._observed_batch()
+        # every distinct query ran in some worker; their deltas merged
+        assert counters["executor.runs"] == len(dict.fromkeys(QUERIES))
+        assert counters["result_cache.stores"] >= 1
+        transport = [name for name in counters if name.startswith("pool.")]
+        assert transport in (["pool.shm_batches"], ["pool.pipe_batches"])
+
+    def test_pipe_transport_carries_the_same_observability(self, monkeypatch):
+        parallel, trace, counters = self._observed_batch(
+            region_bytes=16, monkeypatch=monkeypatch
+        )
+        workers = [
+            span for span in trace.walk() if span.name == "worker.batch"
+        ]
+        assert workers
+        assert all(w.tags["transport"] == "pipe" for w in workers)
+        assert counters["pool.pipe_batches"] == 2
+
+    def test_merged_observability_is_deterministic(self):
+        first = self._observed_batch()
+        second = self._observed_batch()
+        assert first[0] == second[0]
+        assert first[1].shape() == second[1].shape()
+        drop = ("_ms",)
+        assert {k: v for k, v in first[2].items()
+                if not k.endswith(drop)} == \
+               {k: v for k, v in second[2].items() if not k.endswith(drop)}
+
+    def test_disabled_batch_ships_no_observability_records(self, engine):
+        engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+        searcher = engine._searcher
+        assert searcher is not None
+        assert searcher.last_obs == []
+        assert engine.last_trace is None
