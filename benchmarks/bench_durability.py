@@ -1,0 +1,272 @@
+"""Experiment P8: durability — WAL-append overhead and recovery speed.
+
+Two CI gates over the durable write-ahead-log layer:
+
+* **WAL-append overhead** — the same mixed mutation workload applied
+  through ``engine.apply`` twice: once on a plain in-memory engine and
+  once with an attached WAL (every batch encoded, CRC-stamped, appended
+  and fsynced before it patches live state).  Durability must stay a
+  tax, not a toll: the wall-clock overhead gate is **<= 10%**.  Both
+  engines must answer the probe queries identically afterwards.
+* **reopen vs cold rebuild** — recovering the same durable serving
+  state two ways: ``KeywordSearchEngine.open(path, wal=True)`` (mmap
+  the compacted snapshot, replay the short log tail) versus the cold
+  path — load the raw tuples from disk, rebuild the engine, re-apply
+  every mutation batch, and re-establish durability with a fresh
+  snapshot + WAL.  Replay must be bit-identical and the gate is
+  **>= 5x** faster.
+
+Parseable lines for ``run_all.py`` (schema ``repro-bench-report/4``,
+``"durability"`` key)::
+
+    wal-overhead-pct: <float>
+    reopen-speedup: <float>
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick  # CI gate
+"""
+
+import argparse
+import gc
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.search import SearchLimits
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_company_like,
+    plant,
+)
+from repro.live.changes import Insert, Update
+from repro.relational.io import dump_json, load_json
+
+_LIMITS = SearchLimits(max_rdb_length=4, max_tuples=5)
+_QUERIES = ["kwalpha kwbeta", "kwalpha", "kwbeta", "kwgamma",
+            "kwalpha kwgamma"]
+
+
+def _database(departments):
+    database = generate_company_like(
+        SyntheticConfig(
+            departments=departments,
+            projects_per_department=3,
+            employees_per_department=8,
+            works_on_per_employee=2,
+            dependents_per_employee=0.5,
+            seed=17,
+        )
+    )
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 3, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 4, seed=2)
+    plant(database, "kwgamma", "PROJECT", "P_NAME", 3, seed=3)
+    return database
+
+
+def _batches(database, count, per_batch):
+    """Deterministic mixed batches: keyword inserts + description churn."""
+    employees = database.tuples("EMPLOYEE")
+    departments = database.tuples("DEPARTMENT")
+    batches = []
+    serial = 0
+    for index in range(count):
+        batch = []
+        for slot in range(per_batch):
+            if (index + slot) % 2 == 0:
+                essn = employees[serial % len(employees)].tid.key[0]
+                name = ("kwbeta", "kwalpha", "plain")[serial % 3]
+                batch.append(Insert(
+                    "DEPENDENT",
+                    {"ID": f"bd{serial}", "ESSN": essn,
+                     "DEPENDENT_NAME": name},
+                ))
+            else:
+                department = departments[serial % len(departments)]
+                text = ("kwalpha drift", "plain words",
+                        "kwbeta kwalpha note")[serial % 3]
+                batch.append(Update(department.tid,
+                                    {"D_DESCRIPTION": text}))
+            serial += 1
+        batches.append(batch)
+    return batches
+
+
+def _rendered(results):
+    return [(r.render(), r.score, r.rank) for r in results]
+
+
+def _answers(engine):
+    return [_rendered(engine.search(text, limits=_LIMITS))
+            for text in _QUERIES]
+
+
+def _timed_mixed(engine, batches):
+    """One mixed read/write pass: apply a batch, answer the probes.
+
+    The WAL taxes only the applies (encode + append + fsync); the reads
+    dominate a mixed workload exactly as they do in production, which is
+    the regime the 10% gate is stated for.  Returns the per-batch
+    durations rather than one lump sum so the caller can combine the
+    per-step minima across repeats — a scheduler preemption then costs
+    one 7 ms step in one repeat instead of polluting a whole 100 ms
+    pass, while recurring real cost (the fsync every batch pays in
+    every repeat) survives the minimum.
+    """
+    steps = []
+    for batch in batches:
+        started = time.perf_counter()
+        engine.apply(batch)
+        for text in _QUERIES:
+            engine.search(text, limits=_LIMITS)
+        steps.append(time.perf_counter() - started)
+    return steps
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    failures = []
+    departments = 12 if args.quick else 14
+    count, per_batch = (16, 5) if args.quick else (24, 6)
+    repeats = 4
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # -- WAL-append overhead on a mixed workload --------------------
+        # GC off while the clock runs: allocation-triggered collections
+        # bill the *ambient* heap (whatever earlier benches in the same
+        # process left alive) to whichever pass happens to allocate more
+        # — the WAL pass, which encodes a record per batch.  That is
+        # scheduling noise, not durability tax, so the passes run under
+        # identical collector state (the pyperf convention).
+        plain_steps, wal_steps = [], []
+        # Drain writeback backlog first: a run_all pass writes multi-MB
+        # snapshots right before this bench, and fsync pays for the
+        # kernel's pending dirty pages, not just our ~100-byte appends.
+        if hasattr(os, "sync"):
+            os.sync()
+        gc.collect()
+        gc.disable()
+        try:
+            for repeat in range(repeats):
+                plain = KeywordSearchEngine(_database(departments))
+                plain_steps.append(
+                    _timed_mixed(plain, _batches(plain.database,
+                                                 count, per_batch))
+                )
+
+                logged = KeywordSearchEngine(_database(departments))
+                path = os.path.join(workdir, f"bench{repeat}.snap")
+                logged.save(path)
+                logged.attach_wal()
+                if hasattr(os, "sync"):
+                    # The save just dirtied ~1 MB; on a journalled fs the
+                    # pass's first tiny fdatasync would flush that too.
+                    os.sync()
+                wal_steps.append(
+                    _timed_mixed(logged, _batches(logged.database,
+                                                  count, per_batch))
+                )
+                logged.close()
+                gc.collect()
+        finally:
+            gc.enable()
+        plain_s = sum(min(step) for step in zip(*plain_steps))
+        wal_s = sum(min(step) for step in zip(*wal_steps))
+        overhead = (wal_s - plain_s) / max(plain_s, 1e-9) * 100.0
+        identical = _answers(plain) == _answers(logged)
+        tuples = plain.database.count()
+        print(f"wal overhead, mixed workload ({tuples} tuples, {count} batches x "
+              f"{per_batch} mutations + {len(_QUERIES)} reads each, fsync on, "
+              f"per-batch best of {repeats}):",
+              file=out)
+        print(f"  plain {plain_s * 1e3:8.2f} ms   "
+              f"wal {wal_s * 1e3:8.2f} ms   overhead {overhead:.2f}%",
+              file=out)
+        print(f"  identical answers with and without WAL: {identical}",
+              file=out)
+        print(f"wal-overhead-pct: {max(overhead, 0.0):.2f}", file=out)
+        if not identical:
+            failures.append("wal: logged engine diverged from plain engine")
+        if overhead > 10.0:
+            failures.append(f"wal: append overhead {overhead:.2f}% > 10%")
+
+        # -- snapshot+WAL reopen vs cold rebuild ------------------------
+        # Production compaction keeps the replay tail bounded: fold all
+        # but the last ``tail`` batches into the snapshot, then recover
+        # the final state both ways.  Both paths must end in the same
+        # condition — a durable serving engine — so the cold side loads
+        # the raw tuples from disk (bench_scale's cold-start convention),
+        # re-applies every batch, and re-establishes durability with a
+        # fresh snapshot + WAL (``save`` also compiles the CSR kernels a
+        # serving engine runs on).
+        tail = 1
+        database = _database(departments)
+        raw = os.path.join(workdir, "tuples.json")
+        dump_json(database, raw)
+        durable = KeywordSearchEngine(database)
+        pair = os.path.join(workdir, "recover.snap")
+        durable.save(pair)
+        durable.attach_wal()
+        all_batches = _batches(durable.database, count, per_batch)
+        for batch in all_batches[:-tail]:
+            durable.apply(batch)
+        durable.compact_wal()
+        for batch in all_batches[-tail:]:
+            durable.apply(batch)
+        durable.close()
+
+        reopen_s = cold_s = float("inf")
+        reopened = None
+        gc.collect()
+        gc.disable()
+        try:
+            for repeat in range(repeats + 2):
+                started = time.perf_counter()
+                reopened = KeywordSearchEngine.open(pair, wal=True)
+                replayed = reopened.version - reopened.wal.base_version
+                reopen_s = min(reopen_s, time.perf_counter() - started)
+
+                started = time.perf_counter()
+                cold = KeywordSearchEngine(load_json(raw))
+                for batch in _batches(cold.database, count, per_batch):
+                    cold.apply(batch)
+                cold.save(os.path.join(workdir, f"fresh{repeat}.snap"))
+                cold.attach_wal()
+                cold_s = min(cold_s, time.perf_counter() - started)
+                cold.close()
+                gc.collect()
+        finally:
+            gc.enable()
+        ratio = cold_s / max(reopen_s, 1e-9)
+        recovered = _answers(reopened) == _answers(cold)
+        print(f"recovery ({replayed} records replayed):", file=out)
+        print(f"  reopen {reopen_s * 1e3:8.2f} ms   "
+              f"cold rebuild {cold_s * 1e3:8.2f} ms   "
+              f"speedup {ratio:.1f}x", file=out)
+        print(f"  replay bit-identical to cold rebuild: {recovered}",
+              file=out)
+        print(f"reopen-speedup: {ratio:.2f}", file=out)
+        if not recovered:
+            failures.append("recovery: replay diverged from cold rebuild")
+        if ratio < 5.0:
+            failures.append(f"recovery: reopen speedup {ratio:.1f}x < 5x")
+        reopened.close()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=out)
+        return 1
+    print("OK: durability gates passed", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,15 @@ PR.  The schema is documented in EXPERIMENTS.md ("Benchmark report
 schema"); in short::
 
     {
-      "schema": "repro-bench-report/3",
+      "schema": "repro-bench-report/4",
       "quick": true,
       "python": "3.11.7",
       "vector_backend": "numpy",     # or "stdlib" (no numpy / REPRO_NO_VECTOR)
       "obs": 0.09,                   # bench_obs disabled-mode overhead, %
+      "durability": {                # bench_durability WAL gates
+        "wal_overhead_pct": 4.10,
+        "reopen_speedup": 6.4
+      },
       "benchmarks": [
         {"name": "bench_csr_kernel", "exit_code": 0, "status": "ok",
          "elapsed_s": 1.93, "speedups": [4.0, 3.0, ...],
@@ -30,7 +34,7 @@ exit codes.
 Run::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
-    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr5.json
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr9.json
 """
 
 import argparse
@@ -45,6 +49,8 @@ from pathlib import Path
 
 _SPEEDUP = re.compile(r"(\d+(?:\.\d+)?)x\b")
 _OBS_OVERHEAD = re.compile(r"^obs-overhead-pct: (\d+(?:\.\d+)?)$", re.M)
+_WAL_OVERHEAD = re.compile(r"^wal-overhead-pct: (\d+(?:\.\d+)?)$", re.M)
+_REOPEN_SPEEDUP = re.compile(r"^reopen-speedup: (\d+(?:\.\d+)?)$", re.M)
 
 
 def discover(directory: Path) -> list[Path]:
@@ -123,9 +129,9 @@ def main(argv=None, out=None) -> int:
                         help="run every bench's --quick CI gate")
     parser.add_argument("--full", action="store_true",
                         help="run the full sweeps instead of --quick")
-    parser.add_argument("--out", metavar="FILE", default="BENCH_pr5.json",
+    parser.add_argument("--out", metavar="FILE", default="BENCH_pr9.json",
                         help="where to write the JSON report "
-                             "(default BENCH_pr5.json)")
+                             "(default BENCH_pr9.json)")
     args = parser.parse_args(argv)
     quick = args.quick or not args.full
 
@@ -149,18 +155,30 @@ def main(argv=None, out=None) -> int:
     from repro.graph.vector import BACKEND
 
     obs_overhead = None
+    durability = None
     for result in results:
         if result["name"] == "bench_obs":
             match = _OBS_OVERHEAD.search(result["output"])
             if match:
                 obs_overhead = float(match.group(1))
+        if result["name"] == "bench_durability":
+            overhead = _WAL_OVERHEAD.search(result["output"])
+            speedup = _REOPEN_SPEEDUP.search(result["output"])
+            if overhead or speedup:
+                durability = {
+                    "wal_overhead_pct":
+                        float(overhead.group(1)) if overhead else None,
+                    "reopen_speedup":
+                        float(speedup.group(1)) if speedup else None,
+                }
 
     report = {
-        "schema": "repro-bench-report/3",
+        "schema": "repro-bench-report/4",
         "quick": quick,
         "python": platform.python_version(),
         "vector_backend": BACKEND.name,
         "obs": obs_overhead,
+        "durability": durability,
         "benchmarks": results,
         "lint": lint,
         "failures": failures,

@@ -27,6 +27,10 @@ class of bug one layer away from one):
   recording turns invariant violations into silent wrong answers.
 * **SLOT01** — dataclasses on hot paths pay a per-instance ``__dict__``
   unless they declare ``__slots__``.
+* **DUR01** — the PR 9 contract: snapshot and WAL files in the durable
+  and scale layers are published crash-atomically (same-directory temp
+  file, ``fsync``, one ``os.replace``); a direct write-mode ``open``
+  outside that protocol leaves a torn artefact a later open trusts.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ __all__ = [
     "Res01UnpairedResource",
     "Api01SwallowedException",
     "Slot01DataclassWithoutSlots",
+    "Dur01NonAtomicDurableWrite",
 ]
 
 
@@ -750,6 +755,14 @@ class Res01UnpairedResource(Rule):
                 # a freshly acquired handle returned verbatim belongs
                 # to the caller; its release is the caller's pairing.
                 continue
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr in _RELEASE_ATTRS
+            ):
+                # ``os.close(os.open(...))`` — acquired and released in
+                # one expression (the create-exclusively sentinel idiom).
+                continue
             if isinstance(parent, ast.Assign):
                 yield from self._check_assignment(ctx, node, parent, what)
             else:
@@ -888,6 +901,18 @@ class Res01UnpairedResource(Rule):
                 and inner.func.attr in attrs
                 and isinstance(inner.func.value, ast.Name)
                 and inner.func.value.id == name
+            ):
+                return True
+            # ``os.close(fd)`` releases a raw descriptor by argument,
+            # not by method receiver.
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in attrs
+                and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in inner.args
+                )
             ):
                 return True
             # Escapes transfer ownership: returned/yielded handles belong
@@ -1065,3 +1090,102 @@ class Slot01DataclassWithoutSlots(Rule):
             ):
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# DUR01
+# ----------------------------------------------------------------------
+#: Packages whose on-disk artefacts readers trust byte-for-byte.
+_DURABLE_MODULE_MARKERS = ("/repro/durable/", "/repro/scale/")
+#: Writing becomes crash-atomic when the enclosing function both
+#: flushes the bytes to stable storage and publishes them in one step.
+_DUR_SYNC_CALLS = {"fsync", "fdatasync"}
+_DUR_PUBLISH_CALLS = {"replace"}
+
+
+@register
+class Dur01NonAtomicDurableWrite(Rule):
+    id = "DUR01"
+    title = "durable artefact written without fsync + os.replace"
+    rationale = (
+        "a crash mid-write leaves a torn snapshot/WAL that every later "
+        "open trusts; durable files must be written to a same-directory "
+        "temp file, fsynced, then published with a single os.replace"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        probe = "/" + ctx.rel_path
+        if not any(marker in probe for marker in _DURABLE_MODULE_MARKERS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = self._write_mode(node)
+            if mode is None:
+                continue
+            func = ctx.enclosing_function(node)
+            if func is not None and self._writes_atomically(func):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"write-mode open ({mode!r}) in a durable module outside "
+                "the temp-file + fsync + os.replace protocol; a crash "
+                "here leaves a torn file later opens trust",
+            )
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> Optional[str]:
+        """The mode string iff this call opens a file for writing.
+
+        Covers ``open(path, "wb")``, ``path.open("w")`` and
+        ``os.fdopen(fd, "wb")``.  Non-constant modes are skipped — the
+        rule judges shapes, not dataflow.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id != "open":
+                return None
+        elif isinstance(func, ast.Attribute):
+            if func.attr not in ("open", "fdopen"):
+                return None
+            # ``SomeClass.open(...)`` / ``cls.open(...)`` is the
+            # alternate-constructor idiom, not a file handle.
+            value = func.value
+            if isinstance(value, ast.Name) and (
+                value.id[:1].isupper() or value.id == "cls"
+            ):
+                return None
+        else:
+            return None
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "open"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            mode = node.args[0].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                mode = keyword.value.value
+        if not isinstance(mode, str):
+            return None
+        if "w" in mode or "x" in mode:
+            return mode
+        return None
+
+    @staticmethod
+    def _writes_atomically(func: ast.AST) -> bool:
+        synced = published = False
+        for inner in ast.walk(func):
+            if isinstance(inner, ast.Call) and isinstance(
+                inner.func, ast.Attribute
+            ):
+                if inner.func.attr in _DUR_SYNC_CALLS:
+                    synced = True
+                elif inner.func.attr in _DUR_PUBLISH_CALLS:
+                    published = True
+        return synced and published

@@ -10,6 +10,10 @@ Usage (after ``pip install -e .``)::
     python -m repro search "Smith XML" --analyze    # EXPLAIN ANALYZE table
     python -m repro search "Smith XML" --json --trace trace.jsonl
     python -m repro stats                           # metrics-registry report
+    python -m repro search "Smith XML" --snapshot db.snap --wal \\
+        --mutations updates.json                    # durable live updates
+    python -m repro wal info db.snap                # WAL header + records
+    python -m repro wal compact db.snap             # fold WAL into snapshot
     python -m repro reproduce                       # all tables/figures/claims
     python -m repro analyze                         # schema closeness report
     python -m repro lint --strict                   # invariant linter
@@ -117,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="open the engine from a snapshot written by "
                                 "'repro snapshot save' instead of building "
                                 "it from --db")
+    execution.add_argument("--wal", metavar="FILE", nargs="?", const=True,
+                           default=None,
+                           help="attach a write-ahead log to the snapshot "
+                                "engine: replay it on open and record every "
+                                "--mutations batch durably (default FILE: "
+                                "<snapshot>.wal; requires --snapshot)")
     execution.add_argument("--no-vector", action="store_true",
                            help="force the pure-stdlib CSR kernels even "
                                 "when numpy is available (answers are "
@@ -162,12 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="keyword query to answer from the snapshot")
     snap_load.add_argument("--top", type=int, default=None, help="top-k cut")
 
+    wal = commands.add_parser(
+        "wal",
+        help="inspect / compact a snapshot's write-ahead log",
+        description="The WAL records every applied mutation batch beside "
+        "its snapshot so a crash loses nothing: 'repro wal info' shows the "
+        "log header and records, 'repro wal compact' folds the log into a "
+        "fresh snapshot (crash-atomically) and resets it.",
+    )
+    wal_actions = wal.add_subparsers(dest="action", required=True)
+    wal_info = wal_actions.add_parser(
+        "info", help="print a WAL's header, records and tail state"
+    )
+    wal_info.add_argument("snapshot", metavar="SNAPSHOT",
+                          help="snapshot the log is paired with")
+    wal_info.add_argument("--wal", metavar="FILE", default=None,
+                          help="log file (default: SNAPSHOT.wal)")
+    wal_compact = wal_actions.add_parser(
+        "compact",
+        help="fold the WAL into a fresh snapshot and reset the log",
+    )
+    wal_compact.add_argument("snapshot", metavar="SNAPSHOT",
+                             help="snapshot the log is paired with")
+    wal_compact.add_argument("--wal", metavar="FILE", default=None,
+                             help="log file (default: SNAPSHOT.wal)")
+    wal_compact.add_argument("--out", metavar="FILE", default=None,
+                             help="write the folded snapshot (and a fresh "
+                                  "empty WAL) here instead of replacing "
+                                  "SNAPSHOT in place")
+
     lint = commands.add_parser(
         "lint",
         help="run the AST-based invariant linter over the library source",
         description="Static-analysis pass enforcing the codebase's "
-        "determinism, pickle-safety, freeze and resource contracts "
-        "(rules DET01/DET02/PKL01/FRZ01/RES01/API01/SLOT01).",
+        "determinism, pickle-safety, freeze, resource and durability "
+        "contracts (rules DET01/DET02/PKL01/FRZ01/RES01/API01/SLOT01/"
+        "DUR01).",
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories (default: src/repro)")
@@ -333,10 +373,20 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             return 2
         engine = KeywordSearchEngine.open(
             args.snapshot,
+            wal=args.wal,
             core="reference" if args.slow else args.core,
             shards=args.shards,
             vector=False if args.no_vector else None,
         )
+        if args.wal is not None and engine.wal is not None:
+            replayed = engine.version - engine.wal.base_version
+            print(f"# wal: {engine.wal.path} "
+                  f"(generation {engine.wal.generation}, "
+                  f"{replayed} record(s) replayed)", file=out)
+    elif args.wal is not None:
+        print("--wal needs --snapshot (the log is paired with a snapshot)",
+              file=out)
+        return 2
     else:
         engine = KeywordSearchEngine(
             _load_database(args.db),
@@ -563,6 +613,62 @@ def _cmd_snapshot(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_wal(args: argparse.Namespace, out) -> int:
+    import os
+
+    from repro.durable import (
+        WriteAheadLog,
+        compact_snapshot,
+        default_wal_path,
+    )
+    from repro.errors import WalError
+    from repro.scale.snapshot import Snapshot
+
+    wal_path = args.wal or default_wal_path(args.snapshot)
+    if args.action == "compact":
+        try:
+            report = compact_snapshot(
+                args.snapshot, wal_path=wal_path, out=args.out
+            )
+        except WalError as error:
+            print(f"wal compact failed: {error}", file=out)
+            return 1
+        print(report.describe(), file=out)
+        return 0
+
+    if not os.path.exists(wal_path):
+        print(f"{wal_path}: no write-ahead log", file=out)
+        return 1
+    snapshot = Snapshot(args.snapshot)
+    snapshot_generation = snapshot.generation
+    snapshot.close()
+    wal = WriteAheadLog(wal_path)
+    try:
+        records = wal.scan()
+    except WalError as error:
+        print(f"{wal_path}: corrupt ({error})", file=out)
+        return 1
+    finally:
+        wal.close()
+    paired = (
+        "paired" if wal.generation == snapshot_generation
+        else f"MISMATCH (snapshot is {snapshot_generation})"
+    )
+    print(f"{wal_path}: generation {wal.generation} {paired}, "
+          f"base version {wal.base_version}, "
+          f"{len(records)} record(s)"
+          + (", torn tail (ignored on replay)" if wal.torn_tail else ""),
+          file=out)
+    for offset, record in records:
+        changed = sum(
+            len(record.get(field, ()))
+            for field in ("appended", "removed", "updated", "replaced")
+        )
+        print(f"  v{record['version']} @ {offset}: "
+              f"{changed} tuple change(s)", file=out)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace, out) -> int:
     from repro.analysis import main as lint_main
 
@@ -712,6 +818,7 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 _COMMANDS = {
     "search": _cmd_search,
     "snapshot": _cmd_snapshot,
+    "wal": _cmd_wal,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
     "reproduce": _cmd_reproduce,

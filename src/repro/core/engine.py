@@ -48,11 +48,17 @@ from repro.core.matching import KeywordMatch, match_keywords, parse_query
 from repro.core.plan import QueryPlan, plan_query
 from repro.core.ranking import ClosenessRanker, Ranker
 from repro.core.search import JoiningNetwork, SearchLimits, SingleTupleAnswer
-from repro.errors import MutationError, QueryError
+from repro.durable import fault
+from repro.errors import MutationError, QueryError, WalError
 from repro.graph.csr import resolve_core
 from repro.graph.data_graph import DataGraph
 from repro.graph.fast_traversal import TraversalCache
-from repro.live.changes import ChangeSet, Mutation, apply_to_database
+from repro.live.changes import (
+    ChangeSet,
+    Mutation,
+    apply_to_database,
+    changeset_to_record,
+)
 from repro.live.maintain import affected_tuples, apply_changeset
 from repro.live.result_cache import CacheEntry, ResultCache
 from repro.obs import metrics as obs_metrics
@@ -167,10 +173,20 @@ class KeywordSearchEngine:
         self._statistics = None
         self._statistics_loader = None
         #: Snapshot bookkeeping: the path this engine was opened from or
-        #: last saved to, and the engine version it held at that moment.
+        #: last saved to, and the engine version / content generation it
+        #: held at that moment.
         self.snapshot_path: Optional[str] = None
         self._snapshot_version: Optional[int] = None
+        self._snapshot_generation: Optional[str] = None
         self._snapshot = None
+        #: Attached :class:`~repro.durable.wal.WriteAheadLog`, or
+        #: ``None``.  While attached, every :meth:`apply` batch is made
+        #: durable before any in-memory structure is patched.  The WAL
+        #: stays paired with the snapshot it was attached against
+        #: (:attr:`_wal_snapshot_path`), which internal autosaves never
+        #: touch.
+        self.wal = None
+        self._wal_snapshot_path: Optional[str] = None
         self._searcher = None
         self._searcher_key = None
         self._autosave_dir = None
@@ -637,8 +653,21 @@ class KeywordSearchEngine:
         changeset.  Results after ``apply`` are bit-identical to a
         freshly rebuilt engine; ``rebuild()`` stays available as the
         escape hatch.
+
+        With a WAL attached (:meth:`attach_wal`) the batch is appended
+        to the log — and fsynced — *before* any in-memory structure is
+        patched, so a crash at any instant after the append can replay
+        it; a crash during the append loses at most this batch, never
+        an earlier one.
         """
         changeset = apply_to_database(self.database, mutations)
+        if self.wal is not None:
+            # Every batch gets a record — empty ones too — so the
+            # replayed version counter matches the live engine exactly.
+            self.wal.append(
+                changeset_to_record(changeset, self.database, self.version + 1)
+            )
+            fault.maybe("wal.append")
         if not changeset.is_empty():
             with obs_trace.span("live.apply"):
                 apply_changeset(
@@ -748,7 +777,18 @@ class KeywordSearchEngine:
         survives a rebuild.  :meth:`apply` is the incremental
         alternative; ``rebuild()`` is the escape hatch and the
         differential oracle the live subsystem is tested against.
+
+        Refused while a WAL is attached: a rebuild absorbs direct
+        database mutations that never produced WAL records, so the log
+        could no longer replay to this state.  Detach (or compact and
+        detach) first.
         """
+        if self.wal is not None:
+            raise WalError(
+                "rebuild() would desynchronise the attached WAL; call "
+                "detach_wal() first",
+                wal=self.wal.path,
+            )
         self.data_graph = DataGraph(self.database)
         self.index.build()
         self.traversal_cache = TraversalCache(self.data_graph, vector=self.vector)
@@ -778,10 +818,13 @@ class KeywordSearchEngine:
         meta = write_snapshot(self, path)
         self.snapshot_path = str(path)
         self._snapshot_version = self.version
+        self._snapshot_generation = meta.get("generation")
         return meta
 
     @classmethod
-    def open(cls, path, **options) -> "KeywordSearchEngine":
+    def open(
+        cls, path, wal=None, wal_sync: bool = True, **options
+    ) -> "KeywordSearchEngine":
         """Open a snapshot written by :meth:`save` into a ready engine.
 
         ``core=`` / ``shards=`` default to the writer's configuration;
@@ -789,10 +832,126 @@ class KeywordSearchEngine:
         ``result_cache_entries``, ...) passes through.  The CSR array
         sections stay ``mmap``-backed, so concurrently opened processes
         share their pages.
+
+        ``wal=True`` attaches (and replays) the snapshot's conventional
+        write-ahead log — ``<path>.wal`` — creating it when absent; a
+        string/path names the log file explicitly.  See
+        :meth:`attach_wal`.
         """
         from repro.scale.snapshot import load_engine
 
-        return load_engine(path, **options)
+        engine = load_engine(path, **options)
+        if wal:
+            engine.attach_wal(
+                None if wal is True else wal, sync=wal_sync
+            )
+        return engine
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log)
+    # ------------------------------------------------------------------
+    def attach_wal(self, path=None, *, sync: bool = True) -> int:
+        """Pair this snapshot-backed engine with a write-ahead log.
+
+        Creates ``path`` (default: ``<snapshot>.wal``) when absent;
+        otherwise validates the generation handshake and replays the
+        log's records through the incremental maintenance path,
+        returning how many were replayed.  A torn tail record —
+        the only damage a crashed append can cause — is tolerated and
+        truncated by the next append; any other mismatch refuses:
+
+        * generation match → replay (engine ends bit-identical to one
+          that executed the batches live);
+        * generation mismatch, every record already folded into this
+          snapshot (all versions ≤ the snapshot's) → the log is a
+          leftover of an interrupted compaction: reset it, replay
+          nothing;
+        * generation mismatch with newer records → ``WalError`` — the
+          log belongs to a different snapshot and silently dropping or
+          replaying it would corrupt state.
+        """
+        from repro.durable.wal import (
+            WriteAheadLog,
+            default_wal_path,
+            replay_into,
+        )
+
+        if self.wal is not None:
+            raise WalError("a WAL is already attached", path=self.wal.path)
+        if self.snapshot_path is None or self._snapshot_generation is None:
+            raise WalError(
+                "attach_wal needs a snapshot-backed engine; save() or "
+                "open() first"
+            )
+        if self._snapshot_version != self.version:
+            raise WalError(
+                "engine has moved past its snapshot; save() before "
+                "attaching a WAL",
+                engine_version=self.version,
+                snapshot_version=self._snapshot_version,
+            )
+        wal_path = (
+            str(path) if path is not None
+            else default_wal_path(self.snapshot_path)
+        )
+        replayed = 0
+        import os
+
+        exists = os.path.exists(wal_path) and os.path.getsize(wal_path) > 0
+        if exists:
+            wal = WriteAheadLog(wal_path, sync=sync)
+            if wal.generation == self._snapshot_generation:
+                replayed = replay_into(self, wal)
+            else:
+                records = wal.scan()
+                if records and records[-1][1].get("version", 0) > self.version:
+                    wal.close()
+                    raise WalError(
+                        "WAL belongs to a different snapshot generation",
+                        wal=wal_path,
+                        wal_generation=wal.generation,
+                        snapshot_generation=self._snapshot_generation,
+                    )
+                # Interrupted compaction: the snapshot already contains
+                # every record. Start the log over for this generation.
+                wal.reset(
+                    generation=self._snapshot_generation,
+                    base_version=self.version,
+                )
+        else:
+            wal = WriteAheadLog(
+                wal_path,
+                generation=self._snapshot_generation,
+                base_version=self.version,
+                sync=sync,
+            )
+        self.wal = wal
+        self._wal_snapshot_path = self.snapshot_path
+        return replayed
+
+    def detach_wal(self) -> None:
+        """Close and detach the WAL (no-op when none is attached).
+
+        The log file stays on disk, fully replayable against its
+        snapshot; only this engine stops appending to it.
+        """
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+            self._wal_snapshot_path = None
+
+    def compact_wal(self, out=None):
+        """Fold the attached WAL into a fresh snapshot and swap it in.
+
+        Delegates to :func:`repro.durable.compact.hot_compact`: the
+        paired snapshot is atomically replaced with the engine's
+        current state, the WAL resets to empty, and a running worker
+        pool reopens onto the new snapshot one worker at a time.
+        Returns the :class:`~repro.durable.compact.CompactionReport`.
+        """
+        from repro.durable.compact import hot_compact
+
+        return hot_compact(self, out=out)
 
     def _ensure_snapshot(self) -> str:
         """A snapshot path matching the engine's current version.
@@ -849,6 +1008,7 @@ class KeywordSearchEngine:
         Idempotent; engines built directly from a database only shut
         their pool down.
         """
+        self.detach_wal()
         self.close_pool()
         if self._snapshot is not None:
             # Backend views pin the snapshot's exported mmap buffers

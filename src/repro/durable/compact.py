@@ -1,0 +1,125 @@
+"""Fold a write-ahead log into a fresh snapshot and hot-swap it in.
+
+Compaction never mutates engine state — the live engine already *is*
+snapshot + WAL.  It writes the engine's current state as a new snapshot
+(crash-atomically: temp file, fsync, ``os.replace``), then resets the
+WAL to an empty log paired with the new snapshot's generation.  The
+crash windows are both recoverable:
+
+* before the ``os.replace`` — the old snapshot + full WAL pair is
+  untouched and replays completely;
+* between the replace and the WAL reset — the new snapshot sits beside
+  a *stale* WAL (older generation, every record already folded in);
+  ``KeywordSearchEngine.attach_wal`` detects exactly this shape and
+  resets the log instead of refusing.
+
+On a live engine the new snapshot is then hot-swapped into the worker
+pool by a rolling per-worker reopen: each worker finishes its in-flight
+chunk, reopens against the new snapshot and resumes, while the other
+workers keep serving — no drain, no downtime.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.durable import fault
+from repro.durable.wal import WriteAheadLog, default_wal_path
+from repro.errors import WalError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["CompactionReport", "hot_compact", "compact_snapshot"]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction did."""
+
+    snapshot_path: str
+    wal_path: str
+    generation: str
+    records_folded: int
+    engine_version: int
+    workers_reopened: int
+
+    def describe(self) -> str:
+        return (
+            f"folded {self.records_folded} WAL record(s) into "
+            f"{self.snapshot_path} (generation {self.generation}, "
+            f"engine version {self.engine_version}); "
+            f"{self.workers_reopened} worker(s) hot-swapped"
+        )
+
+
+def hot_compact(engine, out=None) -> CompactionReport:
+    """Compact a live engine's WAL; hot-swap its pool onto the result.
+
+    With ``out`` unset (the normal case) the engine's paired snapshot is
+    atomically replaced and its WAL reset in place.  With ``out`` set,
+    the fold goes to a *copy* — new snapshot plus a fresh empty WAL
+    beside it — and the original snapshot/WAL pair stays untouched.
+    """
+    from repro.scale.snapshot import write_snapshot
+
+    wal = engine.wal
+    if wal is None:
+        raise WalError("engine has no attached WAL to compact")
+    target = os.fspath(out) if out is not None else engine._wal_snapshot_path
+    in_place = os.path.abspath(target) == os.path.abspath(
+        engine._wal_snapshot_path
+    )
+    folded = engine.version - wal.base_version
+    fault.maybe("compact.fold")
+    meta = write_snapshot(engine, target)
+    generation = meta["generation"]
+    fault.maybe("compact.swap")
+    workers_reopened = 0
+    if in_place:
+        wal.reset(generation=generation, base_version=engine.version)
+        wal_path = wal.path
+        engine.snapshot_path = str(target)
+        engine._snapshot_version = engine.version
+        engine._snapshot_generation = generation
+        if engine._searcher is not None:
+            workers_reopened = engine._searcher.reopen(str(target))
+    else:
+        wal_path = default_wal_path(target)
+        WriteAheadLog(
+            wal_path, generation=generation, base_version=engine.version
+        ).close()
+    if obs_metrics.ENABLED:
+        obs_metrics.REGISTRY.inc("compact.swaps")
+    return CompactionReport(
+        snapshot_path=str(target),
+        wal_path=wal_path,
+        generation=generation,
+        records_folded=folded,
+        engine_version=engine.version,
+        workers_reopened=workers_reopened,
+    )
+
+
+def compact_snapshot(
+    snapshot_path,
+    wal_path=None,
+    out=None,
+    **engine_options,
+) -> CompactionReport:
+    """Offline compaction: open snapshot + WAL, fold, swap, close.
+
+    This is the CLI's ``repro wal compact``.  ``engine_options`` pass
+    through to :meth:`KeywordSearchEngine.open`.
+    """
+    from repro.core.engine import KeywordSearchEngine
+
+    engine = KeywordSearchEngine.open(
+        snapshot_path,
+        wal=wal_path if wal_path is not None else True,
+        **engine_options,
+    )
+    try:
+        return hot_compact(engine, out=out)
+    finally:
+        engine.close()

@@ -1,0 +1,354 @@
+"""Length-prefixed, CRC-checked write-ahead log beside a snapshot.
+
+Layout::
+
+    REPROWAL\\x01 | u32 header_length | header_json | record*
+    record := u32 payload_length | u32 crc32(payload) | payload_json
+
+The header pins the log to one snapshot *generation* (the CRC of the
+snapshot's table of contents — see ``repro.scale.snapshot``) and records
+the engine version the snapshot held (``base_version``).  Every
+``KeywordSearchEngine.apply`` batch appends one record — the net
+changeset skeleton plus row payloads (``repro.live.changes``
+``changeset_to_record``) — *before* the in-memory structures are
+patched, then fsyncs, so a crash at any instant loses at most the batch
+that had not yet returned.
+
+Reading tolerates exactly the damage a crash can cause: appends are
+sequential, so a torn write truncates the file mid-record and the log
+ends at the last complete, CRC-valid record.  A CRC mismatch *followed
+by more data* cannot come from a torn append and raises
+:class:`~repro.errors.WalError` instead of silently dropping records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.errors import WalError
+from repro.live.changes import apply_record
+from repro.live.maintain import affected_tuples, apply_changeset
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "default_wal_path",
+    "replay_into",
+]
+
+MAGIC = b"REPROWAL\x01"
+FORMAT = 1
+_RECORD_HEADER = struct.Struct("<II")
+#: Per-append sync primitive.  ``fdatasync`` persists the record bytes
+#: and the file-size change but skips the pure-metadata (mtime) flush —
+#: the classic WAL sync method — and falls back to ``fsync`` where the
+#: platform lacks it.  Snapshot publication keeps full ``fsync``.
+_datasync = getattr(os, "fdatasync", os.fsync)
+#: Defensive ceiling on one record's payload (a batch of row payloads is
+#: far below this); larger length fields are treated as damage.
+MAX_RECORD_BYTES = 1 << 30
+
+
+def default_wal_path(snapshot_path) -> str:
+    """The conventional WAL location for a snapshot: ``<snapshot>.wal``."""
+    return f"{snapshot_path}.wal"
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash-atomically.
+
+    Same-directory temp file, fsync, ``os.replace``, then fsync the
+    directory so the rename itself is durable.  Readers see either the
+    old file or the complete new one, never a torn write.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _header_bytes(generation: str, base_version: int) -> bytes:
+    header = json.dumps(
+        {
+            "format": FORMAT,
+            "generation": generation,
+            "base_version": base_version,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return MAGIC + struct.pack("<I", len(header)) + header
+
+
+class WriteAheadLog:
+    """One append-only log file paired with one snapshot generation.
+
+    Opening an existing file parses and validates its header; creating a
+    fresh one requires the pairing ``generation``.  The generation
+    *policy* (replay / refuse / stale-reset) lives in
+    ``KeywordSearchEngine.attach_wal`` — this class only stores and
+    reports the pairing.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        generation: Optional[str] = None,
+        base_version: int = 0,
+        sync: bool = True,
+    ) -> None:
+        self.path = os.fspath(path)
+        #: fsync after every append (the durable default).  ``False``
+        #: trades the durability of the latest batches for speed — data
+        #: still reaches the OS on every append.
+        self.sync = sync
+        self._handle = None
+        self._append_offset: Optional[int] = None
+        self.torn_tail = False
+        try:
+            existing = os.path.getsize(self.path) > 0
+        except OSError:
+            existing = False
+        if existing:
+            self.generation, self.base_version, self._data_offset = (
+                self._read_header()
+            )
+        else:
+            if generation is None:
+                raise WalError(
+                    "creating a WAL requires its snapshot generation",
+                    path=self.path,
+                )
+            self.generation = generation
+            self.base_version = base_version
+            header = _header_bytes(generation, base_version)
+            atomic_write_bytes(self.path, header)
+            self._data_offset = len(header)
+            self._append_offset = self._data_offset
+
+    def _read_header(self) -> Tuple[str, int, int]:
+        with open(self.path, "rb") as handle:
+            prefix = handle.read(len(MAGIC) + 4)
+            if len(prefix) < len(MAGIC) + 4 or not prefix.startswith(MAGIC):
+                raise WalError("not a WAL file", path=self.path)
+            (length,) = struct.unpack("<I", prefix[len(MAGIC):])
+            raw = handle.read(length)
+            if len(raw) < length:
+                raise WalError("truncated WAL header", path=self.path)
+            try:
+                header = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                raise WalError("corrupt WAL header", path=self.path) from None
+        if header.get("format") != FORMAT:
+            raise WalError(
+                "unsupported WAL format",
+                path=self.path,
+                format=header.get("format"),
+            )
+        return (
+            header["generation"],
+            int(header["base_version"]),
+            len(MAGIC) + 4 + length,
+        )
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def scan(self) -> List[Tuple[int, dict]]:
+        """All complete records as ``(offset, record)``, oldest first.
+
+        Sets :attr:`torn_tail` when the file ends mid-record (tolerated
+        — the tail is truncated away by the next append).  Mid-file
+        damage raises :class:`WalError`.
+        """
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        records: List[Tuple[int, dict]] = []
+        offset = self._data_offset
+        end = len(data)
+        self.torn_tail = False
+        while offset < end:
+            if offset + _RECORD_HEADER.size > end:
+                self.torn_tail = True
+                break
+            length, crc = _RECORD_HEADER.unpack_from(data, offset)
+            payload_start = offset + _RECORD_HEADER.size
+            payload_end = payload_start + length
+            if length > MAX_RECORD_BYTES or payload_end > end:
+                self.torn_tail = True
+                break
+            payload = data[payload_start:payload_end]
+            if zlib.crc32(payload) != crc:
+                if payload_end == end:
+                    # A torn append can leave a complete-length garbage
+                    # tail; a mismatch mid-file cannot.
+                    self.torn_tail = True
+                    break
+                raise WalError(
+                    "WAL record failed its checksum mid-file",
+                    path=self.path,
+                    offset=offset,
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                if payload_end == end:
+                    self.torn_tail = True
+                    break
+                raise WalError(
+                    "undecodable WAL record mid-file",
+                    path=self.path,
+                    offset=offset,
+                ) from None
+            records.append((offset, record))
+            offset = payload_end
+        self._append_offset = offset
+        if self.torn_tail and obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("wal.torn_tails")
+        return records
+
+    def records(self) -> List[dict]:
+        """The decoded records without their offsets."""
+        return [record for __, record in self.scan()]
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _ensure_handle(self):
+        if self._handle is not None:
+            return self._handle
+        if self._append_offset is None:
+            self.scan()
+        handle = open(self.path, "r+b")
+        try:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > self._append_offset:
+                # Drop the torn tail before the first new append so the
+                # log stays a clean prefix of complete records.
+                handle.truncate(self._append_offset)
+            handle.seek(self._append_offset)
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        return handle
+
+    def append(self, record: dict) -> int:
+        """Append one record durably; returns its file offset."""
+        handle = self._ensure_handle()
+        payload = json.dumps(
+            record, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        offset = self._append_offset
+        handle.write(_RECORD_HEADER.pack(len(payload), zlib.crc32(payload)))
+        handle.write(payload)
+        handle.flush()
+        if self.sync:
+            _datasync(handle.fileno())
+        self._append_offset = offset + _RECORD_HEADER.size + len(payload)
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("wal.appends")
+        return offset
+
+    def reset(self, *, generation: str, base_version: int) -> None:
+        """Start the log over for a new snapshot generation.
+
+        Used after compaction folded every record into a fresh snapshot:
+        the file is atomically replaced by a bare header, so a crash
+        leaves either the old complete log or the new empty one.
+        """
+        self.close()
+        header = _header_bytes(generation, base_version)
+        atomic_write_bytes(self.path, header)
+        self.generation = generation
+        self.base_version = base_version
+        self._data_offset = len(header)
+        self._append_offset = self._data_offset
+        self.torn_tail = False
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay_into(engine, wal: WriteAheadLog) -> int:
+    """Replay every complete WAL record into a just-opened engine.
+
+    The engine must be at the WAL's ``base_version`` (snapshot and log
+    paired by generation); records apply through the same incremental
+    maintenance path as live ``apply`` batches, so the replayed engine
+    is bit-identical to one that executed the batches itself.
+    """
+    replayed = 0
+    for offset, record in wal.scan():
+        version = record.get("version")
+        if version != engine.version + 1:
+            raise WalError(
+                "WAL record version does not follow engine state",
+                path=wal.path,
+                offset=offset,
+                expected=engine.version + 1,
+                got=version,
+            )
+        changeset = apply_record(record, engine.database)
+        if not changeset.is_empty():
+            apply_changeset(
+                changeset,
+                engine.database,
+                index=engine.index,
+                data_graph=engine.data_graph,
+                traversal_cache=engine.traversal_cache,
+                shard_plan=engine._shard_plan,
+            )
+            if len(engine.result_cache):
+                engine.result_cache.invalidate(
+                    affected_tuples(engine.data_graph, changeset),
+                    engine.index,
+                )
+            engine.statistics = None
+        engine.version = version
+        replayed += 1
+    if replayed and obs_metrics.ENABLED:
+        obs_metrics.REGISTRY.inc("wal.replayed", replayed)
+    return replayed

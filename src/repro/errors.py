@@ -86,6 +86,14 @@ class MutationError(ReproError):
     """A live-update mutation batch is malformed or cannot be applied."""
 
 
+class MutationFormatError(MutationError):
+    """A serialized mutation record is malformed (bad JSON or shape).
+
+    Carries ``path`` / ``batch`` / ``record`` / ``offset`` context so a
+    broken replay file can be located down to the failing record.
+    """
+
+
 class QueryError(ReproError):
     """A keyword query is malformed or uses unsupported options."""
 
@@ -96,3 +104,11 @@ class SearchLimitError(ReproError):
 
 class SnapshotError(ReproError):
     """An engine snapshot file is malformed, corrupted or incompatible."""
+
+
+class WalError(ReproError):
+    """A write-ahead log is corrupt, mismatched or cannot be applied."""
+
+
+class FaultInjected(ReproError):
+    """Raised by the fault-injection harness at an armed crash point."""

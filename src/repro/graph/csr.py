@@ -321,15 +321,29 @@ class FrozenGraph:
     def _sorted_entries(self, tid: TupleId) -> list[tuple[int, str, dict]]:
         """One tuple's ``(neighbour int, edge key, edge data)`` entries in
         the deterministic expansion order — the single definition both
-        compilation and row patching derive rows from."""
+        compilation and row patching derive rows from.
+
+        The sort key depends only on set membership, never on listing
+        order, so the entries may come from the networkx multigraph or —
+        on a snapshot engine that has not materialised it — straight
+        from the database via ``incident_entries``, keeping WAL replay
+        and restored-engine patching from paying a full graph build.
+        """
         node_of = self._node_map()
-        return sorted(
-            (
+        if getattr(self.data_graph, "materialized", True):
+            entries = (
                 (node_of[other], key, data)
                 for __, other, key, data in self.data_graph.graph.edges(
                     tid, keys=True, data=True
                 )
-            ),
+            )
+        else:
+            entries = (
+                (node_of[other], key, data)
+                for other, key, data in self.data_graph.incident_entries(tid)
+            )
+        return sorted(
+            entries,
             key=lambda entry: (self._keys[entry[0]], entry[1]),
         )
 

@@ -25,7 +25,12 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Union
 
-from repro.errors import MutationError
+from repro.errors import (
+    IntegrityError,
+    MutationError,
+    MutationFormatError,
+    WalError,
+)
 from repro.relational.database import Database, Tuple, TupleId
 from repro.relational.schema import ForeignKey
 
@@ -39,6 +44,9 @@ __all__ = [
     "apply_to_database",
     "mutation_from_json",
     "load_mutation_batches",
+    "changeset_to_record",
+    "changeset_from_record",
+    "apply_record",
 ]
 
 
@@ -304,12 +312,16 @@ def apply_to_database(
 # ----------------------------------------------------------------------
 # replay files (the CLI's ``--mutations``)
 # ----------------------------------------------------------------------
-def mutation_from_json(obj: Mapping) -> Mutation:
+def mutation_from_json(obj: Mapping, **where: object) -> Mutation:
     """Decode one mutation from its JSON object form.
 
     ``{"op": "insert", "relation": R, "values": {...}, "label": ...}``,
     ``{"op": "update", "relation": R, "key": [...], "values": {...}}`` or
     ``{"op": "delete", "relation": R, "key": [...]}``.
+
+    ``where`` keyword context (``path=``, ``batch=``, ``record=``) is
+    carried on the raised :class:`MutationFormatError` so a broken replay
+    file can be located down to the failing record.
     """
     op = obj.get("op")
     try:
@@ -325,29 +337,188 @@ def mutation_from_json(obj: Mapping) -> Mutation:
         if op == "delete":
             return Delete(TupleId(obj["relation"], tuple(obj["key"])))
     except (KeyError, TypeError) as error:
-        raise MutationError(
-            "malformed mutation object", op=op, problem=str(error)
+        raise MutationFormatError(
+            "malformed mutation object", op=op, problem=str(error), **where
         ) from None
-    raise MutationError("unknown mutation op", op=op)
+    raise MutationFormatError("unknown mutation op", op=op, **where)
 
 
 def load_mutation_batches(path: str) -> list[list[Mutation]]:
-    """Load a replay file: a JSON list of batches (or one flat batch)."""
+    """Load a replay file: a JSON list of batches (or one flat batch).
+
+    Malformed files raise :class:`MutationFormatError` carrying the file
+    path plus line/column/byte-offset (bad JSON) or batch/record indices
+    (bad shape) — never a raw ``json.JSONDecodeError`` or ``KeyError``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise MutationFormatError(
+                "mutation file is not valid JSON",
+                path=path,
+                line=error.lineno,
+                column=error.colno,
+                offset=error.pos,
+            ) from None
     if not isinstance(data, list):
-        raise MutationError("mutation file must hold a JSON list", path=path)
+        raise MutationFormatError(
+            "mutation file must hold a JSON list", path=path
+        )
     if data and all(isinstance(item, Mapping) for item in data):
         data = [data]
     for position, batch in enumerate(data):
         if not isinstance(batch, list) or not all(
             isinstance(item, Mapping) for item in batch
         ):
-            raise MutationError(
+            raise MutationFormatError(
                 "each batch must be a JSON list of mutation objects",
                 path=path,
                 batch=position,
             )
     return [
-        [mutation_from_json(item) for item in batch] for batch in data
+        [
+            mutation_from_json(item, path=path, batch=position, record=slot)
+            for slot, item in enumerate(batch)
+        ]
+        for position, batch in enumerate(data)
     ]
+
+
+# ----------------------------------------------------------------------
+# durable WAL record codec
+# ----------------------------------------------------------------------
+# A net ``ChangeSet`` holds tuple identities only — replaying it needs
+# the row payloads, and the final store order of the relation tail
+# (added and replaced tuples interleave there, which the net delta does
+# not record but index posting order observes).  A WAL record therefore
+# carries the changeset skeleton *plus* post-state rows: ``appended``
+# lists every added/replaced tuple in its actual store order.
+
+def _tid_to_json(tid: TupleId) -> list:
+    return [tid.relation, list(tid.key)]
+
+
+def _tid_from_json(item) -> TupleId:
+    relation, key = item
+    return TupleId(relation, tuple(key))
+
+
+def changeset_to_record(
+    changeset: ChangeSet, database: Database, version: int
+) -> dict:
+    """Encode a just-applied changeset as a JSON-safe WAL record.
+
+    Must be called *after* the batch was applied to ``database`` (the
+    post-state supplies row values and tail positions) and *before* any
+    further batch.  ``version`` is the engine version the batch
+    produces.
+    """
+    tail = {}
+    for tid in changeset.tuples_added + changeset.tuples_replaced:
+        tail.setdefault(tid.relation, set()).add(tid.key)
+    appended = []
+    for relation in sorted(tail):
+        members = tail[relation]
+        for key in database.relation_key_order(relation):
+            if key in members:
+                row = database.tuple(TupleId(relation, key))
+                appended.append(
+                    [relation, list(key), dict(row.values), row.label]
+                )
+    updated = []
+    for tid in changeset.tuples_updated:
+        row = database.tuple(tid)
+        updated.append([tid.relation, list(tid.key), dict(row.values)])
+    return {
+        "version": version,
+        "added": [_tid_to_json(t) for t in changeset.tuples_added],
+        "removed": [_tid_to_json(t) for t in changeset.tuples_removed],
+        "updated": updated,
+        "replaced": [_tid_to_json(t) for t in changeset.tuples_replaced],
+        "appended": appended,
+        "edges_added": [
+            [_tid_to_json(e.referencing), _tid_to_json(e.referenced),
+             e.foreign_key.name]
+            for e in changeset.edges_added
+        ],
+        "edges_removed": [
+            [_tid_to_json(e.referencing), _tid_to_json(e.referenced),
+             e.foreign_key.name]
+            for e in changeset.edges_removed
+        ],
+    }
+
+
+def _edge_from_json(item, schema) -> EdgeChange:
+    referencing = _tid_from_json(item[0])
+    referenced = _tid_from_json(item[1])
+    name = item[2]
+    for foreign_key in schema.foreign_keys_from(referencing.relation):
+        if foreign_key.name == name:
+            return EdgeChange(referencing, referenced, foreign_key)
+    raise WalError(
+        "WAL record references an unknown foreign key",
+        foreign_key=name,
+        relation=referencing.relation,
+    )
+
+
+def changeset_from_record(record: Mapping, schema) -> ChangeSet:
+    """Rebuild the net :class:`ChangeSet` skeleton from a WAL record."""
+    try:
+        return ChangeSet(
+            tuples_added=tuple(
+                _tid_from_json(t) for t in record["added"]
+            ),
+            tuples_removed=tuple(
+                _tid_from_json(t) for t in record["removed"]
+            ),
+            tuples_updated=tuple(
+                TupleId(rel, tuple(key)) for rel, key, __ in record["updated"]
+            ),
+            tuples_replaced=tuple(
+                _tid_from_json(t) for t in record["replaced"]
+            ),
+            edges_added=tuple(
+                _edge_from_json(e, schema) for e in record["edges_added"]
+            ),
+            edges_removed=tuple(
+                _edge_from_json(e, schema) for e in record["edges_removed"]
+            ),
+            version=record["version"],
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise WalError(
+            "malformed WAL record", problem=f"{type(error).__name__}: {error}"
+        ) from None
+
+
+def apply_record(record: Mapping, database: Database) -> ChangeSet:
+    """Apply one decoded WAL record to ``database`` and return its changeset.
+
+    Replay trusts the log: the batch was fully validated when it first
+    applied, so foreign-key enforcement is switched off for the duration
+    (a net delta may be transiently inconsistent while its deletes land
+    before its re-inserts).
+    """
+    changeset = changeset_from_record(record, database.schema)
+    previous = database.enforce_foreign_keys
+    database.enforce_foreign_keys = False
+    try:
+        for item in record["removed"]:
+            database.delete(_tid_from_json(item))
+        for item in record["replaced"]:
+            database.delete(_tid_from_json(item))
+        for relation, key, values in record["updated"]:
+            database.update(TupleId(relation, tuple(key)), values)
+        for relation, __, values, label in record["appended"]:
+            database.insert(relation, values, label=label)
+    except (KeyError, TypeError, ValueError, IntegrityError) as error:
+        raise WalError(
+            "WAL record does not apply to this database",
+            problem=f"{type(error).__name__}: {error}",
+        ) from None
+    finally:
+        database.enforce_foreign_keys = previous
+    return changeset

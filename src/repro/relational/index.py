@@ -128,6 +128,33 @@ class _LazyPostings(dict):
         self._raw_data = {}
 
 
+class _LazyOrder(dict):
+    """Database-order keys that re-derive one relation on first demand.
+
+    A restored index defers its order table entirely: ``insort`` only
+    compares postings inside the mutated tokens' lists, so the first
+    incremental mutation needs order keys for *those* tuples' relations
+    — not a full-database scan.  A missing key triggers one
+    ``_refresh_order`` pass over the owning relation; re-anchoring never
+    changes the relative order of surviving tuples, so posting lists
+    stay sorted no matter when a relation materialises.  A key that is
+    still absent after the refresh is a genuine error (a posting for a
+    tuple the store does not hold) and raises ``KeyError`` loudly.
+    """
+
+    __slots__ = ("_refresh",)
+
+    def __init__(self, refresh) -> None:
+        super().__init__()
+        self._refresh = refresh
+
+    def __missing__(self, tid):
+        self._refresh(tid.relation)
+        if tid in self:
+            return dict.__getitem__(self, tid)
+        raise KeyError(tid)
+
+
 class InvertedIndex:
     """Word-level inverted index over a database instance."""
 
@@ -135,7 +162,6 @@ class InvertedIndex:
         self._database = database
         self._postings: dict[str, list[Posting]] = defaultdict(list)
         self._indexed: set[TupleId] = set()
-        self._order_stale = False
         self._tokens_loader = None
         #: Database order of every indexed tuple: (relation position in the
         #: schema, position in the relation's store).  Posting lists are
@@ -176,8 +202,7 @@ class InvertedIndex:
         index = cls.__new__(cls)
         index._database = database
         index._postings = postings
-        index._order_stale = True
-        index._order = {}
+        index._order = _LazyOrder(index._refresh_order)
         index._relation_position = {
             relation.name: position
             for position, relation in enumerate(database.schema.relations)
@@ -203,22 +228,8 @@ class InvertedIndex:
             self._indexed = set(self._tokens_by_tid)
             self._tokens_loader = None
 
-    def _ensure_order(self) -> None:
-        """Materialise database-order keys on a restored index.
-
-        ``insort`` compares *existing* postings by their order keys, so
-        the full table must exist before the first incremental mutation
-        — not just the mutated tuple's entry.
-        """
-        if not self._order_stale:
-            return
-        self._order_stale = False
-        for relation in self._database.schema.relations:
-            self._refresh_order(relation.name)
-
     def build(self) -> None:
         """Discard and rebuild the whole index from the database."""
-        self._order_stale = False
         self._tokens_loader = None
         self._postings.clear()
         if self._indexed is None:
@@ -307,7 +318,6 @@ class InvertedIndex:
         self._ensure_tokens()
         if record.tid in self._indexed:
             return
-        self._ensure_order()
         if record.tid not in self._order:
             # A cached order key (from a refresh, or preserved across a
             # value-update reindex) is still relatively correct — only a
@@ -325,7 +335,6 @@ class InvertedIndex:
         order key is preserved across the remove/re-add — no relation
         scan, and posting order stays equal to a fresh build.
         """
-        self._ensure_order()
         order = self._order.get(record.tid)
         self.remove_tuple(record.tid)
         if order is not None:
@@ -337,7 +346,6 @@ class InvertedIndex:
         self._ensure_tokens()
         if tid not in self._indexed:
             return
-        self._ensure_order()
         for token in self._tokens_by_tid.pop(tid, ()):
             postings = self._postings.get(token)
             if postings is None:

@@ -50,6 +50,7 @@ from typing import Optional, Sequence
 from repro.core.executor import ExecutionStats, SearchResult, SharedEnumerations
 from repro.core.search import JoiningNetwork, SingleTupleAnswer
 from repro.core.connections import Connection
+from repro.durable import fault
 from repro.errors import ReproError
 from repro.graph.traversal import TuplePathStep
 from repro.obs import metrics as obs_metrics
@@ -120,7 +121,7 @@ def revive_result(data_graph, portable, score, rank) -> SearchResult:
     return SearchResult(answer=answer, score=score, rank=rank)
 
 
-def _run_chunk(chunk):
+def _run_chunk(chunk, engine=None):
     """Answer one contiguous slice of the batch inside a worker.
 
     A failing query aborts the rest of its chunk (the coordinator never
@@ -134,9 +135,14 @@ def _run_chunk(chunk):
     ``(None, "obs", (trace_root, metrics_delta), None)`` pseudo-record
     — identical bytes through the shm and pipe transports, because both
     pickle the same records.
+
+    ``engine`` defaults to the worker's pool engine; the coordinator's
+    degraded in-process fallback passes its own.
     """
+    fault.maybe("pool.chunk")
     positions, queries, options = chunk
-    engine = _WORKER_ENGINE
+    if engine is None:
+        engine = _WORKER_ENGINE
     trace_on, metrics_on = options.get("observe", (False, False))
     # The coordinator's setting is authoritative each chunk — a forked
     # worker may have inherited flags the coordinator has since flipped.
@@ -237,7 +243,16 @@ def _worker_loop(
     region_start: int = 0,
     region_size: int = 0,
 ) -> None:
-    """One dedicated worker: open the snapshot once, serve chunks forever."""
+    """One dedicated worker: open the snapshot once, serve chunks forever.
+
+    Besides batch chunks the pipe carries one control message:
+    ``("__reopen__", path)`` — part of the zero-downtime snapshot swap.
+    The worker finishes whatever chunk preceded the message (pipe
+    ordering), opens the new snapshot, closes the old engine and acks;
+    if the reopen fails it keeps serving its previous (state-identical)
+    engine and reports ``reopen-failed`` so the coordinator can respawn
+    it instead.
+    """
     try:
         _init_worker(snapshot_path, core, shards, result_cache_entries)
     except BaseException as error:  # surface startup failures, don't hang
@@ -253,6 +268,22 @@ def _worker_loop(
                 return
             if chunk is None:
                 return
+            if (
+                isinstance(chunk, tuple)
+                and len(chunk) == 2
+                and chunk[0] == "__reopen__"
+            ):
+                global _WORKER_ENGINE
+                old_engine = _WORKER_ENGINE
+                try:
+                    _init_worker(chunk[1], core, shards, result_cache_entries)
+                except BaseException as error:
+                    connection.send(("reopen-failed", repr(error)))
+                else:
+                    if old_engine is not None:
+                        old_engine.close()
+                    connection.send(("reopened", None))
+                continue
             try:
                 outcomes = _run_chunk(chunk)
                 if arena is not None:
@@ -313,6 +344,12 @@ class ParallelSearcher:
         self._arena = None
         self.shm_batches = 0
         self.pipe_batches = 0
+        #: Self-healing counters: workers respawned after dying
+        #: mid-batch, and chunks degraded to in-process execution after
+        #: a respawn (or its retry) failed too.
+        self.respawns = 0
+        self.inline_chunks = 0
+        self._inline_engine = None
         #: Per-chunk observability payloads from the most recent
         #: :meth:`run` — ``(worker_index, transport, (trace_root,
         #: metrics_delta))`` tuples, coordinator-ordered.
@@ -330,30 +367,35 @@ class ParallelSearcher:
                 return None  # no shm on this platform: pipe transport only
         return self._arena
 
+    def _spawn_worker(self, index: int, arena) -> tuple:
+        """Start worker ``index`` against the current snapshot path."""
+        context = _pool_context()
+        parent_end, worker_end = context.Pipe()
+        process = context.Process(
+            target=_worker_loop,
+            args=(
+                worker_end,
+                self.snapshot_path,
+                self.core,
+                self.shards,
+                self.result_cache_entries,
+                arena.name if arena is not None else None,
+                index * self.region_bytes,
+                self.region_bytes,
+            ),
+            daemon=True,
+        )
+        process.start()
+        worker_end.close()
+        return (process, parent_end)
+
     def _ensure_workers(self) -> list:
         if self._workers is None:
-            context = _pool_context()
             arena = self._ensure_arena()
-            workers = []
-            for index in range(self.jobs):
-                parent_end, worker_end = context.Pipe()
-                process = context.Process(
-                    target=_worker_loop,
-                    args=(
-                        worker_end,
-                        self.snapshot_path,
-                        self.core,
-                        self.shards,
-                        self.result_cache_entries,
-                        arena.name if arena is not None else None,
-                        index * self.region_bytes,
-                        self.region_bytes,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                worker_end.close()
-                workers.append((process, parent_end))
+            workers = [
+                self._spawn_worker(index, arena)
+                for index in range(self.jobs)
+            ]
             for process, connection in workers:
                 status, detail = connection.recv()
                 if status != "ready":
@@ -361,6 +403,39 @@ class ParallelSearcher:
                     raise RuntimeError(f"snapshot worker failed to start: {detail}")
             self._workers = workers
         return self._workers
+
+    def _retire_worker(self, index: int) -> None:
+        """Reap a dead (or dying) worker's process and pipe end."""
+        process, connection = self._workers[index]
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        process.join(timeout=2)
+        if process.is_alive():  # pragma: no cover - stuck worker guard
+            process.terminate()
+            process.join(timeout=2)
+
+    def _respawn(self, index: int) -> bool:
+        """Replace a dead worker with a fresh one on the current snapshot."""
+        self.respawns += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("pool.respawns")
+        self._retire_worker(index)
+        try:
+            worker = self._spawn_worker(index, self._arena)
+            status, detail = worker[1].recv()
+        except (OSError, EOFError):  # pragma: no cover - spawn failed
+            return False
+        if status != "ready":
+            try:
+                worker[1].close()
+            except OSError:  # pragma: no cover
+                pass
+            worker[0].join(timeout=2)
+            return False
+        self._workers[index] = worker
+        return True
 
     def run(self, queries: Sequence[str], options: dict) -> dict:
         """Answer distinct queries on the pool; returns per-query outcomes.
@@ -372,6 +447,13 @@ class ParallelSearcher:
         coordinator never consumes outcomes past the batch's first
         failure and chunk contiguity keeps everything before it
         populated.
+
+        The pool self-heals: a worker that died mid-chunk (EOF or broken
+        pipe on the coordinator side) is respawned against the current
+        snapshot and its lost chunk retried exactly once; if the respawn
+        or the retry fails too, the chunk degrades to in-process
+        execution on a coordinator-side engine — the batch completes
+        either way, with bit-identical results.
         """
         self.last_obs = []
         if not queries:
@@ -384,25 +466,29 @@ class ParallelSearcher:
             positions = list(range(start, min(start + size, len(queries))))
             chunk = (positions, [queries[p] for p in positions], options)
             __, connection = workers[index]
-            connection.send(chunk)
-            busy.append((index, connection))
+            try:
+                connection.send(chunk)
+            except (BrokenPipeError, OSError):
+                pass  # dead already; the receive loop heals it
+            busy.append((index, chunk))
         outcomes: dict[str, tuple] = {}
-        for index, connection in busy:
-            status, chunk_payload = connection.recv()
+        for index, chunk in busy:
+            status, chunk_payload = self._receive(index, chunk)
             if status == "shm":
                 # The recv() *is* the barrier: the worker wrote its
                 # region before sending, and no other worker shares it.
                 count, total = chunk_payload
                 chunk_outcomes = self._read_region(index, count, total)
                 self.shm_batches += 1
-            elif status == "ok":
+            elif status in ("ok", "inline"):
                 chunk_outcomes = chunk_payload
-                self.pipe_batches += 1
+                if status == "ok":
+                    self.pipe_batches += 1
             else:
                 self.close()
                 raise RuntimeError(f"snapshot worker crashed: {chunk_payload}")
             transport = "shm" if status == "shm" else "pipe"
-            if obs_metrics.ENABLED:
+            if status != "inline" and obs_metrics.ENABLED:
                 obs_metrics.REGISTRY.inc(f"pool.{transport}_batches")
             for position, result_status, payload, stats in chunk_outcomes:
                 if result_status == "obs":
@@ -411,6 +497,94 @@ class ParallelSearcher:
                     continue
                 outcomes[queries[position]] = (result_status, payload, stats)
         return outcomes
+
+    def _receive(self, index: int, chunk) -> tuple:
+        """One chunk's reply, healing a dead worker along the way."""
+        __, connection = self._workers[index]
+        try:
+            return connection.recv()
+        except (EOFError, OSError):
+            pass
+        # The worker died before replying. Respawn it on the current
+        # snapshot and retry the lost chunk exactly once.
+        if self._respawn(index):
+            __, connection = self._workers[index]
+            try:
+                connection.send(chunk)
+                return connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass  # died again: fall through to in-process execution
+        self.inline_chunks += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("pool.inline_chunks")
+        return ("inline", self._run_inline(chunk))
+
+    def _ensure_inline_engine(self):
+        if self._inline_engine is None:
+            from repro.core.engine import KeywordSearchEngine
+
+            self._inline_engine = KeywordSearchEngine.open(
+                self.snapshot_path,
+                core=self.core,
+                shards=self.shards,
+                result_cache_entries=self.result_cache_entries,
+            )
+        return self._inline_engine
+
+    def _run_inline(self, chunk):
+        """Degraded mode: answer a chunk in the coordinator process.
+
+        Runs the exact worker code over a lazily opened coordinator-side
+        snapshot engine, so results stay bit-identical.  Observability
+        is disabled for the chunk — its increments would land directly
+        in the coordinator registry and then be double-counted by the
+        delta merge — and the process-global flags are restored
+        afterwards (``_run_chunk`` flips them to the chunk's setting).
+        """
+        positions, queries, options = chunk
+        quiet = dict(options)
+        quiet["observe"] = (False, False)
+        saved_trace, saved_metrics = obs_trace.ENABLED, obs_metrics.ENABLED
+        try:
+            return _run_chunk(
+                (positions, queries, quiet),
+                engine=self._ensure_inline_engine(),
+            )
+        finally:
+            obs_trace.set_enabled(saved_trace)
+            obs_metrics.set_enabled(saved_metrics)
+
+    def reopen(self, snapshot_path) -> int:
+        """Hot-swap the pool onto a new snapshot, one worker at a time.
+
+        Sends each worker a ``__reopen__`` control message in turn: the
+        message queues behind the worker's in-flight chunk, so nothing
+        is drained and the other workers keep serving while each one
+        reopens.  A worker whose reopen fails (or that died) is
+        respawned against the new snapshot instead.  Returns the number
+        of workers now serving the new snapshot.
+        """
+        self.snapshot_path = str(snapshot_path)
+        if self._inline_engine is not None:
+            self._inline_engine.close()
+            self._inline_engine = None
+        if self._workers is None:
+            return 0
+        swapped = 0
+        for index in range(len(self._workers)):
+            __, connection = self._workers[index]
+            reopened = False
+            try:
+                connection.send(("__reopen__", self.snapshot_path))
+                status, __detail = connection.recv()
+                reopened = status == "reopened"
+            except (BrokenPipeError, EOFError, OSError):
+                reopened = False
+            if not reopened:
+                reopened = self._respawn(index)
+            if reopened:
+                swapped += 1
+        return swapped
 
     def _read_region(self, index: int, count: int, total: int) -> list:
         """Decode one worker's length-prefixed records from its region."""
@@ -442,6 +616,9 @@ class ParallelSearcher:
         if self._workers is not None:
             self._shutdown(self._workers)
             self._workers = None
+        if self._inline_engine is not None:
+            self._inline_engine.close()
+            self._inline_engine = None
         if self._arena is not None:
             self._arena.close()
             try:

@@ -43,13 +43,16 @@ from __future__ import annotations
 
 import json
 import mmap
+import os
 import struct
 import sys
+import tempfile
 import zlib
 from array import array
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.durable import fault
 from repro.errors import SnapshotError
 from repro.graph.csr import FrozenGraph
 from repro.graph.data_graph import DataGraph, build_tuple_graph
@@ -158,6 +161,69 @@ class LazyDataGraph(DataGraph):
     def materialized(self) -> bool:
         """True once the networkx graph was actually built."""
         return self._materialized is not None
+
+    # ------------------------------------------------------------------
+    # deferred patching
+    # ------------------------------------------------------------------
+    # While the multigraph is unmaterialised, mutating it is pure waste:
+    # the deferred ``build_tuple_graph(self.database)`` reads the *live*
+    # database, which the batch already updated, so building later
+    # reaches the exact state eager patching would.  (The eager path
+    # materialises mid-apply from the already-mutated database and then
+    # re-adds the same nodes/edges idempotently.)  Skipping keeps WAL
+    # replay and restored-engine applies from paying a full graph build;
+    # the version bump and conceptual-view invalidation still happen.
+    def add_tuple_node(self, record) -> None:
+        if self._materialized is None:
+            self.invalidate_caches()
+            return
+        super().add_tuple_node(record)
+
+    def remove_tuple_node(self, tid: TupleId) -> None:
+        if self._materialized is None:
+            self.invalidate_caches()
+            return
+        super().remove_tuple_node(tid)
+
+    def add_fk_edge(self, referencing, referenced, foreign_key) -> None:
+        if self._materialized is None:
+            self.invalidate_caches()
+            return
+        super().add_fk_edge(referencing, referenced, foreign_key)
+
+    def remove_fk_edge(self, referencing, referenced, foreign_key_name) -> None:
+        if self._materialized is None:
+            self.invalidate_caches()
+            return
+        super().remove_fk_edge(referencing, referenced, foreign_key_name)
+
+    def incident_entries(self, tid: TupleId):
+        """Incident FK edges of one tuple, straight from the database.
+
+        Yields ``(other_tid, edge_key, edge_data)`` exactly as iterating
+        the materialised multigraph's ``edges(tid)`` would — one entry
+        per stored foreign-key reference, payload dicts shaped like
+        :func:`~repro.graph.data_graph.build_tuple_graph` builds them.
+        CSR row patching uses this to rebuild touched rows without
+        forcing the full graph build (entries are re-sorted by the
+        caller, so listing order does not matter).
+        """
+        database = self.database
+        record = database.tuple(tid)
+        schema = database.schema
+        for fk in schema.foreign_keys_from(tid.relation):
+            target = database.referenced_tuple(record, fk)
+            if target is not None:
+                yield target.tid, fk.name, {
+                    "foreign_key": fk, "referencing": tid,
+                }
+        for fk in schema.foreign_keys_to(tid.relation):
+            for candidate in database.referencing_tuples(record, fk):
+                if fk.source == tid.relation and candidate.tid == tid:
+                    continue  # self-loop: the outgoing pass yielded it
+                yield candidate.tid, fk.name, {
+                    "foreign_key": fk, "referencing": candidate.tid,
+                }
 
 
 class _LazyTidList:
@@ -393,14 +459,53 @@ def write_snapshot(engine, path: Union[str, Path]) -> dict:
         offset += len(blob)
     toc_bytes = _json_bytes({"format": SNAPSHOT_FORMAT, "sections": toc})
 
+    # Crash-atomic replacement: stream everything into a same-directory
+    # temp file, fsync it, then ``os.replace`` over the target and fsync
+    # the directory.  A crash at any instant leaves either the previous
+    # snapshot or the complete new one — never a torn file.
     path = Path(path)
-    with path.open("wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack("<I", len(toc_bytes)))
-        handle.write(toc_bytes)
-        for __, blob in sections:
-            handle.write(blob)
+    directory = str(path.parent) or "."
+    fd, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(struct.pack("<I", len(toc_bytes)))
+            handle.write(toc_bytes)
+            fault.maybe("snapshot.mid-save")
+            for __, blob in sections:
+                handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault.maybe("snapshot.pre-replace")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir opens
+        dir_fd = None
+    if dir_fd is not None:
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(dir_fd)
+    meta["generation"] = _generation_of(toc_bytes)
     return meta
+
+
+def _generation_of(toc_bytes: bytes) -> str:
+    """The snapshot's *generation*: a content hash of its table of
+    contents.  The TOC carries every section's length and CRC, so any
+    state change produces a new generation — the WAL handshake token."""
+    return f"{zlib.crc32(toc_bytes):08x}"
 
 
 def _json_bytes(document) -> bytes:
@@ -450,6 +555,11 @@ class Snapshot:
         self._data_start = toc_start + toc_length
         self._toc: dict[str, list] = toc["sections"]
         self._view = view
+        #: Content hash of the raw TOC bytes — the WAL pairing token
+        #: (identical to the ``generation`` in ``write_snapshot`` meta).
+        self.generation = _generation_of(
+            bytes(view[toc_start : toc_start + toc_length])
+        )
         for name in _REQUIRED_SECTIONS:
             if name not in self._toc:
                 raise SnapshotError(
@@ -682,9 +792,15 @@ def _load_engine(
 
     edge_keys = _LazyJsonList(load_edge_keys, len(targets))
 
+    # Rows the snapshot itself stores.  Live appends grow ``tid_of``
+    # past this, but appended nodes keep their edges in override side
+    # tables — a stored CSR entry is always owned by a stored row, so
+    # the binary search must not wander into offsets the mmap lacks.
+    stored_nodes = len(tid_of)
+
     def owner_of_entry(position: int) -> tuple[int, int]:
         # Binary search the offsets for the row owning a CSR entry.
-        low, high = 0, len(tid_of)
+        low, high = 0, stored_nodes
         while low + 1 < high:
             middle = (low + high) // 2
             if offsets[middle] <= position:
@@ -734,6 +850,7 @@ def _load_engine(
     engine._statistics_loader = lambda: snapshot.statistics(database)
     engine.snapshot_path = str(path)
     engine._snapshot_version = engine.version
+    engine._snapshot_generation = snapshot.generation
     engine._snapshot = snapshot
 
     if engine.shards and "shard_assignment" in snapshot.sections():

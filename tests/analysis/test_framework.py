@@ -57,7 +57,8 @@ def test_finding_render_format():
 
 
 def test_rule_registry_has_the_documented_battery():
-    expected = {"DET01", "DET02", "PKL01", "FRZ01", "RES01", "API01", "SLOT01"}
+    expected = {"DET01", "DET02", "PKL01", "FRZ01", "RES01", "API01", "SLOT01",
+                "DUR01"}
     assert set(all_rules()) == expected
 
 

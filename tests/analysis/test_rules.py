@@ -757,3 +757,178 @@ class TestSlot01:
             "SLOT01",
             path="src/repro/graph/widgets.py",
         )
+
+
+# ----------------------------------------------------------------------
+# DUR01 — durable artefacts written outside fsync + os.replace
+# ----------------------------------------------------------------------
+DURABLE_PATH = "src/repro/durable/sample.py"
+SCALE_PATH = "src/repro/scale/sample.py"
+
+
+class TestDur01:
+    def test_direct_write_in_durable_module(self):
+        found = hits(
+            """
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+        assert len(found) == 1
+        assert "os.replace" in found[0].message
+
+    def test_scale_module_is_also_in_scope(self):
+        assert hits(
+            """
+            def save(path, data):
+                with open(path, "w") as handle:
+                    handle.write(data)
+            """,
+            "DUR01",
+            path=SCALE_PATH,
+        )
+
+    def test_atomic_protocol_is_clean(self):
+        assert not hits(
+            """
+            import os
+            import tempfile
+
+            def save(path, data):
+                fd, temp = tempfile.mkstemp(dir=".")
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp, path)
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_fsync_without_replace_still_flagged(self):
+        assert hits(
+            """
+            import os
+
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+                    os.fsync(handle.fileno())
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_replace_without_fsync_still_flagged(self):
+        assert hits(
+            """
+            import os
+
+            def save(path, temp, data):
+                with open(temp, "wb") as handle:
+                    handle.write(data)
+                os.replace(temp, path)
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_read_and_update_modes_are_out_of_scope(self):
+        assert not hits(
+            """
+            def scan(path):
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                handle = open(path, "r+b")
+                handle.close()
+                return data
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_path_open_write_method_is_flagged(self):
+        assert hits(
+            """
+            def save(path, data):
+                with path.open("w") as handle:
+                    handle.write(data)
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_exclusive_create_mode_is_flagged(self):
+        assert hits(
+            """
+            def save(path, data):
+                with open(path, mode="xb") as handle:
+                    handle.write(data)
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_alternate_constructor_open_is_not_a_write(self):
+        assert not hits(
+            """
+            def reopen(path):
+                return KeywordSearchEngine.open(path, "csr")
+            """,
+            "DUR01",
+            path=DURABLE_PATH,
+        )
+
+    def test_other_modules_are_out_of_scope(self):
+        assert not hits(
+            """
+            def save(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+            "DUR01",
+        )
+
+
+class TestRes01RawDescriptors:
+    def test_os_close_by_argument_releases(self):
+        assert not hits(
+            """
+            import os
+
+            def fsync_directory(directory):
+                fd = os.open(directory, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+            """,
+            "RES01",
+        )
+
+    def test_inline_acquire_release_expression(self):
+        assert not hits(
+            """
+            import os
+
+            def touch_exclusively(path):
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL))
+            """,
+            "RES01",
+        )
+
+    def test_raw_descriptor_without_os_close_still_flagged(self):
+        assert hits(
+            """
+            import os
+
+            def fsync_directory(directory):
+                fd = os.open(directory, os.O_RDONLY)
+                os.fsync(fd)
+            """,
+            "RES01",
+        )

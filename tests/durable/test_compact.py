@@ -1,0 +1,219 @@
+"""Compaction: fold the WAL into a fresh snapshot and hot-swap it in.
+
+Covers the offline path (``compact_snapshot``, the CLI's ``wal
+compact``), fold-to-copy with ``--out``, and the acceptance scenario:
+a live engine with a worker pool keeps answering a mixed read/write
+workload across a compaction-and-swap cycle with zero failed queries
+and answers always equal to a from-scratch serial oracle.
+"""
+
+import os
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.search import SearchLimits
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_company_like,
+    plant,
+)
+from repro.durable import compact_snapshot, default_wal_path
+from repro.errors import WalError
+from repro.live.changes import Insert, Update, apply_to_database
+
+CONFIG = SyntheticConfig(
+    departments=2,
+    projects_per_department=2,
+    employees_per_department=4,
+    works_on_per_employee=2,
+    dependents_per_employee=0.5,
+    seed=29,
+)
+LIMITS = SearchLimits(max_rdb_length=4, max_tuples=5)
+QUERIES = ["kwalpha kwbeta", "kwalpha", "kwbeta", "nothinghere"]
+
+
+def planted_database():
+    database = generate_company_like(CONFIG)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 2, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 3, seed=2)
+    return database
+
+
+def mixed_batch(database, counter):
+    """Alternate keyword-bearing inserts and description updates."""
+    if counter % 2 == 0:
+        employees = database.tuples("EMPLOYEE")
+        essn = employees[counter % len(employees)].tid.key[0]
+        return [Insert(
+            "DEPENDENT",
+            {"ID": f"mix{counter}", "ESSN": essn,
+             "DEPENDENT_NAME": ("kwbeta", "kwalpha")[counter % 4 == 0]},
+        )]
+    departments = database.tuples("DEPARTMENT")
+    department = departments[counter % len(departments)]
+    text = ("kwalpha shift", "plain words", "kwalpha kwbeta mix")[counter % 3]
+    return [Update(department.tid, {"D_DESCRIPTION": text})]
+
+
+def rendered(batches):
+    return [[(r.render(), r.score, r.rank) for r in results]
+            for results in batches]
+
+
+class TestOfflineCompaction:
+    def _pair_with_records(self, tmp_path, batches=2):
+        path = str(tmp_path / "e.snap")
+        engine = KeywordSearchEngine(planted_database())
+        engine.save(path)
+        engine.attach_wal()
+        for counter in range(batches):
+            engine.apply(mixed_batch(engine.database, counter))
+        state = (engine.version,
+                 rendered([engine.search(q, limits=LIMITS) for q in QUERIES]))
+        engine.close()
+        return path, state
+
+    def test_compact_snapshot_folds_and_resets(self, tmp_path):
+        path, (version, answers) = self._pair_with_records(tmp_path)
+        report = compact_snapshot(path)
+        assert report.records_folded == 2
+        assert report.engine_version == version
+        assert report.snapshot_path == path
+
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert reopened.version == version
+        assert reopened.wal.base_version == version
+        assert reopened.wal.records() == []
+        assert rendered(
+            [reopened.search(q, limits=LIMITS) for q in QUERIES]
+        ) == answers
+        reopened.close()
+
+    def test_fold_to_copy_leaves_original_untouched(self, tmp_path):
+        path, (version, answers) = self._pair_with_records(tmp_path)
+        out = str(tmp_path / "folded.snap")
+        with open(path, "rb") as handle:
+            snapshot_bytes = handle.read()
+        with open(default_wal_path(path), "rb") as handle:
+            wal_bytes = handle.read()
+
+        report = compact_snapshot(path, out=out)
+        assert report.snapshot_path == out
+        assert report.wal_path == default_wal_path(out)
+
+        with open(path, "rb") as handle:
+            assert handle.read() == snapshot_bytes
+        with open(default_wal_path(path), "rb") as handle:
+            assert handle.read() == wal_bytes
+
+        copy = KeywordSearchEngine.open(out, wal=True)
+        assert copy.version == version
+        assert copy.wal.records() == []
+        assert rendered(
+            [copy.search(q, limits=LIMITS) for q in QUERIES]
+        ) == answers
+        copy.close()
+
+    def test_compact_without_wal_refused(self, tmp_path):
+        from repro.durable import hot_compact
+
+        path = str(tmp_path / "e.snap")
+        engine = KeywordSearchEngine(planted_database())
+        engine.save(path)
+        with pytest.raises(WalError, match="no attached WAL"):
+            hot_compact(engine)
+        engine.close()
+
+    def test_compaction_metric(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        path, __ = self._pair_with_records(tmp_path)
+        obs_metrics.set_enabled(True)
+        before = obs_metrics.REGISTRY.snapshot()
+        compact_snapshot(path)
+        delta = obs_metrics.diff_snapshots(
+            before, obs_metrics.REGISTRY.snapshot()
+        )
+        assert delta["counters"].get("compact.swaps") == 1
+
+
+class TestHotSwapUnderLoad:
+    def test_mixed_workload_across_a_compaction_cycle(self, tmp_path):
+        """The acceptance scenario: queries never fail, answers always
+        match a from-scratch serial oracle, one compaction mid-stream
+        hot-swaps every worker."""
+        path = str(tmp_path / "live.snap")
+        oracle_db = planted_database()
+        engine = KeywordSearchEngine(
+            planted_database(), result_cache_entries=0
+        )
+        engine.save(path)
+        engine.attach_wal()
+
+        failed = 0
+        for counter in range(8):
+            answers = rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            oracle = KeywordSearchEngine(oracle_db, result_cache_entries=0)
+            expected = rendered(
+                [oracle.search(q, limits=LIMITS) for q in QUERIES]
+            )
+            if answers != expected:
+                failed += 1
+
+            if counter == 4:
+                searcher = engine._searcher
+                report = engine.compact_wal()
+                assert report.workers_reopened == 2
+                assert engine._searcher is searcher  # swapped, not rebuilt
+                assert engine.wal.records() == []
+                # Post-swap, the same pool still answers identically.
+                assert rendered(
+                    engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+                ) == expected
+
+            batch = mixed_batch(engine.database, counter)
+            engine.apply(batch)
+            apply_to_database(oracle_db, batch)
+
+        assert failed == 0
+        assert engine.version == 8
+
+        # The durable pair reflects every batch: snapshot at the
+        # compaction point plus WAL records for what followed.
+        version = engine.version
+        engine.close()
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert reopened.version == version
+        oracle = KeywordSearchEngine(oracle_db, result_cache_entries=0)
+        assert rendered(
+            [reopened.search(q, limits=LIMITS) for q in QUERIES]
+        ) == rendered(
+            [oracle.search(q, limits=LIMITS) for q in QUERIES]
+        )
+        reopened.close()
+
+    def test_hot_compact_to_copy_does_not_touch_the_pool(self, tmp_path):
+        path = str(tmp_path / "live.snap")
+        engine = KeywordSearchEngine(
+            planted_database(), result_cache_entries=0
+        )
+        engine.save(path)
+        engine.attach_wal()
+        engine.apply(mixed_batch(engine.database, 0))
+        before = rendered(
+            engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+        )
+        out = str(tmp_path / "copy.snap")
+        report = engine.compact_wal(out=out)
+        assert report.workers_reopened == 0
+        assert os.path.exists(default_wal_path(out))
+        # The original pair still has its record; the pool still serves.
+        assert len(engine.wal.records()) == 1
+        assert rendered(
+            engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+        ) == before
+        engine.close()

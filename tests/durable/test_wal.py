@@ -1,0 +1,345 @@
+"""WAL format, attach/replay policy and torn-tail handling.
+
+The contract under test: every ``engine.apply`` batch is durably logged
+before in-memory state changes, reopening snapshot + WAL restores an
+engine bit-identical to the one that executed the batches live, and the
+only damage a crashed append can cause — a torn tail record — is
+tolerated while every other mismatch refuses loudly.
+"""
+
+import os
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.search import SearchLimits
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_company_like,
+    plant,
+)
+from repro.durable.wal import MAGIC, WriteAheadLog, default_wal_path
+from repro.errors import WalError
+from repro.live.changes import Delete, Insert, Update
+from repro.relational.database import TupleId
+
+CONFIG = SyntheticConfig(
+    departments=2,
+    projects_per_department=2,
+    employees_per_department=3,
+    works_on_per_employee=2,
+    dependents_per_employee=0.5,
+    seed=17,
+)
+LIMITS = SearchLimits(max_rdb_length=4, max_tuples=5)
+QUERIES = ("kwalpha kwbeta", "kwalpha", "kwbeta")
+
+
+def planted_database():
+    database = generate_company_like(CONFIG)
+    plant(database, "kwalpha", "DEPARTMENT", "D_DESCRIPTION", 2, seed=1)
+    plant(database, "kwbeta", "EMPLOYEE", "L_NAME", 2, seed=2)
+    return database
+
+
+def batches_for(database):
+    """Three deterministic batches: insert, update, delete + insert."""
+    employee = database.tuples("EMPLOYEE")[0]
+    department = database.tuples("DEPARTMENT")[0]
+    essn = employee.tid.key[0]
+    return [
+        [Insert("DEPENDENT",
+                {"ID": "walx1", "ESSN": essn, "DEPENDENT_NAME": "kwbeta"})],
+        [Update(department.tid, {"D_DESCRIPTION": "kwalpha kwbeta lab"})],
+        [
+            Delete(TupleId("DEPENDENT", ("walx1",))),
+            Insert("DEPENDENT",
+                   {"ID": "walx2", "ESSN": essn, "DEPENDENT_NAME": "kwalpha"}),
+        ],
+    ]
+
+
+def state_of(engine):
+    """Replay-sensitive state: per-relation store order, rows, labels.
+
+    Relations are compared each in its own store order (which index
+    posting order observes) but enumerated sorted by name —
+    ``all_tuples()`` interleaving on a lazily-loaded snapshot database
+    depends on which relations were materialised first, which is
+    access-order, not state.
+    """
+    database = engine.database
+    rows = {
+        name: [
+            (key, dict(database.tuple(TupleId(name, key)).values),
+             database.tuple(TupleId(name, key)).label)
+            for key in database.relation_key_order(name)
+        ]
+        for name in sorted(r.name for r in database.schema.relations)
+    }
+    return engine.version, rows
+
+
+def rendered(results):
+    return [(r.render(), r.score, r.rank) for r in results]
+
+
+def saved_engine(tmp_path, name="engine.snap"):
+    path = str(tmp_path / name)
+    engine = KeywordSearchEngine(planted_database())
+    engine.save(path)
+    engine.attach_wal()
+    return engine, path
+
+
+class TestWalFile:
+    def test_fresh_log_requires_generation(self, tmp_path):
+        with pytest.raises(WalError, match="generation"):
+            WriteAheadLog(str(tmp_path / "x.wal"))
+
+    def test_header_round_trip(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        WriteAheadLog(path, generation="cafe0123", base_version=7).close()
+        wal = WriteAheadLog(path)
+        assert wal.generation == "cafe0123"
+        assert wal.base_version == 7
+        assert wal.records() == []
+        wal.close()
+
+    def test_not_a_wal_file(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"definitely not a log")
+        with pytest.raises(WalError, match="not a WAL"):
+            WriteAheadLog(str(path))
+
+    def test_append_and_scan_round_trip(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with WriteAheadLog(path, generation="g") as wal:
+            first = wal.append({"version": 1, "payload": "a"})
+            second = wal.append({"version": 2, "payload": "b"})
+            assert second > first
+        wal = WriteAheadLog(path)
+        assert [record for __, record in wal.scan()] == [
+            {"version": 1, "payload": "a"},
+            {"version": 2, "payload": "b"},
+        ]
+        assert not wal.torn_tail
+        wal.close()
+
+    def test_reset_starts_over(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        wal = WriteAheadLog(path, generation="old", base_version=0)
+        wal.append({"version": 1})
+        wal.reset(generation="new", base_version=5)
+        assert wal.records() == []
+        assert (wal.generation, wal.base_version) == ("new", 5)
+        wal.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with WriteAheadLog(path, generation="g") as wal:
+            first_offset = wal.append({"version": 1, "pad": "x" * 64})
+            wal.append({"version": 2})
+        with open(path, "r+b") as handle:
+            handle.seek(first_offset + 12)  # inside record 1's payload
+            handle.write(b"\xff")
+        wal = WriteAheadLog(path)
+        with pytest.raises(WalError, match="mid-file"):
+            wal.scan()
+        wal.close()
+
+
+class TestTornTail:
+    def _torn_log(self, tmp_path, cut):
+        path = str(tmp_path / "x.wal")
+        with WriteAheadLog(path, generation="g") as wal:
+            wal.append({"version": 1, "payload": "aaaa"})
+            tail = wal.append({"version": 2, "payload": "bbbb"})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(tail + cut)
+        return path, tail, size
+
+    @pytest.mark.parametrize("cut", [0, 1, 4, 7, 8, 9])
+    def test_truncated_tail_is_tolerated(self, tmp_path, cut):
+        path, tail, __ = self._torn_log(tmp_path, cut)
+        wal = WriteAheadLog(path)
+        records = wal.scan()
+        assert [record["version"] for __, record in records] == [1]
+        assert wal.torn_tail == (cut > 0)
+        wal.close()
+
+    def test_next_append_truncates_the_tail(self, tmp_path):
+        path, tail, __ = self._torn_log(tmp_path, cut=5)
+        wal = WriteAheadLog(path)
+        wal.scan()
+        wal.append({"version": 2, "payload": "retry"})
+        wal.close()
+        reread = WriteAheadLog(path)
+        assert [r["version"] for r in reread.records()] == [1, 2]
+        assert not reread.torn_tail
+        reread.close()
+
+    def test_garbage_tail_bytes_are_tolerated(self, tmp_path):
+        path = str(tmp_path / "x.wal")
+        with WriteAheadLog(path, generation="g") as wal:
+            wal.append({"version": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"\x03\x00\x00\x00")  # torn length prefix
+        wal = WriteAheadLog(path)
+        assert [r["version"] for r in wal.records()] == [1]
+        assert wal.torn_tail
+        wal.close()
+
+
+class TestAttachAndReplay:
+    def test_reopen_is_bit_identical_to_live_engine(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        for batch in batches_for(engine.database):
+            engine.apply(batch)
+        live_state = state_of(engine)
+        live_answers = {q: rendered(engine.search(q, limits=LIMITS))
+                        for q in QUERIES}
+        engine.close()
+
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert state_of(reopened) == live_state
+        for query in QUERIES:
+            assert rendered(
+                reopened.search(query, limits=LIMITS)
+            ) == live_answers[query]
+        reopened.close()
+
+    def test_empty_batches_keep_versions_in_lockstep(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        engine.apply([])
+        engine.apply(batches_for(engine.database)[0])
+        engine.apply([])
+        assert engine.version == 3
+        engine.close()
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert reopened.version == 3
+        reopened.close()
+
+    def test_replay_count_and_wal_grows_across_generations(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        engine.apply(batches_for(engine.database)[0])
+        engine.close()
+        second = KeywordSearchEngine.open(path)
+        assert second.attach_wal() == 1
+        second.apply(batches_for(second.database)[1])
+        second.close()
+        third = KeywordSearchEngine.open(path, wal=True)
+        assert third.version == 2
+        third.close()
+
+    def test_attach_requires_snapshot_backed_engine(self):
+        engine = KeywordSearchEngine(planted_database())
+        with pytest.raises(WalError, match="snapshot-backed"):
+            engine.attach_wal()
+
+    def test_attach_refuses_after_engine_moved_on(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        engine.detach_wal()
+        engine.apply(batches_for(engine.database)[0])
+        with pytest.raises(WalError, match="moved past"):
+            engine.attach_wal()
+        engine.close()
+
+    def test_double_attach_refused(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        with pytest.raises(WalError, match="already attached"):
+            engine.attach_wal()
+        engine.close()
+
+    def test_rebuild_with_wal_refused_until_detached(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        with pytest.raises(WalError, match="rebuild"):
+            engine.rebuild()
+        engine.detach_wal()
+        engine.rebuild()
+        engine.close()
+
+    def test_torn_tail_record_is_dropped_on_reopen(self, tmp_path):
+        engine, path = saved_engine(tmp_path)
+        batches = batches_for(engine.database)
+        engine.apply(batches[0])
+        engine.apply(batches[1])
+        engine.close()
+        wal_path = default_wal_path(path)
+        with open(wal_path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 3)
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert reopened.version == 1  # the torn second record is lost
+        assert reopened.wal.torn_tail
+        reopened.close()
+
+
+class TestGenerationHandshake:
+    def test_foreign_wal_refused(self, tmp_path):
+        engine, path = saved_engine(tmp_path, "a.snap")
+        engine.apply(batches_for(engine.database)[0])
+        engine.close()
+
+        other = KeywordSearchEngine(generate_company_like(
+            SyntheticConfig(departments=1, projects_per_department=1,
+                            employees_per_department=2, seed=99)
+        ))
+        other_path = str(tmp_path / "b.snap")
+        other.save(other_path)
+        # Pair b.snap with a.snap's log, which holds newer records.
+        with pytest.raises(WalError, match="different snapshot"):
+            other.attach_wal(default_wal_path(path))
+
+    def test_stale_wal_after_interrupted_compaction_resets(self, tmp_path):
+        from repro.scale.snapshot import write_snapshot
+
+        engine, path = saved_engine(tmp_path)
+        engine.apply(batches_for(engine.database)[0])
+        state = state_of(engine)
+        # Simulate a compaction that crashed after publishing the new
+        # snapshot but before resetting the log: fold by hand, leave
+        # the old-generation WAL (whose records are all folded) behind.
+        write_snapshot(engine, path)
+        engine.detach_wal()
+        engine.close()
+
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert state_of(reopened) == state
+        assert reopened.wal.base_version == reopened.version
+        assert reopened.wal.records() == []
+        reopened.close()
+
+    def test_wal_survives_unrelated_autosaves(self, tmp_path):
+        """Internal temp-file autosaves must not re-pair the WAL."""
+        engine, path = saved_engine(tmp_path)
+        engine.apply(batches_for(engine.database)[0])
+        engine.search_batch(list(QUERIES), limits=LIMITS, jobs=2)  # autosave
+        engine.apply(batches_for(engine.database)[1])
+        assert engine._wal_snapshot_path == path
+        version = engine.version
+        engine.close()
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        assert reopened.version == version
+        reopened.close()
+
+
+class TestWalMetrics:
+    def test_append_and_replay_counters(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        engine, path = saved_engine(tmp_path)
+        obs_metrics.set_enabled(True)
+        before = obs_metrics.REGISTRY.snapshot()
+        engine.apply(batches_for(engine.database)[0])
+        engine.apply([])
+        engine.close()
+        reopened = KeywordSearchEngine.open(path, wal=True)
+        reopened.close()
+        delta = obs_metrics.diff_snapshots(
+            before, obs_metrics.REGISTRY.snapshot()
+        )
+        counters = {name: value for name, value in delta["counters"].items()}
+        assert counters.get("wal.appends") == 2
+        assert counters.get("wal.replayed") == 2

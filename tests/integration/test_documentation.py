@@ -40,7 +40,7 @@ class TestCliDocumentation:
         )
         assert set(subparsers.choices) == {
             "search", "snapshot", "lint", "stats", "reproduce", "analyze",
-            "mtjnt", "generate",
+            "mtjnt", "generate", "wal",
         }
 
 

@@ -1,18 +1,26 @@
 """Unit tests for the change-log / transaction layer."""
 
+import json
+import pickle
+
 import pytest
 
 from repro.errors import (
     ForeignKeyError,
     IntegrityError,
     MutationError,
+    MutationFormatError,
     PrimaryKeyError,
+    WalError,
 )
 from repro.live.changes import (
     Delete,
     Insert,
     Update,
+    apply_record,
     apply_to_database,
+    changeset_from_record,
+    changeset_to_record,
     load_mutation_batches,
     mutation_from_json,
 )
@@ -277,3 +285,150 @@ class TestReplayFormat:
                  for record in database.all_tuples()}
         assert after == before
         assert database.enforce_foreign_keys is False
+
+
+class TestWalRecordCodec:
+    def _record_for(self, database, mutations, version=1):
+        changeset = apply_to_database(database, mutations)
+        return changeset, changeset_to_record(changeset, database, version)
+
+    def test_round_trip_applies_identically(self, company_db):
+        from repro.datasets.company import build_company_database
+
+        changeset, record = self._record_for(
+            company_db,
+            [
+                Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                     "DEPENDENT_NAME": "Nora"}),
+                Update(tid("DEPARTMENT", "d1"),
+                       {"D_DESCRIPTION": "new words"}),
+                Delete(tid("DEPENDENT", "t2")),
+            ],
+        )
+        # The record survives the JSON boundary it will cross in the log.
+        record = json.loads(json.dumps(record))
+
+        skeleton = changeset_from_record(record, company_db.schema)
+        assert skeleton.tuples_added == changeset.tuples_added
+        assert skeleton.tuples_removed == changeset.tuples_removed
+        assert skeleton.tuples_updated == changeset.tuples_updated
+        assert skeleton.tuples_replaced == changeset.tuples_replaced
+        assert skeleton.edges_added == changeset.edges_added
+        assert skeleton.edges_removed == changeset.edges_removed
+        assert skeleton.version == 1
+
+        replica = build_company_database()
+        replayed = apply_record(record, replica)
+        assert replayed.tuples_added == changeset.tuples_added
+        for name in ("DEPENDENT", "DEPARTMENT", "EMPLOYEE"):
+            assert (replica.relation_key_order(name)
+                    == company_db.relation_key_order(name))
+            for key in replica.relation_key_order(name):
+                assert (dict(replica.tuple(TupleId(name, key)).values)
+                        == dict(company_db.tuple(TupleId(name, key)).values))
+        assert replica.enforce_foreign_keys is True
+
+    def test_replaced_rows_keep_their_tail_position(self, company_db):
+        from repro.datasets.company import build_company_database
+
+        # Delete + re-insert of t1 nets to a *replace*: the row moves to
+        # the store tail, interleaved with the genuinely new t9.  The
+        # record must reproduce that order, not the pre-batch one.
+        __, record = self._record_for(
+            company_db,
+            [
+                Delete(tid("DEPENDENT", "t1")),
+                Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                     "DEPENDENT_NAME": "Nora"}),
+                Insert("DEPENDENT", {"ID": "t1", "ESSN": "e2",
+                                     "DEPENDENT_NAME": "Alice II"}),
+            ],
+        )
+        appended_keys = [tuple(key) for __, key, __v, __l in
+                         record["appended"]]
+        assert appended_keys == [("t9",), ("t1",)]
+
+        replica = build_company_database()
+        apply_record(record, replica)
+        assert (replica.relation_key_order("DEPENDENT")
+                == company_db.relation_key_order("DEPENDENT"))
+        assert dict(replica.tuple(tid("DEPENDENT", "t1")).values)[
+            "ESSN"] == "e2"
+
+    def test_unknown_foreign_key_refused(self, company_db):
+        __, record = self._record_for(
+            company_db,
+            [Insert("DEPENDENT", {"ID": "t9", "ESSN": "e1",
+                                  "DEPENDENT_NAME": "Nora"})],
+        )
+        record["edges_added"][0][2] = "fk_never_existed"
+        with pytest.raises(WalError, match="unknown foreign key"):
+            changeset_from_record(record, company_db.schema)
+
+    def test_malformed_record_refused(self, company_db):
+        with pytest.raises(WalError, match="malformed WAL record"):
+            changeset_from_record({"version": 1}, company_db.schema)
+        with pytest.raises(WalError, match="malformed WAL record"):
+            changeset_from_record(
+                {"version": 1, "added": [["DEPENDENT"]], "removed": [],
+                 "updated": [], "replaced": [], "edges_added": [],
+                 "edges_removed": []},
+                company_db.schema,
+            )
+
+    def test_record_refusing_database_raises_wal_error(self, company_db):
+        __, record = self._record_for(
+            company_db, [Delete(tid("DEPENDENT", "t2"))]
+        )
+        record["removed"] = [["DEPENDENT", ["never-there"]]]
+        from repro.datasets.company import build_company_database
+
+        with pytest.raises(WalError, match="does not apply"):
+            apply_record(record, build_company_database())
+
+
+class TestMutationFormatErrorContext:
+    def test_bad_json_carries_location(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('[\n  {"op": "delete",\n')
+        with pytest.raises(MutationFormatError) as info:
+            load_mutation_batches(str(path))
+        context = info.value.context
+        assert context["path"] == str(path)
+        assert context["line"] == 3
+        assert isinstance(context["column"], int)
+        assert isinstance(context["offset"], int)
+        assert str(path) in str(info.value)
+
+    def test_bad_shape_carries_batch_index(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text('[[{"op": "delete", "relation": "DEPENDENT", '
+                        '"key": ["t1"]}], "not-a-batch"]')
+        with pytest.raises(MutationFormatError) as info:
+            load_mutation_batches(str(path))
+        assert info.value.context["batch"] == 1
+        assert info.value.context["path"] == str(path)
+
+    def test_bad_record_carries_batch_and_record_indices(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(
+            '[[{"op": "delete", "relation": "DEPENDENT", "key": ["t1"]}],'
+            ' [{"op": "delete", "relation": "DEPENDENT", "key": ["t2"]},'
+            '  {"op": "update", "relation": "DEPARTMENT"}]]'
+        )
+        with pytest.raises(MutationFormatError) as info:
+            load_mutation_batches(str(path))
+        context = info.value.context
+        assert context["batch"] == 1
+        assert context["record"] == 1
+        assert context["path"] == str(path)
+
+    def test_pickle_round_trip_preserves_context(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(MutationFormatError) as info:
+            load_mutation_batches(str(path))
+        clone = pickle.loads(pickle.dumps(info.value))
+        assert type(clone) is MutationFormatError
+        assert clone.context == info.value.context
+        assert str(clone) == str(info.value)

@@ -322,3 +322,166 @@ class TestObservability:
         assert searcher is not None
         assert searcher.last_obs == []
         assert engine.last_trace is None
+
+
+class TestSelfHealing:
+    """Dead workers respawn; a doubly-failed chunk degrades to
+    in-process execution — the batch completes bit-identically."""
+
+    def _fresh_engine(self):
+        # No coordinator answer cache: every batch must reach the pool.
+        return KeywordSearchEngine(
+            planted_database(), shards=3, result_cache_entries=0
+        )
+
+    def test_killed_worker_respawns_between_batches(self):
+        import os
+        import signal
+
+        engine = self._fresh_engine()
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+            searcher = engine._searcher
+            victim, __ = searcher._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+
+            healed = rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            assert healed == serial
+            assert searcher.respawns == 1
+            assert searcher.inline_chunks == 0
+            # the replacement keeps serving
+            assert rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            ) == serial
+            assert searcher.respawns == 1
+        finally:
+            engine.close_pool()
+
+    def test_worker_killed_mid_chunk_retries_once(self, tmp_path):
+        """A fault-armed worker SIGKILLs itself mid-chunk; the respawned
+        worker (same snapshot generation) re-runs the chunk and the
+        batch result is bit-identical to serial."""
+        import os
+
+        from repro.durable import fault
+
+        sentinel = str(tmp_path / "pool.once")
+        fault.configure(f"pool.chunk:kill:once={sentinel}")
+        engine = self._fresh_engine()
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            parallel = rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            searcher = engine._searcher
+            assert parallel == serial
+            assert searcher.respawns == 1
+            assert searcher.inline_chunks == 0
+            assert os.path.exists(sentinel)  # the fault really fired
+        finally:
+            fault.reset()
+            engine.close_pool()
+
+    def test_failed_respawn_degrades_to_inline_execution(self):
+        import os
+        import signal
+
+        engine = self._fresh_engine()
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+            searcher = engine._searcher
+            victim, __ = searcher._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+
+            def no_spawn(index, arena):
+                raise OSError("no processes left")
+
+            searcher._spawn_worker = no_spawn
+            degraded = rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            )
+            assert degraded == serial
+            assert searcher.respawns == 1
+            assert searcher.inline_chunks == 1
+        finally:
+            engine.close_pool()
+
+    def test_respawn_metrics(self):
+        import os
+        import signal
+
+        from repro.obs import metrics as obs_metrics
+
+        engine = self._fresh_engine()
+        try:
+            engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            searcher = engine._searcher
+            victim, __ = searcher._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            obs_metrics.set_enabled(True)
+            before = obs_metrics.REGISTRY.snapshot()
+            engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            delta = obs_metrics.diff_snapshots(
+                before, obs_metrics.REGISTRY.snapshot()
+            )
+            assert delta["counters"].get("pool.respawns") == 1
+            assert "pool.inline_chunks" not in delta["counters"]
+        finally:
+            engine.close_pool()
+
+
+class TestHotReopen:
+    def test_reopen_swaps_every_worker_without_rebuild(self, tmp_path):
+        import os
+
+        engine = KeywordSearchEngine(
+            planted_database(), shards=3, result_cache_entries=0
+        )
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+            searcher = engine._searcher
+            workers_before = [p.pid for p, __ in searcher._workers]
+
+            # Re-home the pool onto an equal snapshot at a new path.
+            path = str(tmp_path / "rehome.snap")
+            engine.save(path)
+            assert searcher.reopen(path) == 2
+            assert [p.pid for p, __ in searcher._workers] == workers_before
+            assert rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            ) == serial
+        finally:
+            engine.close_pool()
+
+    def test_reopen_respawns_a_dead_worker(self, tmp_path):
+        import os
+        import signal
+
+        engine = KeywordSearchEngine(
+            planted_database(), shards=3, result_cache_entries=0
+        )
+        try:
+            serial = rendered(engine.search_batch(QUERIES, limits=LIMITS))
+            rendered(engine.search_batch(QUERIES, limits=LIMITS, jobs=2))
+            searcher = engine._searcher
+            victim, __ = searcher._workers[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+
+            path = str(tmp_path / "rehome.snap")
+            engine.save(path)
+            assert searcher.reopen(path) == 2  # one swapped, one respawned
+            assert searcher.respawns == 1
+            assert rendered(
+                engine.search_batch(QUERIES, limits=LIMITS, jobs=2)
+            ) == serial
+        finally:
+            engine.close_pool()

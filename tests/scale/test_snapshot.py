@@ -199,6 +199,48 @@ class TestLiveUpdatesOnRestoredEngine:
                     oracle.search(query, limits=LIMITS, semantics=semantics)
                 )
 
+    def test_many_appended_nodes_keep_stored_edges_reachable(self, saved):
+        """Regression: the lazy edge-payload owner lookup binary-searched
+        the *live* interning table, which appends grow past the stored
+        CSR offsets — enough inserted rows pushed the search off the end
+        of the mmap'd offsets array (IndexError) on the first query that
+        walked an uncached stored edge."""
+        engine, path, __ = saved
+        restored = KeywordSearchEngine.open(path, result_cache_entries=0)
+        oracle_db = planted_database()
+        from repro.live.changes import apply_to_database
+
+        employees = [t.tid.key[0]
+                     for t in restored.database.tuples("EMPLOYEE")]
+        for wave in range(3):
+            mutations = [
+                Insert("DEPENDENT",
+                       {"ID": f"grow{wave}-{slot}",
+                        "ESSN": employees[(wave + slot) % len(employees)],
+                        "DEPENDENT_NAME": ("kwbeta", "kwalpha")[slot % 2]})
+                for slot in range(5)
+            ]
+            restored.apply(mutations)
+            apply_to_database(oracle_db, mutations)
+
+            # Every stored payload must stay reachable at every growth
+            # step — entries owned by the snapshot's last rows are the
+            # ones whose owner search walked off the end (whether a
+            # given append count trips it is arithmetic on the midpoint
+            # sequence, so probe after each wave).
+            frozen = restored.traversal_cache.frozen()
+            frozen._edge_data._cache.clear()
+            for entry in range(len(frozen._targets)):
+                payload = frozen._edge_data[entry]
+                assert payload["foreign_key"] is not None
+                assert payload["referencing"] is not None
+
+        oracle = KeywordSearchEngine(oracle_db, result_cache_entries=0)
+        for query in QUERIES:
+            assert rendered(
+                restored.search(query, limits=LIMITS)
+            ) == rendered(oracle.search(query, limits=LIMITS))
+
 
 class TestIntegrity:
     def test_not_a_snapshot(self, tmp_path):
