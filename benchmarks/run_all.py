@@ -8,7 +8,7 @@ PR.  The schema is documented in EXPERIMENTS.md ("Benchmark report
 schema"); in short::
 
     {
-      "schema": "repro-bench-report/4",
+      "schema": "repro-bench-report/5",
       "quick": true,
       "python": "3.11.7",
       "vector_backend": "numpy",     # or "stdlib" (no numpy / REPRO_NO_VECTOR)
@@ -16,6 +16,10 @@ schema"); in short::
       "durability": {                # bench_durability WAL gates
         "wal_overhead_pct": 4.10,
         "reopen_speedup": 6.4
+      },
+      "planner": {                   # bench_planner adaptive-planning gates
+        "enum_reduction_pct": 60.1,
+        "makespan_ratio": 1.44
       },
       "benchmarks": [
         {"name": "bench_csr_kernel", "exit_code": 0, "status": "ok",
@@ -34,7 +38,7 @@ exit codes.
 Run::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
-    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr9.json
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_pr10.json
 """
 
 import argparse
@@ -51,6 +55,10 @@ _SPEEDUP = re.compile(r"(\d+(?:\.\d+)?)x\b")
 _OBS_OVERHEAD = re.compile(r"^obs-overhead-pct: (\d+(?:\.\d+)?)$", re.M)
 _WAL_OVERHEAD = re.compile(r"^wal-overhead-pct: (\d+(?:\.\d+)?)$", re.M)
 _REOPEN_SPEEDUP = re.compile(r"^reopen-speedup: (\d+(?:\.\d+)?)$", re.M)
+_ENUM_REDUCTION = re.compile(
+    r"^planner-enum-reduction-pct: (-?\d+(?:\.\d+)?)$", re.M)
+_MAKESPAN_RATIO = re.compile(
+    r"^planner-makespan-ratio: (\d+(?:\.\d+)?)$", re.M)
 
 
 def discover(directory: Path) -> list[Path]:
@@ -129,9 +137,9 @@ def main(argv=None, out=None) -> int:
                         help="run every bench's --quick CI gate")
     parser.add_argument("--full", action="store_true",
                         help="run the full sweeps instead of --quick")
-    parser.add_argument("--out", metavar="FILE", default="BENCH_pr9.json",
+    parser.add_argument("--out", metavar="FILE", default="BENCH_pr10.json",
                         help="where to write the JSON report "
-                             "(default BENCH_pr9.json)")
+                             "(default BENCH_pr10.json)")
     args = parser.parse_args(argv)
     quick = args.quick or not args.full
 
@@ -156,11 +164,22 @@ def main(argv=None, out=None) -> int:
 
     obs_overhead = None
     durability = None
+    planner = None
     for result in results:
         if result["name"] == "bench_obs":
             match = _OBS_OVERHEAD.search(result["output"])
             if match:
                 obs_overhead = float(match.group(1))
+        if result["name"] == "bench_planner":
+            reduction = _ENUM_REDUCTION.search(result["output"])
+            ratio = _MAKESPAN_RATIO.search(result["output"])
+            if reduction or ratio:
+                planner = {
+                    "enum_reduction_pct":
+                        float(reduction.group(1)) if reduction else None,
+                    "makespan_ratio":
+                        float(ratio.group(1)) if ratio else None,
+                }
         if result["name"] == "bench_durability":
             overhead = _WAL_OVERHEAD.search(result["output"])
             speedup = _REOPEN_SPEEDUP.search(result["output"])
@@ -173,12 +192,13 @@ def main(argv=None, out=None) -> int:
                 }
 
     report = {
-        "schema": "repro-bench-report/4",
+        "schema": "repro-bench-report/5",
         "quick": quick,
         "python": platform.python_version(),
         "vector_backend": BACKEND.name,
         "obs": obs_overhead,
         "durability": durability,
+        "planner": planner,
         "benchmarks": results,
         "lint": lint,
         "failures": failures,

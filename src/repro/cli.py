@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro search "Smith XML" --analyze    # EXPLAIN ANALYZE table
     python -m repro search "Smith XML" --json --trace trace.jsonl
     python -m repro stats                           # metrics-registry report
+    python -m repro plan "Smith XML"                # costed plan, no execution
     python -m repro search "Smith XML" --snapshot db.snap --wal \\
         --mutations updates.json                    # durable live updates
     python -m repro wal info db.snap                # WAL header + records
@@ -131,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force the pure-stdlib CSR kernels even "
                                 "when numpy is available (answers are "
                                 "bit-identical, only slower)")
+    execution.add_argument("--static-plan", action="store_true",
+                           help="disable the adaptive cost-based planner: "
+                                "enumeration units drain in plan order and "
+                                "batches chunk round-robin (answers are "
+                                "bit-identical either way; env "
+                                "REPRO_STATIC_PLAN=1 does the same globally)")
     observability = search.add_argument_group(
         "observability",
         "query spans, metrics and EXPLAIN ANALYZE (see also 'repro stats'); "
@@ -242,6 +249,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partition the compiled graph into K shards")
     stats.add_argument("--core", choices=("csr", "fast", "reference"),
                        default=None, help="traversal kernel")
+
+    plan = commands.add_parser(
+        "plan",
+        help="show the costed query plan without executing it",
+        description="Compiles QUERY into the plan IR, annotates every "
+        "enumeration source with the planner's cost estimates (posting "
+        "lengths x graph fanout, calibrated by past runs when opened from "
+        "a snapshot) and prints the plan — nothing is executed.",
+    )
+    plan.add_argument("query", help="whitespace-separated keywords")
+    plan.add_argument("--semantics", choices=("and", "or"), default="and")
+    plan.add_argument("--top", type=int, default=None, help="top-k cut")
+    plan.add_argument("--shards", type=int, default=None, metavar="K",
+                      help="partition the compiled graph into K shards")
+    plan.add_argument("--core", choices=("csr", "fast", "reference"),
+                      default=None, help="traversal kernel")
+    plan.add_argument("--snapshot", metavar="FILE", default=None,
+                      help="open the engine (and its persisted calibration "
+                           "table) from a snapshot instead of --db")
+    plan.add_argument("--static-plan", action="store_true",
+                      help="show the uncosted static plan")
 
     commands.add_parser(
         "reproduce", help="regenerate every table, figure and claim"
@@ -377,6 +405,7 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             core="reference" if args.slow else args.core,
             shards=args.shards,
             vector=False if args.no_vector else None,
+            adaptive=False if args.static_plan else None,
         )
         if args.wal is not None and engine.wal is not None:
             replayed = engine.version - engine.wal.base_version
@@ -394,6 +423,7 @@ def _cmd_search(args: argparse.Namespace, out) -> int:
             core=args.core,
             shards=args.shards,
             vector=False if args.no_vector else None,
+            adaptive=False if args.static_plan else None,
         )
     ranker = _RANKERS[args.ranker]()
     limits = SearchLimits(max_rdb_length=args.max_rdb)
@@ -453,6 +483,11 @@ def _search_analyze(engine, args, ranker, limits, out) -> int:
               file=out)
     else:
         print(report.render(), file=out)
+        error = report.estimate_error()
+        if error is not None:
+            print(f"# planner: estimated {error['estimated']:g} candidates, "
+                  f"observed {error['actual']} "
+                  f"(error {error['error_pct']:+g}%)", file=out)
     if args.trace and engine.save_trace(args.trace):
         print(f"# trace: {args.trace}", file=out)
     return 0 if report.results else 1
@@ -726,6 +761,43 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace, out) -> int:
+    """Compile and cost QUERY, print the annotated plan, execute nothing."""
+    from repro.errors import QueryError
+
+    adaptive = False if args.static_plan else None
+    if args.snapshot:
+        if args.db:
+            print("--snapshot and --db are mutually exclusive", file=out)
+            return 2
+        engine = KeywordSearchEngine.open(
+            args.snapshot, core=args.core, shards=args.shards,
+            adaptive=adaptive,
+        )
+    else:
+        engine = KeywordSearchEngine(
+            _load_database(args.db), core=args.core, shards=args.shards,
+            adaptive=adaptive,
+        )
+    try:
+        plan, __ = engine._plan(args.query, args.top, args.semantics)
+    except QueryError as error:
+        print(f"cannot plan: {error}", file=out)
+        return 1
+    print(plan.describe(), file=out)
+    if engine.adaptive:
+        calibrated = len(engine.calibration)
+        source = (f"{calibrated} calibrated kind(s)" if calibrated
+                  else "uncalibrated defaults")
+        print(f"# planner: adaptive (cost model over posting lengths x "
+              f"graph fanout, {source})", file=out)
+    else:
+        print("# planner: static (plan-order enumeration; "
+              "set no flag and unset REPRO_STATIC_PLAN for adaptive)",
+              file=out)
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace, out) -> int:
     from repro.experiments import (
         figure1,
@@ -821,6 +893,7 @@ _COMMANDS = {
     "wal": _cmd_wal,
     "lint": _cmd_lint,
     "stats": _cmd_stats,
+    "plan": _cmd_plan,
     "reproduce": _cmd_reproduce,
     "analyze": _cmd_analyze,
     "mtjnt": _cmd_mtjnt,

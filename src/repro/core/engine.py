@@ -63,6 +63,7 @@ from repro.live.maintain import affected_tuples, apply_changeset
 from repro.live.result_cache import CacheEntry, ResultCache
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.planner.cost import CalibrationTable, CostModel, resolve_adaptive
 from repro.relational.database import Database
 from repro.relational.index import InvertedIndex
 
@@ -84,6 +85,7 @@ class KeywordSearchEngine:
         core: Optional[str] = None,
         shards: Optional[int] = None,
         vector: Optional[bool] = None,
+        adaptive: Optional[bool] = None,
     ) -> None:
         self._wire(
             database=database,
@@ -97,6 +99,7 @@ class KeywordSearchEngine:
             core=core,
             shards=shards,
             vector=vector,
+            adaptive=adaptive,
             version=0,
         )
 
@@ -115,6 +118,7 @@ class KeywordSearchEngine:
         shards: Optional[int],
         version: int,
         vector: Optional[bool] = None,
+        adaptive: Optional[bool] = None,
     ) -> None:
         """Shared field wiring of cold construction and snapshot restore."""
         self.database = database
@@ -150,6 +154,21 @@ class KeywordSearchEngine:
         #: tuples provably lie in different connected components.
         self.shards = shards or None
         self._shard_plan = None
+        #: Cost-based adaptive planning (see :mod:`repro.planner`):
+        #: pushdown enumeration drains units by admissible distance
+        #: bounds, plans carry cost estimates, batch dispatch routes by
+        #: predicted cost, and observed stats recalibrate the estimates.
+        #: Answers are bit-identical either way; ``adaptive=False`` (or
+        #: the ``REPRO_STATIC_PLAN`` environment variable) restores the
+        #: static order as escape hatch and differential oracle.
+        self.adaptive = resolve_adaptive(adaptive)
+        #: Learned per-kind candidate-count correction factors; attached
+        #: to the snapshot's stats section on :meth:`save` and restored
+        #: lazily on :meth:`open`.  Lives on the engine (not on
+        #: ``statistics``) so it survives live updates.
+        self.calibration = CalibrationTable()
+        self._calibration_loader = None
+        self._cost_model = None
         #: Counters of the most recent search/stream/batch call (the
         #: CLI's ``--top`` report and the pipeline benchmark read them).
         self.last_stats = ExecutionStats()
@@ -207,6 +226,7 @@ class KeywordSearchEngine:
         shards: Optional[int] = None,
         version: int = 0,
         vector: Optional[bool] = None,
+        adaptive: Optional[bool] = None,
     ) -> "KeywordSearchEngine":
         """Assemble an engine from restored structures (snapshot path)."""
         engine = cls.__new__(cls)
@@ -223,6 +243,7 @@ class KeywordSearchEngine:
             shards=shards,
             version=version,
             vector=vector,
+            adaptive=adaptive,
         )
         return engine
 
@@ -249,7 +270,89 @@ class KeywordSearchEngine:
         if semantics not in ("and", "or"):
             raise QueryError("semantics must be 'and' or 'or'", got=semantics)
         matches = self.match(query)
-        return plan_query(matches, semantics=semantics, top_k=top_k), matches
+        plan = plan_query(matches, semantics=semantics, top_k=top_k)
+        if self.adaptive and plan.sources:
+            # Advisory annotation only: estimates order/route/report,
+            # never filter — plan shape and answers are untouched.
+            plan = self._ensure_cost_model().annotate(plan)
+        return plan, matches
+
+    def _ensure_cost_model(self) -> CostModel:
+        """The engine's cost model, with persisted calibration folded in.
+
+        A snapshot-opened engine defers reading the stored calibration
+        payload until the first estimate needs it, mirroring how every
+        other snapshot section restores lazily.
+        """
+        if self._calibration_loader is not None:
+            loader, self._calibration_loader = self._calibration_loader, None
+            payload = loader()
+            if payload:
+                self.calibration.load(payload)
+        if self._cost_model is None:
+            self._cost_model = CostModel(
+                index=self.index,
+                statistics=lambda: self.statistics,
+                calibration=self.calibration,
+            )
+        return self._cost_model
+
+    def query_cost(self, query: str, semantics: str = "and") -> float:
+        """Predicted execution cost of one query (a routing weight).
+
+        Computed from posting lengths, fan-outs and calibration alone —
+        no matching, no enumeration — so batch dispatch can weigh a
+        query before any work runs.  Sharded engines additionally scale
+        by the routed shards' share of the graph.
+        """
+        try:
+            keywords = parse_query(query)
+        except QueryError:
+            return 1.0
+        cost = self._ensure_cost_model().query_cost(keywords, semantics)
+        router = self.router()
+        if router is not None:
+            cost *= router.cost_weight(keywords, semantics)
+        return cost
+
+    def _observe_run(self, plan: QueryPlan, stats: ExecutionStats) -> None:
+        """Fold one run's observed candidate count into the calibration.
+
+        Scan estimates are exact (units == candidates), so the scan
+        share is subtracted and the structural remainder attributed to
+        the pair/network estimates — exactly when one structural kind
+        ran, proportionally when both did (OR plans over >= 3 populated
+        keywords).  Calibration only reshapes *future* estimates;
+        answers never depend on it.
+        """
+        estimates = plan.estimates
+        if not estimates:
+            return
+        structural = [
+            estimate for estimate in estimates if estimate.kind != "scan"
+        ]
+        if not structural:
+            return
+        scan_predicted = sum(
+            estimate.est_candidates
+            for estimate in estimates
+            if estimate.kind == "scan"
+        )
+        observed = max(0.0, stats.candidates - scan_predicted)
+        predicted = sum(estimate.est_candidates for estimate in structural)
+        if predicted <= 0.0:
+            return
+        kinds = sorted({estimate.kind for estimate in structural})
+        if len(kinds) == 1:
+            self.calibration.observe(kinds[0], predicted, observed)
+        else:
+            for estimate in structural:
+                share = estimate.est_candidates / predicted
+                self.calibration.observe(
+                    estimate.kind, estimate.est_candidates, observed * share
+                )
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.inc("planner.calibrations")
 
     @property
     def statistics(self):
@@ -302,6 +405,7 @@ class KeywordSearchEngine:
             cache=self.traversal_cache,
             shared=shared,
             shard_plan=self.shard_plan,
+            adaptive=self.adaptive,
         )
 
     # ------------------------------------------------------------------
@@ -430,6 +534,8 @@ class KeywordSearchEngine:
             executor = self._executor()
             results = executor.run(plan, ranker, limits, pushdown=pushdown)
             self.last_stats = executor.stats
+            if self.adaptive:
+                self._observe_run(plan, executor.stats)
             if key is not None and self.version == version:
                 self._cache_store(key, ranker, matches, results, executor.stats)
             return results
@@ -514,6 +620,10 @@ class KeywordSearchEngine:
                 # span totals land on this query's trace, not ambient.
                 stream.close()
                 self.last_stats = executor.stats
+            # Only a fully consumed stream observes: abandoning it
+            # mid-way would record a consumer-dependent partial count.
+            if self.adaptive:
+                self._observe_run(plan, executor.stats)
             if collected is not None and self.version == version:
                 self._cache_store(key, ranker, matches, collected, executor.stats)
         finally:
@@ -622,6 +732,8 @@ class KeywordSearchEngine:
                             plan, ranker, limits, pushdown=pushdown
                         )
                         stats.merge(executor.stats)
+                        if self.adaptive:
+                            self._observe_run(plan, executor.stats)
                         if key is not None and self.version == version:
                             self._cache_store(
                                 key, ranker, matches,
@@ -988,6 +1100,7 @@ class KeywordSearchEngine:
             core=self.core,
             shards=self.shards,
             result_cache_entries=self.result_cache.max_entries,
+            adaptive=self.adaptive,
         )
         self._searcher_key = key
         return self._searcher

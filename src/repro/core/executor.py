@@ -64,6 +64,7 @@ from repro.core.search import (
     _keyword_map,
 )
 from repro.graph.csr import (
+    _UNREACHABLE,
     csr_enumerate_joining_trees,
     csr_enumerate_simple_paths,
     resolve_core,
@@ -81,6 +82,7 @@ from repro.graph.traversal import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.planner.cost import resolve_adaptive
 from repro.relational.database import TupleId
 
 __all__ = [
@@ -116,12 +118,15 @@ class ExecutionStats:
     whether early termination was active.  ``shard_skips`` counts
     enumeration units (tuple pairs, network assignments) a shard plan
     proved cross-component and never set up — the sharded serving win.
+    ``pruned`` counts units the adaptive planner proved empty from
+    distance bounds and likewise never set up.
     """
 
     candidates: int = 0
     emitted: int = 0
     pushdown: bool = False
     shard_skips: int = 0
+    pruned: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another run's counters in (batch aggregation).
@@ -135,6 +140,7 @@ class ExecutionStats:
         self.emitted += other.emitted
         self.pushdown = self.pushdown or other.pushdown
         self.shard_skips += other.shard_skips
+        self.pruned += other.pruned
 
     def to_dict(self) -> dict:
         """JSON-safe view (CLI ``--json``, trace summaries)."""
@@ -143,6 +149,7 @@ class ExecutionStats:
             "emitted": self.emitted,
             "pushdown": self.pushdown,
             "shard_skips": self.shard_skips,
+            "pruned": self.pruned,
         }
 
     @classmethod
@@ -152,6 +159,7 @@ class ExecutionStats:
             emitted=int(payload.get("emitted", 0)),
             pushdown=bool(payload.get("pushdown", False)),
             shard_skips=int(payload.get("shard_skips", 0)),
+            pruned=int(payload.get("pruned", 0)),
         )
 
 
@@ -180,6 +188,13 @@ class SharedEnumerations:
 
     def __len__(self) -> int:
         return len(self._streams)
+
+
+#: Heap-entry marker for an enumeration unit whose stream has not been
+#: built yet (adaptive pushdown): the entry carries an admissible
+#: distance bound and the unit signature instead of real items.  Never
+#: compared — the unique unit index before it settles every heap order.
+_LAZY = object()
 
 
 def _op_label(op) -> str:
@@ -213,6 +228,7 @@ class Executor:
         cache: Optional[TraversalCache] = None,
         shared: Optional[SharedEnumerations] = None,
         shard_plan=None,
+        adaptive: Optional[bool] = None,
     ) -> None:
         self.data_graph = data_graph
         #: Traversal kernel: ``csr`` (compiled integer kernels, the
@@ -233,6 +249,15 @@ class Executor:
         #: additionally run the CSR kernels on the shard's own compiled
         #: graph, whose scratch state is O(shard) instead of O(graph).
         self.shard_plan = shard_plan
+        #: Selectivity-ordered pushdown: enumeration units enter the
+        #: state heaps on admissible BFS distance bounds (streams built
+        #: lazily, provably-empty units skipped) instead of eagerly
+        #: pulling every unit's first item.  Answers are bit-identical
+        #: either way — the bounds are admissible, so emission only gets
+        #: cheaper.  Resolved here so ``REPRO_STATIC_PLAN`` freezes the
+        #: whole process; requires the compiled ``csr`` core's cheap
+        #: distance rows, other cores keep the static order.
+        self.adaptive = resolve_adaptive(adaptive)
         self.stats = ExecutionStats()
         #: Live span of the run in flight (``None`` while tracing is
         #: off or between runs); the mode-specific emitters hang their
@@ -295,6 +320,94 @@ class Executor:
             ]
             if len(nodes) > 1:
                 frozen.distances_block(nodes)
+
+    # ------------------------------------------------------------------
+    # adaptive bounds (selectivity-ordered pushdown, csr core only)
+    # ------------------------------------------------------------------
+    def _unit_distance(self, source, target, shard, rows) -> Optional[int]:
+        """Admissible lower bound on the RDB length of any simple path
+        between two tuples: their BFS distance in the compiled graph
+        (rows are warmed by :meth:`_prefetch_distances` and memoised in
+        ``rows`` per target).  ``None`` means no bound is available
+        (tuple not interned) and the caller must fall back to eager
+        static setup; :data:`_UNREACHABLE` or more proves the pair
+        yields nothing.
+        """
+        frozen = self._unit_cache(shard).frozen()
+        row_key = (shard, target)
+        row = rows.get(row_key)
+        if row is None:
+            node = frozen.node_of(target)
+            if node is None:
+                return None
+            row = frozen.distances(node)
+            rows[row_key] = row
+        source_node = frozen.node_of(source)
+        if source_node is None:
+            return None
+        if source_node >= len(row):
+            return _UNREACHABLE
+        return row[source_node]
+
+    def _network_bound(self, required, shard, rows) -> Optional[int]:
+        """Admissible lower bound on the tuple count of any joining tree
+        over ``required``: a connected tree must contain a path between
+        its two farthest required tuples, so it holds at least
+        ``max(len(required), max pairwise BFS distance + 1)`` tuples.
+        ``None`` → fall back to eager setup; :data:`_UNREACHABLE` or
+        more → provably no tree exists.
+        """
+        frozen = self._unit_cache(shard).frozen()
+        nodes = []
+        for tid in required:
+            node = frozen.node_of(tid)
+            if node is None:
+                return None
+            nodes.append((tid, node))
+        bound = len(required)
+        for position, (tid, node) in enumerate(nodes[:-1]):
+            row_key = (shard, tid)
+            row = rows.get(row_key)
+            if row is None:
+                row = frozen.distances(node)
+                rows[row_key] = row
+            for __, other in nodes[position + 1:]:
+                if other >= len(row):
+                    return _UNREACHABLE
+                distance = row[other]
+                if distance >= _UNREACHABLE:
+                    return _UNREACHABLE
+                if distance + 1 > bound:
+                    bound = distance + 1
+        return bound
+
+    def _note_adaptive(self, heap, pruned: int) -> None:
+        """Planner metrics for one adaptive heap build (metered runs).
+
+        ``planner.reorders`` counts units whose drain rank differs from
+        their static plan position — how much the distance bounds
+        actually reshuffled enumeration; ``planner.pruned_units`` counts
+        units proven empty and never set up.
+        """
+        if not obs_metrics.ENABLED:
+            return
+        registry = obs_metrics.REGISTRY
+        if pruned:
+            registry.inc("planner.pruned_units", pruned)
+        if len(heap) > 1:
+            drained = [
+                entry[1]
+                for entry in sorted(
+                    heap, key=lambda entry: (entry[0], entry[1])
+                )
+            ]
+            moved = sum(
+                1
+                for drain, plan_order in zip(drained, sorted(drained))
+                if drain != plan_order
+            )
+            if moved:
+                registry.inc("planner.reorders", moved)
 
     # ------------------------------------------------------------------
     # entry points
@@ -390,6 +503,7 @@ class Executor:
                     candidates=stats.candidates,
                     emitted=stats.emitted,
                     shard_skips=stats.shard_skips,
+                    pruned=stats.pruned,
                     cache_hits=self.cache.hits - cache_hits,
                     cache_misses=self.cache.misses - cache_misses,
                 )
@@ -783,6 +897,17 @@ class _PairState:
     only re-peeked when it reaches the top again — enumeration never
     runs one item past what the emitted results needed, so a budget
     error beyond the top-k is never touched.
+
+    Under the adaptive planner (csr core) the heap is built without
+    pulling anything: each pair enters as a :data:`_LAZY` entry on its
+    BFS distance — an admissible lower bound on its first path length —
+    and its stream is only created when the entry reaches the top.
+    Pairs whose distance exceeds ``max_rdb_length`` (incl. disconnected
+    pairs) are provably empty and skipped outright.  Because every
+    bound is admissible and placeholder re-entry is unchanged, the
+    emitted answers, order and scores are bit-identical to the static
+    build — cheap pairs just reach the top (and the score lower bound)
+    without the expensive pairs ever running their first DFS.
     """
 
     def __init__(self, executor: Executor, plan, op, ranker, limits) -> None:
@@ -807,6 +932,10 @@ class _PairState:
             from repro.scale.shards import CROSS_SHARD
 
             executor = self._executor
+            adaptive = executor.adaptive and executor.core == "csr"
+            limits = self._limits
+            rows: dict = {}
+            pruned = 0
             heap = []
             first, second = self._matches
             index = 0
@@ -823,11 +952,29 @@ class _PairState:
                         executor.stats.shard_skips += 1
                         index += 1
                         continue
+                    if adaptive:
+                        bound = executor._unit_distance(
+                            source, target, shard, rows
+                        )
+                        if bound is not None:
+                            if bound > limits.max_rdb_length:
+                                # No path fits the length budget: eager
+                                # setup would build a stream that yields
+                                # nothing (and can raise nothing).
+                                executor.stats.pruned += 1
+                                pruned += 1
+                                index += 1
+                                continue
+                            heap.append(
+                                (bound, index, _LAZY, (source, target, shard))
+                            )
+                            index += 1
+                            continue
                     stream = iter(
                         executor._path_stream(
                             source,
                             target,
-                            self._limits,
+                            limits,
                             cache=executor._unit_cache(shard),
                         )
                     )
@@ -837,6 +984,8 @@ class _PairState:
                     index += 1
             heapq.heapify(heap)
             self._heap = heap
+            if adaptive:
+                executor._note_adaptive(heap, pruned)
         return self._heap
 
     def bound(self) -> Optional[tuple]:
@@ -854,7 +1003,24 @@ class _PairState:
             return answer, score
         heap = self._ensure_heap()
         length, index, steps, stream = heapq.heappop(heap)
-        if steps is None:  # placeholder: re-peek the stream now
+        if steps is _LAZY:  # adaptive: build the stream at first top
+            source, target, shard = stream
+            executor = self._executor
+            stream = iter(
+                executor._path_stream(
+                    source,
+                    target,
+                    self._limits,
+                    cache=executor._unit_cache(shard),
+                )
+            )
+            steps = next(stream, None)
+            if steps is None:
+                return None
+            if len(steps) > length:
+                heapq.heappush(heap, (len(steps), index, steps, stream))
+                return None
+        elif steps is None:  # placeholder: re-peek the stream now
             steps = next(stream, None)
             if steps is None:
                 return None
@@ -879,15 +1045,27 @@ class _NetworkState:
     a network over ``s`` tuples has RDB length ``s - 1``, which drives
     the bound.  Consumed streams re-enter as placeholders (see
     :class:`_PairState`) so growth beyond the emitted top-k never runs.
+
+    Under the adaptive planner (csr core) assignments enter the heap
+    lazily on an admissible size bound — ``max(len(required), max
+    pairwise BFS distance + 1)`` — and grow their first tree only when
+    they reach the top; assignments whose bound exceeds ``max_tuples``
+    (incl. tuples in different components) are provably empty and
+    skipped.  Bit-identical to the static build for the same reason as
+    pair paths.
     """
 
     def __init__(self, executor: Executor, plan, op, ranker, limits) -> None:
         self._executor = executor
         self._ranker = ranker
+        self._limits = limits
         self._coverage_major = plan.merge.coverage_major
         self._prefix = (-len(op.indices),) if self._coverage_major else ()
         from repro.scale.shards import CROSS_SHARD
 
+        adaptive = executor.adaptive and executor.core == "csr"
+        rows: dict = {}
+        pruned = 0
         self._seen: set[tuple] = set()
         heap = []
         for index, (keyword_tuples, required) in enumerate(
@@ -897,6 +1075,20 @@ class _NetworkState:
             if shard is CROSS_SHARD:  # index keeps counting: tie-breaks stay global
                 executor.stats.shard_skips += 1
                 continue
+            if adaptive:
+                bound = executor._network_bound(required, shard, rows)
+                if bound is not None:
+                    if bound > limits.max_tuples:
+                        # Every joining tree over this assignment needs
+                        # more tuples than the budget allows (or spans
+                        # components): growth would yield nothing.
+                        executor.stats.pruned += 1
+                        pruned += 1
+                        continue
+                    heap.append(
+                        (bound, index, _LAZY, (required, shard), keyword_tuples)
+                    )
+                    continue
             stream = iter(
                 executor._tree_stream(
                     required, limits, cache=executor._unit_cache(shard)
@@ -907,6 +1099,8 @@ class _NetworkState:
                 heap.append((len(tuple_set), index, tuple_set, stream, keyword_tuples))
         heapq.heapify(heap)
         self._heap = heap
+        if adaptive:
+            executor._note_adaptive(heap, pruned)
 
     def bound(self) -> Optional[tuple]:
         if not self._heap:
@@ -915,7 +1109,24 @@ class _NetworkState:
 
     def pull(self) -> Optional[tuple]:
         size, index, tuple_set, stream, keyword_tuples = heapq.heappop(self._heap)
-        if tuple_set is None:  # placeholder: re-peek the stream now
+        if tuple_set is _LAZY:  # adaptive: build the stream at first top
+            required, shard = stream
+            executor = self._executor
+            stream = iter(
+                executor._tree_stream(
+                    required, self._limits, cache=executor._unit_cache(shard)
+                )
+            )
+            tuple_set = next(stream, None)
+            if tuple_set is None:
+                return None
+            if len(tuple_set) > size:
+                heapq.heappush(
+                    self._heap,
+                    (len(tuple_set), index, tuple_set, stream, keyword_tuples),
+                )
+                return None
+        elif tuple_set is None:  # placeholder: re-peek the stream now
             tuple_set = next(stream, None)
             if tuple_set is None:
                 return None

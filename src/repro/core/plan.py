@@ -138,6 +138,11 @@ class QueryPlan:
     sources: tuple[PlanSource, ...]
     merge: Merge
     cut: Cut
+    #: Planner cost estimates aligned with ``sources`` by position
+    #: (``repro.planner.cost.UnitEstimate``).  Advisory only: attached
+    #: post-hoc by an adaptive engine, empty under the static planner,
+    #: and never consulted for answer correctness.
+    estimates: tuple = ()
 
     @property
     def is_empty(self) -> bool:
@@ -174,17 +179,30 @@ class QueryPlan:
             + ", ".join(str(len(match)) for match in self.matches)
             + " tuples"
         ]
-        for source in self.sources:
+        for position, source in enumerate(self.sources):
             if isinstance(source, SingleScan):
-                lines.append(f"scan       singles over matches {source.indices}")
+                line = f"scan       singles over matches {source.indices}"
             elif isinstance(source, PairPaths):
                 singles = "+singles" if source.include_single_tuples else ""
-                lines.append(
+                line = (
                     f"paths      matches ({source.first}, {source.second})"
                     f" {singles}".rstrip()
                 )
             else:
-                lines.append(f"networks   matches {source.indices}")
+                line = f"networks   matches {source.indices}"
+            if position < len(self.estimates):
+                estimate = self.estimates[position]
+                line += (
+                    f"  [{estimate.units} units,"
+                    f" ~{estimate.est_candidates:g} cands,"
+                    f" ~{estimate.est_cost:g} cost]"
+                )
+            lines.append(line)
+        if self.estimates:
+            lines.append(
+                "order      adaptive: pushdown drains units cheapest "
+                "distance bound first"
+            )
         mode = "coverage-major" if self.merge.coverage_major else "score"
         lines.append(f"merge      {mode}")
         lines.append("rank       ranker score, render tie-break")

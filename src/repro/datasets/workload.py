@@ -25,9 +25,11 @@ __all__ = [
     "WorkloadQuery",
     "MixedWorkloadConfig",
     "MixedOperation",
+    "SkewedWorkloadConfig",
     "batch_texts",
     "generate_workload",
     "generate_mixed_workload",
+    "generate_skewed_workload",
 ]
 
 #: Relations and text attributes that keywords may be planted into.
@@ -163,6 +165,85 @@ def generate_mixed_workload(
                 batch.append(Delete(TupleId("DEPENDENT", (key,))))
         operations.append(MixedOperation("apply", mutations=tuple(batch)))
     return operations
+
+
+@dataclass(frozen=True)
+class SkewedWorkloadConfig:
+    """Shape of a skewed workload: Zipfian popularity x mixed selectivity.
+
+    A pool of ``keyword_pool`` keywords is planted once; keyword rank
+    decides both how *popular* it is (queries draw keywords with weight
+    ``1/(rank+1)**skew``) and how *heavy* it is (match counts interpolate
+    from ``max_matches`` at rank 0 down to ``min_matches`` at the coldest
+    rank).  Popular keywords are therefore the expensive ones — the shape
+    where a static plan-order enumeration wastes the most work and a
+    cost-ordered one pays off.
+    """
+
+    queries: int = 20
+    keywords_per_query: int = 2
+    keyword_pool: int = 8
+    max_matches: int = 12
+    min_matches: int = 1
+    skew: float = 1.0
+    seed: int = 17
+
+
+def generate_skewed_workload(
+    database: Database, config: SkewedWorkloadConfig = SkewedWorkloadConfig()
+) -> list[WorkloadQuery]:
+    """Plant a skewed keyword pool and draw Zipf-popular queries from it.
+
+    Pool keywords are fresh unique tokens (``sk<rank>``) planted into a
+    round-robin choice of relation; each query samples
+    ``config.keywords_per_query`` *distinct* pool keywords by popularity
+    weight, so hot (heavy) keywords co-occur often while cold (cheap)
+    ones appear in the tail.  All draws flow from ``config.seed``.  As
+    with :func:`generate_workload`, the engine must be constructed after
+    planting so derived structures see the planted tokens.
+    """
+    if config.keyword_pool < config.keywords_per_query:
+        raise ValueError("keyword_pool must cover keywords_per_query")
+    rng = random.Random(config.seed)
+    pool: list[str] = []
+    planted: dict[str, tuple[str, ...]] = {}
+    span = max(1, config.keyword_pool - 1)
+    for rank in range(config.keyword_pool):
+        keyword = f"sk{rank + 1}"
+        relation, attribute = _PLANT_SITES[rank % len(_PLANT_SITES)]
+        target = round(
+            config.max_matches
+            - (config.max_matches - config.min_matches) * rank / span
+        )
+        count = min(max(1, target), database.count(relation))
+        labels = plant(
+            database,
+            keyword,
+            relation,
+            attribute,
+            count,
+            seed=rng.randrange(1 << 30),
+        )
+        pool.append(keyword)
+        planted[keyword] = tuple(labels)
+    weights = [
+        1.0 / (rank + 1) ** config.skew for rank in range(len(pool))
+    ]
+    queries: list[WorkloadQuery] = []
+    for __ in range(config.queries):
+        chosen: list[str] = []
+        while len(chosen) < config.keywords_per_query:
+            keyword = rng.choices(pool, weights=weights)[0]
+            if keyword not in chosen:
+                chosen.append(keyword)
+        queries.append(
+            WorkloadQuery(
+                text=" ".join(chosen),
+                keywords=tuple(chosen),
+                planted_labels={kw: planted[kw] for kw in chosen},
+            )
+        )
+    return queries
 
 
 def generate_workload(

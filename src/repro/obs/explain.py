@@ -105,6 +105,29 @@ class ExplainReport:
             "rows": [row.to_dict() for row in self.rows],
         }
 
+    def estimate_error(self) -> Optional[dict]:
+        """Planner estimate vs. observed candidates for the analysed run.
+
+        Returns ``None`` when the plan carries no cost estimates (static
+        planning, or a plan with no sources).  Otherwise a dict with the
+        summed ``est_candidates``, the observed ``stats.candidates``, the
+        absolute error and the signed percentage error (positive means
+        the planner over-estimated).
+        """
+        estimates = getattr(self.plan, "estimates", ())
+        if not estimates:
+            return None
+        estimated = sum(entry.est_candidates for entry in estimates)
+        actual = self.stats.candidates
+        error = estimated - actual
+        baseline = actual if actual > 0 else 1
+        return {
+            "estimated": round(estimated, 3),
+            "actual": actual,
+            "error": round(error, 3),
+            "error_pct": round(100.0 * error / baseline, 1),
+        }
+
     def render(self) -> str:
         """The per-node table, one row per plan stage."""
         header = (
@@ -198,9 +221,14 @@ def _build_rows(plan: QueryPlan, trace, stats) -> list[ExplainRow]:
             ExplainRow("prefetch", "multi-source distance blocks",
                        _span_ms(prefetch_span), counters)
         )
+    estimates = getattr(plan, "estimates", ())
     for position, op in enumerate(plan.sources):
         span = op_spans.get(position)
         counters = dict(span.counters) if span is not None else {}
+        if position < len(estimates):
+            entry = estimates[position]
+            counters["est_candidates"] = round(entry.est_candidates, 1)
+            counters["est_cost"] = round(entry.est_cost, 1)
         rows.append(
             ExplainRow(
                 _op_name(op), _op_detail(op, plan), _span_ms(span), counters
@@ -225,6 +253,12 @@ def _build_rows(plan: QueryPlan, trace, stats) -> list[ExplainRow]:
         "emitted": stats.emitted,
         "shard_skips": stats.shard_skips,
     }
+    if estimates:
+        total_counters["est_candidates"] = round(
+            sum(entry.est_candidates for entry in estimates), 1
+        )
+    if stats.pruned:
+        total_counters["pruned"] = stats.pruned
     if exec_span is not None:
         for name in ("cache_hits", "cache_misses"):
             if name in exec_span.counters:
@@ -284,6 +318,8 @@ def analyze(
             trace_mod.end_trace(qtrace)
         engine.last_stats = executor.stats
         engine.last_trace = qtrace
+        if getattr(engine, "adaptive", False):
+            engine._observe_run(plan, executor.stats)
         key = engine._cache_key(query, ranker, limits, top_k, semantics, pushdown)
         if key is not None and engine.version == version:
             engine._cache_store(key, ranker, matches, results, executor.stats)

@@ -127,6 +127,19 @@ class _LazyPostings(dict):
         self._raw_loader = None
         self._raw_data = {}
 
+    def length_of(self, token: str) -> int:
+        """Posting count of a token without decoding it.
+
+        Raw snapshot entries are lists of encoded postings, so their
+        length is the posting count — the planner's cost model can size
+        a keyword without materialising (and paying to decode) tuples
+        the query may never touch.
+        """
+        if dict.__contains__(self, token):
+            return len(dict.__getitem__(self, token))
+        entries = self._raw.get(token)
+        return len(entries) if entries is not None else 0
+
 
 class _LazyOrder(dict):
     """Database-order keys that re-derive one relation on first demand.
@@ -362,6 +375,24 @@ class InvertedIndex:
     def postings(self, keyword: str) -> tuple[Posting, ...]:
         """All postings of a keyword (word-level match), lower-cased."""
         return tuple(self._postings.get(keyword.strip().lower(), ()))
+
+    def posting_length(self, keyword: str) -> int:
+        """Posting count of a keyword without materialising postings.
+
+        The planner's cost model calls this per batch query, so it must
+        stay cheap: on a snapshot-restored index it counts the
+        still-encoded raw entries instead of decoding them.  Counts
+        *postings* (word occurrences), not distinct tuples — an upper
+        bound on :meth:`document_frequency`, which is what an ordering
+        or routing weight needs.
+        """
+        token = keyword.strip().lower()
+        postings = self._postings
+        length_of = getattr(postings, "length_of", None)
+        if length_of is not None:
+            return length_of(token)
+        entries = postings.get(token)
+        return len(entries) if entries else 0
 
     def matching_tuples(self, keyword: str) -> tuple[TupleId, ...]:
         """Distinct tuples containing the keyword, in first-posting order."""

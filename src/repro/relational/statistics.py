@@ -55,6 +55,10 @@ class DatabaseStatistics:
         self.database = database
         self._fanouts: dict[str, FanOut] = {}
         self._cardinalities: dict[str, int] = {}
+        #: Planner calibration payload (see ``repro.planner.cost``).
+        #: Not computed from the instance — attached by the engine at
+        #: snapshot time so learned estimates survive restarts.
+        self.calibration: dict = {}
         self._compute()
 
     def _compute(self) -> None:
@@ -89,7 +93,7 @@ class DatabaseStatistics:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """Plain JSON-compatible form of the computed statistics."""
-        return {
+        data = {
             "cardinalities": dict(self._cardinalities),
             "fanouts": {
                 name: {
@@ -100,6 +104,9 @@ class DatabaseStatistics:
                 for name, fanout in self._fanouts.items()
             },
         }
+        if self.calibration:
+            data["calibration"] = dict(self.calibration)
+        return data
 
     @classmethod
     def from_dict(cls, database: Database, data: dict) -> "DatabaseStatistics":
@@ -116,6 +123,7 @@ class DatabaseStatistics:
             )
             for name, entry in data["fanouts"].items()
         }
+        statistics.calibration = dict(data.get("calibration", {}))
         return statistics
 
     # ------------------------------------------------------------------
@@ -129,6 +137,10 @@ class DatabaseStatistics:
         """Fan-out summary of one foreign key."""
         name = foreign_key if isinstance(foreign_key, str) else foreign_key.name
         return self._fanouts[name]
+
+    def fanouts(self) -> dict[str, FanOut]:
+        """All fan-out summaries keyed by foreign-key name (a copy)."""
+        return dict(self._fanouts)
 
     def expected_joint_ambiguity(
         self, fk_in: ForeignKey | str, fk_out: ForeignKey | str

@@ -74,6 +74,7 @@ def _init_worker(
     core: Optional[str],
     shards: Optional[int],
     result_cache_entries: int,
+    adaptive: Optional[bool] = None,
 ):
     global _WORKER_ENGINE
     from repro.core.engine import KeywordSearchEngine
@@ -83,6 +84,7 @@ def _init_worker(
         core=core,
         shards=shards,
         result_cache_entries=result_cache_entries,
+        adaptive=adaptive,
     )
 
 
@@ -242,6 +244,7 @@ def _worker_loop(
     arena_name: Optional[str] = None,
     region_start: int = 0,
     region_size: int = 0,
+    adaptive: Optional[bool] = None,
 ) -> None:
     """One dedicated worker: open the snapshot once, serve chunks forever.
 
@@ -254,7 +257,7 @@ def _worker_loop(
     it instead.
     """
     try:
-        _init_worker(snapshot_path, core, shards, result_cache_entries)
+        _init_worker(snapshot_path, core, shards, result_cache_entries, adaptive)
     except BaseException as error:  # surface startup failures, don't hang
         connection.send(("crashed", repr(error)))
         return
@@ -276,7 +279,9 @@ def _worker_loop(
                 global _WORKER_ENGINE
                 old_engine = _WORKER_ENGINE
                 try:
-                    _init_worker(chunk[1], core, shards, result_cache_entries)
+                    _init_worker(
+                        chunk[1], core, shards, result_cache_entries, adaptive
+                    )
                 except BaseException as error:
                     connection.send(("reopen-failed", repr(error)))
                 else:
@@ -332,6 +337,7 @@ class ParallelSearcher:
         core: Optional[str] = None,
         shards: Optional[int] = None,
         result_cache_entries: int = 256,
+        adaptive: Optional[bool] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -340,6 +346,11 @@ class ParallelSearcher:
         self.core = core
         self.shards = shards
         self.result_cache_entries = result_cache_entries
+        #: Adaptive-planner flag every worker engine opens with, so a
+        #: coordinator running static (``REPRO_STATIC_PLAN`` travels via
+        #: the environment, ``adaptive=False`` via this field) never
+        #: pairs with adaptive workers.
+        self.adaptive = adaptive
         self._workers: Optional[list] = None
         self._arena = None
         self.shm_batches = 0
@@ -354,6 +365,9 @@ class ParallelSearcher:
         #: :meth:`run` — ``(worker_index, transport, (trace_root,
         #: metrics_delta))`` tuples, coordinator-ordered.
         self.last_obs: list = []
+        #: Per-worker position lists of the most recent :meth:`run` —
+        #: how the batch was actually cut (cost-routed or contiguous).
+        self.last_assignment: list = []
 
     def _ensure_arena(self):
         if self._arena is None:
@@ -382,6 +396,7 @@ class ParallelSearcher:
                 arena.name if arena is not None else None,
                 index * self.region_bytes,
                 self.region_bytes,
+                self.adaptive,
             ),
             daemon=True,
         )
@@ -437,16 +452,27 @@ class ParallelSearcher:
         self._workers[index] = worker
         return True
 
-    def run(self, queries: Sequence[str], options: dict) -> dict:
+    def run(
+        self,
+        queries: Sequence[str],
+        options: dict,
+        costs: Optional[Sequence[float]] = None,
+    ) -> dict:
         """Answer distinct queries on the pool; returns per-query outcomes.
 
-        The batch is cut into one contiguous chunk per worker — a single
-        IPC round trip each.  Each outcome is ``("ok",
-        portable_results, stats)`` or ``("error", error, None)``; a
-        chunk stops at its first error, which is safe because the
-        coordinator never consumes outcomes past the batch's first
-        failure and chunk contiguity keeps everything before it
-        populated.
+        The batch is cut into one chunk per worker — a single IPC round
+        trip each.  Without ``costs`` the cut is contiguous round-robin;
+        with ``costs`` (one predicted cost per query, see
+        ``KeywordSearchEngine.query_cost``) queries are assigned by
+        deterministic LPT scheduling so every worker carries a similar
+        predicted load (:func:`repro.planner.dispatch.route_by_cost`).
+        Either way each chunk's positions stay ascending.  Each outcome
+        is ``("ok", portable_results, stats)`` or ``("error", error,
+        None)``; a chunk stops at its first error, which is safe because
+        the coordinator never consumes outcomes past the batch's first
+        failure — every position before the first failing one lives in
+        some chunk whose own error cutoff (input order within the chunk)
+        cannot precede it.
 
         The pool self-heals: a worker that died mid-chunk (EOF or broken
         pipe on the coordinator side) is respawned against the current
@@ -456,14 +482,26 @@ class ParallelSearcher:
         either way, with bit-identical results.
         """
         self.last_obs = []
+        self.last_assignment = []
         if not queries:
             return {}
         workers = self._ensure_workers()
-        chunk_count = min(self.jobs, len(queries))
-        size = (len(queries) + chunk_count - 1) // chunk_count
+        if costs is not None and len(costs) == len(queries):
+            from repro.planner.dispatch import route_by_cost
+
+            assignment = route_by_cost(costs, self.jobs)
+        else:
+            chunk_count = min(self.jobs, len(queries))
+            size = (len(queries) + chunk_count - 1) // chunk_count
+            assignment = [
+                list(range(start, min(start + size, len(queries))))
+                for start in range(0, len(queries), size)
+            ]
+        self.last_assignment = assignment
         busy = []
-        for index, start in enumerate(range(0, len(queries), size)):
-            positions = list(range(start, min(start + size, len(queries))))
+        for index, positions in enumerate(assignment):
+            if not positions:  # pragma: no cover - router never emits empties
+                continue
             chunk = (positions, [queries[p] for p in positions], options)
             __, connection = workers[index]
             try:
@@ -528,6 +566,7 @@ class ParallelSearcher:
                 core=self.core,
                 shards=self.shards,
                 result_cache_entries=self.result_cache_entries,
+                adaptive=self.adaptive,
             )
         return self._inline_engine
 
@@ -717,7 +756,17 @@ def _run_batch_traced(
         "pushdown": pushdown,
         "observe": (tracing, metered),
     }
-    outcomes = searcher.run(pending, options)
+    costs = None
+    if getattr(engine, "adaptive", False) and len(pending) > 1 and jobs > 1:
+        # Cost-routed dispatch: one cheap posting-length estimate per
+        # pending query balances the workers' predicted load.  Purely a
+        # scheduling hint — outcomes are keyed by query, so results and
+        # error order are identical to contiguous chunking.
+        costs = [
+            engine.query_cost(query, semantics=semantics)
+            for query in pending
+        ]
+    outcomes = searcher.run(pending, options, costs=costs)
     if tracing or metered:
         # Worker-index order, not arrival order, so the merged trace and
         # registry are identical however the OS scheduled the chunks —

@@ -423,3 +423,23 @@ class KeywordRouter:
         for shard_set in sets:
             routed |= shard_set
         return frozenset(routed)
+
+    def cost_weight(
+        self, keywords: Sequence[str], semantics: str = "and"
+    ) -> float:
+        """Fraction of the graph the routed shards cover, in (0, 1].
+
+        A dispatch weight for the cost-routed batch scheduler: a query
+        whose keywords route to one small shard does proportionally
+        less enumeration work than one touching the whole graph.  An
+        empty route (no shard can answer) weighs as one tuple — the
+        query is provably near-free, but never exactly zero so LPT
+        tie-breaking stays well-defined.
+        """
+        sizes = self.plan.sizes()
+        total = sum(sizes) or 1
+        routed = self.route(keywords, semantics)
+        if not routed:
+            return 1.0 / total
+        covered = sum(sizes[shard] for shard in sorted(routed))
+        return covered / total

@@ -370,6 +370,23 @@ class _LazyEdgeData:
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+def _statistics_doc(engine) -> dict:
+    """Corpus statistics plus the engine's learned planner calibration.
+
+    Calibration rides the stats section
+    (:meth:`DatabaseStatistics.to_dict` carries the key only when
+    non-empty) so learned estimates survive save/open without a snapshot
+    format change — an engine that never calibrated writes the exact
+    payload older snapshots had, and older snapshots restore with an
+    empty table.
+    """
+    statistics = DatabaseStatistics(engine.database)
+    calibration = getattr(engine, "calibration", None)
+    if calibration is not None and len(calibration):
+        statistics.calibration = calibration.to_dict()
+    return statistics.to_dict()
+
+
 def write_snapshot(engine, path: Union[str, Path]) -> dict:
     """Write one engine's full state to ``path``; returns the meta dict.
 
@@ -438,7 +455,7 @@ def write_snapshot(engine, path: Union[str, Path]) -> dict:
         ("edge_ref", bytes(edge_ref)),
         ("postings", _json_bytes(postings_doc)),
         ("tokens", _json_bytes(tokens_doc)),
-        ("stats", _json_bytes(DatabaseStatistics(engine.database).to_dict())),
+        ("stats", _json_bytes(_statistics_doc(engine))),
     ]
     for relation in engine.database.schema.relations:
         records = engine.database.tuples(relation.name)
@@ -848,6 +865,11 @@ def _load_engine(
         **engine_options,
     )
     engine._statistics_loader = lambda: snapshot.statistics(database)
+    # Planner calibration rides the stats section; deferred like every
+    # other section until the first cost estimate needs it.
+    engine._calibration_loader = (
+        lambda: snapshot.json("stats").get("calibration")
+    )
     engine.snapshot_path = str(path)
     engine._snapshot_version = engine.version
     engine._snapshot_generation = snapshot.generation

@@ -487,7 +487,9 @@ class TestStatsMerge:
 
         merged = ExecutionStats()
         merged.merge(
-            ExecutionStats(candidates=1, emitted=1, pushdown=True, shard_skips=1)
+            ExecutionStats(
+                candidates=1, emitted=1, pushdown=True, shard_skips=1, pruned=1
+            )
         )
         for field in fields(ExecutionStats):
             default = field.default

@@ -39,8 +39,8 @@ class TestCliDocumentation:
             if hasattr(action, "choices") and action.choices
         )
         assert set(subparsers.choices) == {
-            "search", "snapshot", "lint", "stats", "reproduce", "analyze",
-            "mtjnt", "generate", "wal",
+            "search", "snapshot", "lint", "stats", "plan", "reproduce",
+            "analyze", "mtjnt", "generate", "wal",
         }
 
 

@@ -1,0 +1,17 @@
+"""Planner suite fixtures.
+
+This suite exercises the *adaptive* machinery explicitly, so the
+global ``REPRO_STATIC_PLAN`` escape hatch is cleared around every test
+— otherwise an ambient setting would silently turn the adaptive leg of
+each differential static.  Tests of the hatch itself re-set it via
+``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _clear_static_plan_env(monkeypatch):
+    monkeypatch.delenv("REPRO_STATIC_PLAN", raising=False)

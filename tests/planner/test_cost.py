@@ -1,0 +1,189 @@
+"""Unit tests for the planner cost model and calibration table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.planner import (
+    DEFAULT_FANOUT,
+    STATIC_PLAN_ENV,
+    CalibrationTable,
+    CostModel,
+    UnitEstimate,
+    resolve_adaptive,
+)
+
+
+class TestResolveAdaptive:
+    def test_default_is_adaptive(self, monkeypatch):
+        monkeypatch.delenv(STATIC_PLAN_ENV, raising=False)
+        assert resolve_adaptive() is True
+        assert resolve_adaptive(None) is True
+
+    def test_explicit_flag_wins_over_default(self, monkeypatch):
+        monkeypatch.delenv(STATIC_PLAN_ENV, raising=False)
+        assert resolve_adaptive(False) is False
+        assert resolve_adaptive(True) is True
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_env_forces_static(self, monkeypatch, value):
+        monkeypatch.setenv(STATIC_PLAN_ENV, value)
+        assert resolve_adaptive() is False
+        assert resolve_adaptive(True) is False
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " OFF "])
+    def test_falsey_env_is_ignored(self, monkeypatch, value):
+        monkeypatch.setenv(STATIC_PLAN_ENV, value)
+        assert resolve_adaptive() is True
+        assert resolve_adaptive(False) is False
+
+    def test_engine_honours_env(self, monkeypatch, company_db):
+        monkeypatch.setenv(STATIC_PLAN_ENV, "1")
+        engine = KeywordSearchEngine(company_db)
+        assert engine.adaptive is False
+        monkeypatch.delenv(STATIC_PLAN_ENV)
+        assert KeywordSearchEngine(company_db).adaptive is True
+
+
+class TestCalibrationTable:
+    def test_unseen_kind_has_neutral_factor(self):
+        table = CalibrationTable()
+        assert table.factor("paths") == 1.0
+        assert len(table) == 0
+        assert table.updates == 0
+
+    def test_factor_is_observed_over_predicted(self):
+        table = CalibrationTable()
+        table.observe("paths", predicted=10.0, observed=5.0)
+        assert table.factor("paths") == pytest.approx(0.5)
+        table.observe("paths", predicted=10.0, observed=15.0)
+        assert table.factor("paths") == pytest.approx(1.0)
+        assert table.updates == 2
+
+    def test_factor_is_clamped(self):
+        table = CalibrationTable()
+        table.observe("paths", 1.0, 1e9)
+        assert table.factor("paths") == 100.0
+        table = CalibrationTable()
+        table.observe("paths", 1e9, 0.0)
+        assert table.factor("paths") == 0.01
+
+    def test_nonpositive_predictions_are_ignored(self):
+        table = CalibrationTable()
+        table.observe("paths", 0.0, 50.0)
+        table.observe("paths", -3.0, 50.0)
+        assert len(table) == 0
+
+    def test_observe_is_commutative(self):
+        pairs = [(10.0, 4.0), (2.0, 9.0), (7.0, 7.0)]
+        forward, backward = CalibrationTable(), CalibrationTable()
+        for predicted, observed in pairs:
+            forward.observe("networks", predicted, observed)
+        for predicted, observed in reversed(pairs):
+            backward.observe("networks", predicted, observed)
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_roundtrip_and_additive_load(self):
+        table = CalibrationTable()
+        table.observe("paths", 10.0, 5.0)
+        copy = CalibrationTable()
+        copy.load(table.to_dict())
+        assert copy.to_dict() == table.to_dict()
+        copy.load(table.to_dict())  # additive: doubles the sums
+        assert copy.updates == 2
+        assert copy.factor("paths") == pytest.approx(0.5)  # ratio unchanged
+
+
+class TestCostModel:
+    def test_fanout_falls_back_without_statistics(self):
+        assert CostModel().fanout() == DEFAULT_FANOUT
+
+    def test_pair_plan_estimates_align_with_sources(self, engine):
+        plan, __ = engine._plan("Smith XML", None, "and")
+        model = CostModel(index=engine.index,
+                          statistics=lambda: engine.statistics)
+        estimates = model.estimate_plan(plan)
+        assert len(estimates) == len(plan.sources)
+        assert all(isinstance(entry, UnitEstimate) for entry in estimates)
+        (pair,) = estimates
+        assert pair.kind == "paths"
+        n1, n2 = (len(match) for match in plan.matches)
+        assert pair.units == n1 * n2
+        assert pair.est_cost >= pair.est_candidates >= pair.units
+
+    def test_or_plan_estimates_cover_every_source(self, engine):
+        plan, __ = engine._plan("Smith Brown XML", None, "or")
+        model = CostModel(index=engine.index)
+        estimates = model.estimate_plan(plan)
+        assert [e.kind for e in estimates] == [
+            "scan" if type(op).__name__ == "SingleScan"
+            else "paths" if type(op).__name__ == "PairPaths"
+            else "networks"
+            for op in plan.sources
+        ]
+        scan = estimates[0]
+        assert scan.est_candidates == scan.units  # scans are exact
+
+    def test_calibration_scales_estimates(self, engine):
+        plan, __ = engine._plan("Smith XML", None, "and")
+        table = CalibrationTable()
+        table.observe("paths", 10.0, 2.5)  # factor 0.25
+        plain = CostModel(index=engine.index).estimate_plan(plan)[0]
+        tuned = CostModel(index=engine.index,
+                          calibration=table).estimate_plan(plan)[0]
+        assert tuned.est_candidates == pytest.approx(
+            plain.est_candidates * 0.25)
+
+    def test_annotate_attaches_estimates_without_changing_ops(self, engine):
+        plan, __ = engine._plan("Smith XML", None, "and")
+        annotated = CostModel(index=engine.index).annotate(plan)
+        assert annotated.sources == plan.sources
+        assert annotated.matches == plan.matches
+        assert len(annotated.estimates) == len(plan.sources)
+
+
+class TestQueryCost:
+    def test_zero_match_and_query_is_cheap(self, engine):
+        cost = CostModel(index=engine.index).query_cost(
+            ["smith", "zzznothing"], "and")
+        assert cost == 1.0
+
+    def test_heavier_postings_cost_more(self, engine):
+        model = CostModel(index=engine.index)
+        hot = model.query_cost(["smith", "xml"], "and")
+        cold = model.query_cost(["smith", "canada"], "and")
+        assert hot > cold > 0
+
+    def test_or_semantics_never_cheaper_than_and(self, engine):
+        model = CostModel(index=engine.index)
+        keywords = ["smith", "brown", "xml"]
+        assert (model.query_cost(keywords, "or")
+                >= model.query_cost(keywords, "and"))
+
+    def test_engine_query_cost_handles_bad_queries(self, engine):
+        assert engine.query_cost("") == 1.0
+        assert engine.query_cost("smith xml") > 1.0
+
+
+class TestPostingLength:
+    def test_matches_materialised_postings(self, engine):
+        index = engine.index
+        for token in ("smith", "xml", "brown"):
+            assert index.posting_length(token) == len(index.postings(token))
+
+    def test_unknown_token_is_zero(self, engine):
+        assert engine.index.posting_length("zzznothing") == 0
+
+    def test_lazy_snapshot_postings_stay_undecoded(self, company_db, tmp_path):
+        path = str(tmp_path / "db.snap")
+        KeywordSearchEngine(company_db).save(path)
+        opened = KeywordSearchEngine.open(path)
+        try:
+            length = opened.index.posting_length("smith")
+            assert length == len(
+                KeywordSearchEngine(company_db).index.postings("smith"))
+            # The cheap accessor must not have decoded the posting list.
+            assert not dict.__contains__(opened.index._postings, "smith")
+        finally:
+            opened.close()

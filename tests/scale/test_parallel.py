@@ -280,11 +280,23 @@ class TestObservability:
         assert len(workers) == 2
         # input-position order, whatever order the chunks completed in
         assert [w.tags["worker"] for w in workers] == [0, 1]
-        queries = [
-            span.tags["query"] for w in workers for span in w.children
-            if span.name == "query"
+        # Every distinct query ran in exactly one worker; cost routing
+        # may cut the batch non-contiguously, but each worker still
+        # answers its chunk in input order.
+        distinct = list(dict.fromkeys(QUERIES))
+        per_worker = [
+            [
+                span.tags["query"] for span in w.children
+                if span.name == "query"
+            ]
+            for w in workers
         ]
-        assert queries == [q for q in dict.fromkeys(QUERIES)]
+        assert sorted(q for chunk in per_worker for q in chunk) == sorted(
+            distinct
+        )
+        order = {query: position for position, query in enumerate(distinct)}
+        for chunk in per_worker:
+            assert [order[q] for q in chunk] == sorted(order[q] for q in chunk)
         assert all(w.tags["transport"] in ("shm", "pipe") for w in workers)
 
     def test_worker_metrics_merge_into_registry(self):
